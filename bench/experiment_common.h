@@ -1,0 +1,146 @@
+#pragma once
+
+/// \file experiment_common.h
+/// Shared plumbing for the figure/table reproduction benches: dataset
+/// construction at a configurable scale, result-table printing, and the
+/// paper's reported numbers for side-by-side comparison.
+///
+/// Every bench accepts:
+///   --scale=<0..1>   record-volume scale (default 0.25; MOOD_SCALE env
+///                    overrides too). 0.25 keeps sampling dense enough for
+///                    POI semantics (~27 min between records on MDC) while
+///                    benches stay laptop-fast; 1.0 approximates the
+///                    paper's record volumes.
+///   --seed=<n>       generator + pipeline seed (default 7)
+///   --datasets=a,b   comma list of presets (default: all four)
+///   --hmc-coverage / --hmc-max-cells / --hmc-budget / --geoi-epsilon /
+///   --trl-radius     LPPM parameter overrides for sweeps
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "simulation/presets.h"
+#include "support/logging.h"
+#include "support/options.h"
+
+namespace mood::bench {
+
+struct BenchContext {
+  double scale = 0.25;
+  std::uint64_t seed = 7;
+  std::vector<std::string> datasets;
+  core::ExperimentConfig config;  // paper defaults, CLI-overridable
+};
+
+inline BenchContext parse_context(int argc, char** argv) {
+  const support::Options options(argc, argv);
+  support::set_log_level(support::LogLevel::kWarn);
+  BenchContext ctx;
+  ctx.scale = options.get_double("scale", 0.25);
+  ctx.seed = static_cast<std::uint64_t>(options.get_int("seed", 7));
+  ctx.config.hmc_hot_coverage =
+      options.get_double("hmc-coverage", ctx.config.hmc_hot_coverage);
+  ctx.config.hmc_max_cells = static_cast<std::size_t>(options.get_int(
+      "hmc-max-cells", static_cast<std::int64_t>(ctx.config.hmc_max_cells)));
+  ctx.config.hmc_budget_m =
+      options.get_double("hmc-budget", ctx.config.hmc_budget_m);
+  ctx.config.geoi_epsilon =
+      options.get_double("geoi-epsilon", ctx.config.geoi_epsilon);
+  ctx.config.trl_radius_m =
+      options.get_double("trl-radius", ctx.config.trl_radius_m);
+  const std::string list =
+      options.get_string("datasets", "mdc,privamov,geolife,cabspotting");
+  std::string current;
+  for (const char c : list + ",") {
+    if (c == ',') {
+      if (!current.empty()) ctx.datasets.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  return ctx;
+}
+
+/// Builds the full experimental context for one preset at bench scale.
+inline core::ExperimentHarness make_harness(const BenchContext& ctx,
+                                            const std::string& preset) {
+  const auto dataset =
+      simulation::make_preset_dataset(preset, ctx.scale, ctx.seed);
+  return core::ExperimentHarness(dataset, ctx.config, ctx.seed);
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+inline double pct(std::size_t part, std::size_t whole) {
+  return whole == 0 ? 0.0
+                    : 100.0 * static_cast<double>(part) /
+                          static_cast<double>(whole);
+}
+
+/// ---- Paper-reported values (for the "paper" reference columns). -------
+/// Keyed by preset name; vectors follow the strategy order stated at each
+/// bench. Values transcribed from the figures/text of the Middleware'19
+/// paper.
+
+/// Fig. 2 — % non-protected users, strategies {GeoI, TRL, HMC, Hybrid}.
+inline const std::map<std::string, std::vector<double>> kPaperFig2{
+    {"mdc", {76, 61, 46, 36}},
+    {"privamov", {88, 71, 49, 24}},
+    {"geolife", {66, 54, 37, 24}},
+    {"cabspotting", {50, 19, 25, 5}},
+};
+
+/// Fig. 3 — % data loss, strategies {GeoI, TRL, HMC, Hybrid}.
+inline const std::map<std::string, std::vector<double>> kPaperFig3{
+    {"mdc", {89, 73, 54, 42}},
+    {"privamov", {95, 71, 47, 31}},
+    {"geolife", {93, 61, 15, 9}},
+    {"cabspotting", {52, 13, 26, 5}},
+};
+
+/// Fig. 6 — #non-protected users vs AP-attack alone,
+/// strategies {no-LPPM, GeoI, TRL, HMC, Hybrid, MooD}.
+inline const std::map<std::string, std::vector<double>> kPaperFig6{
+    {"mdc", {96, 95, 79, 14, 10, 0}},
+    {"privamov", {32, 31, 26, 9, 4, 2}},
+    {"geolife", {32, 32, 32, 4, 4, 1}},
+    {"cabspotting", {242, 207, 56, 12, 4, 0}},
+};
+
+/// Fig. 7 — #non-protected users vs all three attacks,
+/// strategies {no-LPPM, GeoI, TRL, HMC, Hybrid, MooD}.
+inline const std::map<std::string, std::vector<double>> kPaperFig7{
+    {"mdc", {107, 107, 86, 65, 51, 3}},
+    {"privamov", {37, 36, 29, 20, 10, 3}},
+    {"geolife", {32, 27, 22, 15, 10, 2}},
+    {"cabspotting", {281, 263, 65, 131, 27, 0}},
+};
+
+/// Fig. 10 — % data loss, strategies {GeoI, TRL, HMC, Hybrid, MooD}.
+inline const std::map<std::string, std::vector<double>> kPaperFig10{
+    {"mdc", {88, 73, 53, 42, 0.33}},
+    {"privamov", {95, 70, 46, 30, 2.5}},
+    {"geolife", {68, 60, 14, 9, 0.37}},
+    {"cabspotting", {52, 13, 25, 5, 0.0}},
+};
+
+/// Table 1 — paper record counts and user counts.
+struct PaperDataset {
+  std::size_t users;
+  const char* location;
+  std::size_t records;
+};
+inline const std::map<std::string, PaperDataset> kPaperTable1{
+    {"cabspotting", {531, "San Francisco", 11179014}},
+    {"geolife", {41, "Beijing", 1468989}},
+    {"mdc", {141, "Geneva", 904282}},
+    {"privamov", {41, "Lyon", 948965}},
+};
+
+}  // namespace mood::bench

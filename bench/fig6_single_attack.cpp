@@ -1,0 +1,35 @@
+// Fig. 6 reproduction: number of non-protected users against a single
+// re-identification attack (AP-attack, "the most powerful attack"), for
+// no-LPPM / each single LPPM / HybridLPPM / MooD's composition search.
+
+#include "experiment_common.h"
+
+int main(int argc, char** argv) {
+  using namespace mood;
+  const auto ctx = bench::parse_context(argc, argv);
+
+  bench::print_header(
+      "Fig. 6: #non-protected users vs AP-attack [measured | paper]");
+  std::printf("%-14s %6s %12s %12s %12s %12s %12s %12s\n", "dataset", "users",
+              "no-LPPM", "Geo-I", "TRL", "HMC", "Hybrid", "MooD");
+  for (const auto& name : ctx.datasets) {
+    const auto harness = bench::make_harness(ctx, name);
+    const std::vector<std::size_t> ap{harness.ap_attack_index()};
+    const auto& paper = bench::kPaperFig6.at(name);
+    const std::vector<core::StrategyResult> results{
+        harness.evaluate_no_lppm(ap),
+        harness.evaluate_single("GeoI", ap),
+        harness.evaluate_single("TRL", ap),
+        harness.evaluate_single("HMC", ap),
+        harness.evaluate_hybrid(ap),
+        harness.evaluate_mood_search(ap),
+    };
+    std::printf("%-14s %6zu", name.c_str(), results[0].user_count());
+    for (std::size_t s = 0; s < results.size(); ++s) {
+      std::printf("   %4zu | %3.0f", results[s].non_protected_users(),
+                  paper[s]);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

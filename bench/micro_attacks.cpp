@@ -1,0 +1,69 @@
+// Micro-benchmarks (google-benchmark): attack training and
+// re-identification throughput — the inner loop of MooD's search (every
+// candidate obfuscation is matched against every known user profile).
+
+#include <benchmark/benchmark.h>
+
+#include "attacks/suite.h"
+#include "simulation/generator.h"
+
+namespace {
+
+using namespace mood;
+
+struct Population {
+  std::vector<mobility::Trace> background;
+  std::vector<mobility::Trace> tests;
+  geo::GeoPoint reference;
+};
+
+Population make_population(std::size_t users, std::size_t records_per_day) {
+  simulation::GeneratorParams params;
+  params.users = users;
+  params.days = 6;
+  params.records_per_user_per_day = static_cast<double>(records_per_day);
+  params.seed = 12;
+  const auto dataset = simulation::generate(params);
+  Population pop;
+  pop.reference = dataset.traces()[0].front().position;
+  for (const auto& pair : dataset.chronological_split(0.5, 4)) {
+    pop.background.push_back(pair.train);
+    pop.tests.push_back(pair.test);
+  }
+  return pop;
+}
+
+void BM_Attack_Train(benchmark::State& state, const std::string& name) {
+  const auto pop = make_population(static_cast<std::size_t>(state.range(0)),
+                                   150);
+  for (auto _ : state) {
+    auto attack = attacks::make_attack(name, pop.reference);
+    attack->train(pop.background);
+    benchmark::DoNotOptimize(attack);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK_CAPTURE(BM_Attack_Train, poi, "poi")->Arg(16)->Arg(64);
+BENCHMARK_CAPTURE(BM_Attack_Train, pit, "pit")->Arg(16)->Arg(64);
+BENCHMARK_CAPTURE(BM_Attack_Train, ap, "ap")->Arg(16)->Arg(64);
+
+void BM_Attack_Reidentify(benchmark::State& state, const std::string& name) {
+  const auto pop = make_population(static_cast<std::size_t>(state.range(0)),
+                                   150);
+  auto attack = attacks::make_attack(name, pop.reference);
+  attack->train(pop.background);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        attack->reidentify(pop.tests[i++ % pop.tests.size()]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK_CAPTURE(BM_Attack_Reidentify, poi, "poi")->Arg(16)->Arg(64);
+BENCHMARK_CAPTURE(BM_Attack_Reidentify, pit, "pit")->Arg(16)->Arg(64);
+BENCHMARK_CAPTURE(BM_Attack_Reidentify, ap, "ap")->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,35 @@
+#include "attacks/ap_attack.h"
+
+#include <limits>
+
+namespace mood::attacks {
+
+void ApAttack::train(const std::vector<mobility::Trace>& background) {
+  profiles_.clear();
+  profiles_.reserve(background.size());
+  for (const auto& trace : background) {
+    profiles_.emplace_back(trace.user(),
+                           profiles::Heatmap::from_trace(trace, grid_));
+  }
+}
+
+std::optional<mobility::UserId> ApAttack::reidentify(
+    const mobility::Trace& anonymous_trace) const {
+  const auto anonymous_map =
+      profiles::Heatmap::from_trace(anonymous_trace, grid_);
+  if (anonymous_map.empty()) return std::nullopt;
+
+  double best = std::numeric_limits<double>::infinity();
+  const mobility::UserId* best_user = nullptr;
+  for (const auto& [user, map] : profiles_) {
+    const double d = profiles::topsoe_divergence(anonymous_map, map);
+    if (d < best) {
+      best = d;
+      best_user = &user;
+    }
+  }
+  if (best_user == nullptr) return std::nullopt;
+  return *best_user;
+}
+
+}  // namespace mood::attacks

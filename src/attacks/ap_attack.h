@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file ap_attack.h
+/// AP-Attack [Maouche et al. 2017] (paper §4.1.1): profiles are heatmaps
+/// over a fixed grid (800 m cells by default); the anonymous heatmap is
+/// attributed to the known user minimising the Topsoe divergence. The paper
+/// calls it "the most powerful attack currently known" and uses it alone
+/// for the Fig. 6 experiment.
+
+#include <string>
+#include <vector>
+
+#include "attacks/attack.h"
+#include "geo/cell_grid.h"
+#include "profiles/heatmap.h"
+
+namespace mood::attacks {
+
+class ApAttack final : public Attack {
+ public:
+  /// The grid must be shared (same projection + cell size) with any LPPM
+  /// reasoning about heatmaps so that cell boundaries agree.
+  explicit ApAttack(geo::CellGrid grid) : grid_(std::move(grid)) {}
+
+  [[nodiscard]] std::string name() const override { return "AP-Attack"; }
+
+  void train(const std::vector<mobility::Trace>& background) override;
+
+  [[nodiscard]] std::optional<mobility::UserId> reidentify(
+      const mobility::Trace& anonymous_trace) const override;
+
+  [[nodiscard]] std::size_t trained_users() const override {
+    return profiles_.size();
+  }
+
+  [[nodiscard]] const geo::CellGrid& grid() const { return grid_; }
+
+ private:
+  geo::CellGrid grid_;
+  std::vector<std::pair<mobility::UserId, profiles::Heatmap>> profiles_;
+};
+
+}  // namespace mood::attacks

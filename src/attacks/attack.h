@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file attack.h
+/// User re-identification attack interface (paper Eq. 1).
+///
+/// An attack trains once on background knowledge H (one past trace per
+/// known user) and is then asked to re-associate anonymous traces with
+/// users: A(T, H) = u. Training mutates the attack; re-identification is
+/// const and safe to call concurrently — MooD's search fans candidate
+/// protections out across threads against shared trained attacks.
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mobility/trace.h"
+
+namespace mood::attacks {
+
+/// Abstract re-identification attack.
+class Attack {
+ public:
+  virtual ~Attack() = default;
+
+  /// Display name ("POI-Attack", "PIT-Attack", "AP-Attack").
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Builds per-user profiles from background traces (one per user; the
+  /// trace's user id is the identity learned). Replaces earlier training.
+  virtual void train(const std::vector<mobility::Trace>& background) = 0;
+
+  /// Returns the known user the anonymous trace most resembles, or
+  /// std::nullopt when the attack cannot form a profile from the trace
+  /// (e.g. no POIs survive obfuscation) — a failed attack, which counts as
+  /// protection for the trace's owner.
+  [[nodiscard]] virtual std::optional<mobility::UserId> reidentify(
+      const mobility::Trace& anonymous_trace) const = 0;
+
+  /// Number of trained profiles.
+  [[nodiscard]] virtual std::size_t trained_users() const = 0;
+};
+
+/// True iff the attack's answer equals the true owner — the success
+/// predicate A_k(T') = U used throughout Algorithm 1.
+inline bool reidentifies(const Attack& attack, const mobility::Trace& trace,
+                         const mobility::UserId& owner) {
+  const auto answer = attack.reidentify(trace);
+  return answer.has_value() && *answer == owner;
+}
+
+using AttackPtr = std::unique_ptr<Attack>;
+
+}  // namespace mood::attacks

@@ -1,0 +1,36 @@
+#include "attacks/pit_attack.h"
+
+#include <limits>
+
+namespace mood::attacks {
+
+void PitAttack::train(const std::vector<mobility::Trace>& background) {
+  profiles_.clear();
+  profiles_.reserve(background.size());
+  for (const auto& trace : background) {
+    profiles_.emplace_back(trace.user(),
+                           profiles::MarkovProfile::from_trace(trace, params_));
+  }
+}
+
+std::optional<mobility::UserId> PitAttack::reidentify(
+    const mobility::Trace& anonymous_trace) const {
+  const auto anonymous_profile =
+      profiles::MarkovProfile::from_trace(anonymous_trace, params_);
+  if (anonymous_profile.empty()) return std::nullopt;
+
+  double best = std::numeric_limits<double>::infinity();
+  const mobility::UserId* best_user = nullptr;
+  for (const auto& [user, profile] : profiles_) {
+    const double d = profiles::stats_prox_distance(anonymous_profile, profile,
+                                                   proximity_scale_m_);
+    if (d < best) {
+      best = d;
+      best_user = &user;
+    }
+  }
+  if (best_user == nullptr) return std::nullopt;
+  return *best_user;
+}
+
+}  // namespace mood::attacks

@@ -1,0 +1,38 @@
+#include "attacks/poi_attack.h"
+
+#include <limits>
+
+namespace mood::attacks {
+
+void PoiAttack::train(const std::vector<mobility::Trace>& background) {
+  profiles_.clear();
+  profiles_.reserve(background.size());
+  for (const auto& trace : background) {
+    auto profile = profiles::PoiProfile::from_trace(trace, params_);
+    // Users with no extractable POIs cannot be matched; training still
+    // records them so trained_users() reflects the population, but an
+    // empty profile yields infinite distance and never wins.
+    profiles_.emplace_back(trace.user(), std::move(profile));
+  }
+}
+
+std::optional<mobility::UserId> PoiAttack::reidentify(
+    const mobility::Trace& anonymous_trace) const {
+  const auto anonymous_profile =
+      profiles::PoiProfile::from_trace(anonymous_trace, params_);
+  if (anonymous_profile.empty()) return std::nullopt;
+
+  double best = std::numeric_limits<double>::infinity();
+  const mobility::UserId* best_user = nullptr;
+  for (const auto& [user, profile] : profiles_) {
+    const double d = profiles::poi_profile_distance(anonymous_profile, profile);
+    if (d < best) {
+      best = d;
+      best_user = &user;
+    }
+  }
+  if (best_user == nullptr) return std::nullopt;
+  return *best_user;
+}
+
+}  // namespace mood::attacks

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file poi_attack.h
+/// POI-Attack [Primault et al. 2014] (paper §4.1.1): profiles are POI sets;
+/// an anonymous trace is attributed to the known user whose POIs are
+/// geographically closest (mean nearest-POI distance).
+
+#include <string>
+#include <vector>
+
+#include "attacks/attack.h"
+#include "clustering/poi_extraction.h"
+#include "profiles/poi_profile.h"
+
+namespace mood::attacks {
+
+class PoiAttack final : public Attack {
+ public:
+  /// Paper defaults: clustering diameter 200 m, dwell 1 h.
+  explicit PoiAttack(clustering::PoiParams params = {})
+      : params_(params) {}
+
+  [[nodiscard]] std::string name() const override { return "POI-Attack"; }
+
+  void train(const std::vector<mobility::Trace>& background) override;
+
+  [[nodiscard]] std::optional<mobility::UserId> reidentify(
+      const mobility::Trace& anonymous_trace) const override;
+
+  [[nodiscard]] std::size_t trained_users() const override {
+    return profiles_.size();
+  }
+
+ private:
+  clustering::PoiParams params_;
+  std::vector<std::pair<mobility::UserId, profiles::PoiProfile>> profiles_;
+};
+
+}  // namespace mood::attacks

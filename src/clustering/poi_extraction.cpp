@@ -1,0 +1,98 @@
+#include "clustering/poi_extraction.h"
+
+#include <cmath>
+
+#include "support/error.h"
+
+namespace mood::clustering {
+
+using geo::EnuPoint;
+using geo::GeoPoint;
+using mobility::Record;
+using mobility::Trace;
+
+std::vector<Poi> extract_pois(const Trace& trace, const PoiParams& params) {
+  support::expects(params.max_diameter_m > 0.0,
+                   "extract_pois: diameter must be positive");
+  support::expects(params.min_dwell > 0, "extract_pois: dwell must be > 0");
+
+  std::vector<Poi> pois;
+  if (trace.empty()) return pois;
+
+  // Work in a local projection centred on the trace so member distances are
+  // cheap planar distances.
+  const geo::LocalProjection projection(trace.front().position);
+  const auto& records = trace.records();
+  std::vector<EnuPoint> points;
+  points.reserve(records.size());
+  for (const Record& r : records) points.push_back(projection.to_enu(r.position));
+
+  const double radius = params.max_diameter_m;  // distance from the anchor
+  std::size_t i = 0;
+  while (i < records.size()) {
+    // Extend the stay while records remain within `radius` of the anchor.
+    std::size_t j = i;
+    while (j + 1 < records.size() &&
+           geo::euclidean_m(points[i], points[j + 1]) <= radius) {
+      ++j;
+    }
+    const mobility::Timestamp span = records[j].time - records[i].time;
+    if (span >= params.min_dwell && j - i + 1 >= params.min_points) {
+      Poi poi;
+      double sx = 0.0, sy = 0.0;
+      for (std::size_t k = i; k <= j; ++k) {
+        sx += points[k].x;
+        sy += points[k].y;
+      }
+      const double n = static_cast<double>(j - i + 1);
+      poi.center = projection.to_geo(EnuPoint{sx / n, sy / n});
+      poi.record_count = j - i + 1;
+      poi.dwell = span;
+      poi.start = records[i].time;
+      poi.end = records[j].time;
+      pois.push_back(poi);
+      i = j + 1;
+    } else {
+      ++i;
+    }
+  }
+  return pois;
+}
+
+PoiVisitSequence build_visit_sequence(const std::vector<Poi>& pois,
+                                      double merge_distance_m) {
+  support::expects(merge_distance_m >= 0.0,
+                   "build_visit_sequence: distance must be >= 0");
+  PoiVisitSequence seq;
+  for (const Poi& poi : pois) {
+    // Find an existing state within the merge distance.
+    std::size_t state = seq.states.size();
+    for (std::size_t s = 0; s < seq.states.size(); ++s) {
+      if (geo::haversine_m(seq.states[s].center, poi.center) <=
+          merge_distance_m) {
+        state = s;
+        break;
+      }
+    }
+    if (state == seq.states.size()) {
+      seq.states.push_back(poi);
+    } else {
+      // Merge: accumulate weight and dwell; keep the weighted centroid.
+      Poi& existing = seq.states[state];
+      const double w_old = static_cast<double>(existing.record_count);
+      const double w_new = static_cast<double>(poi.record_count);
+      const double total = w_old + w_new;
+      existing.center.lat =
+          (existing.center.lat * w_old + poi.center.lat * w_new) / total;
+      existing.center.lon =
+          (existing.center.lon * w_old + poi.center.lon * w_new) / total;
+      existing.record_count += poi.record_count;
+      existing.dwell += poi.dwell;
+      existing.end = poi.end;
+    }
+    seq.visits.push_back(state);
+  }
+  return seq;
+}
+
+}  // namespace mood::clustering

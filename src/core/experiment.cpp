@@ -1,0 +1,313 @@
+#include "core/experiment.h"
+
+#include <numeric>
+
+#include "lppm/geo_ind.h"
+#include "lppm/trilateration.h"
+#include "support/error.h"
+#include "support/logging.h"
+#include "support/thread_pool.h"
+
+namespace mood::core {
+
+namespace {
+
+std::array<std::size_t, 4> bands_from(
+    const std::vector<std::pair<bool, double>>& protected_distortions) {
+  std::array<std::size_t, 4> bands{0, 0, 0, 0};
+  for (const auto& [is_protected, distortion] : protected_distortions) {
+    if (!is_protected) continue;
+    bands[static_cast<std::size_t>(metrics::distortion_band(distortion))]++;
+  }
+  return bands;
+}
+
+}  // namespace
+
+std::size_t StrategyResult::non_protected_users() const {
+  std::size_t n = 0;
+  for (const auto& u : users) n += u.is_protected ? 0 : 1;
+  return n;
+}
+
+double StrategyResult::non_protected_ratio() const {
+  return users.empty() ? 0.0
+                       : static_cast<double>(non_protected_users()) /
+                             static_cast<double>(users.size());
+}
+
+double StrategyResult::data_loss() const {
+  metrics::DataLossAccumulator acc;
+  for (const auto& u : users) {
+    if (u.is_protected) {
+      acc.add_protected(u.records);
+    } else {
+      acc.add_lost(u.records);
+    }
+  }
+  return acc.ratio();
+}
+
+std::array<std::size_t, 4> StrategyResult::distortion_bands() const {
+  std::vector<std::pair<bool, double>> pd;
+  pd.reserve(users.size());
+  for (const auto& u : users) pd.emplace_back(u.is_protected, u.distortion);
+  return bands_from(pd);
+}
+
+std::size_t MoodResult::non_protected_users() const {
+  std::size_t n = 0;
+  for (const auto& u : users) n += u.fully_protected() ? 0 : 1;
+  return n;
+}
+
+double MoodResult::data_loss() const {
+  metrics::DataLossAccumulator acc;
+  for (const auto& u : users) {
+    acc.add_lost(u.lost_records);
+    acc.add_protected(u.records - u.lost_records);
+  }
+  return acc.ratio();
+}
+
+std::array<std::size_t, 4> MoodResult::distortion_bands() const {
+  std::vector<std::pair<bool, double>> pd;
+  pd.reserve(users.size());
+  for (const auto& u : users) {
+    // A user contributes to the utility histogram with the distortion of
+    // the data that actually survived; fully erased users contribute
+    // nothing (there is no published data to measure).
+    pd.emplace_back(u.records > u.lost_records, u.distortion);
+  }
+  return bands_from(pd);
+}
+
+ExperimentHarness::ExperimentHarness(const mobility::Dataset& dataset,
+                                     ExperimentConfig config,
+                                     std::uint64_t seed)
+    : config_(config), dataset_name_(dataset.name()), seed_(seed) {
+  support::expects(dataset.user_count() > 0,
+                   "ExperimentHarness: empty dataset");
+
+  pairs_ = dataset.chronological_split(config_.train_fraction,
+                                       config_.min_records);
+  support::expects(!pairs_.empty(),
+                   "ExperimentHarness: no active users after split");
+
+  // Anchor all heatmap grids at the dataset's geographic centre so cells
+  // align across the attack, HMC and every user.
+  geo::BoundingBox box;
+  for (const auto& trace : dataset.traces()) {
+    for (const auto& record : trace.records()) box.extend(record.position);
+  }
+  const geo::GeoPoint reference = box.center();
+
+  // Train the attack suite on the background halves.
+  std::vector<mobility::Trace> background;
+  background.reserve(pairs_.size());
+  for (const auto& pair : pairs_) background.push_back(pair.train);
+  attacks_ = attacks::make_standard_suite(reference, config_.attack_params);
+  attacks::train_all(attacks_, background);
+  support::log_info("harness[", dataset_name_, "]: trained ",
+                    attacks_.size(), " attacks on ", background.size(),
+                    " users");
+
+  // Instantiate the LPPM set L with paper parameters.
+  const geo::CellGrid grid(geo::LocalProjection(reference),
+                           config_.attack_params.heatmap_cell_m);
+  donor_pool_ = std::make_shared<const lppm::DonorPool>(background, grid);
+  registry_.add(std::make_unique<lppm::GeoIndistinguishability>(
+      config_.geoi_epsilon));
+  registry_.add(std::make_unique<lppm::Trilateration>(config_.trl_radius_m));
+  registry_.add(std::make_unique<lppm::HeatmapConfusion>(
+      grid, donor_pool_, config_.hmc_hot_coverage, config_.hmc_max_cells,
+      config_.hmc_budget_m));
+}
+
+std::size_t ExperimentHarness::total_test_records() const {
+  std::size_t n = 0;
+  for (const auto& pair : pairs_) n += pair.test.size();
+  return n;
+}
+
+std::vector<const attacks::Attack*> ExperimentHarness::attack_views(
+    const std::vector<std::size_t>& subset) const {
+  std::vector<const attacks::Attack*> views;
+  if (subset.empty()) {
+    for (const auto& attack : attacks_) views.push_back(attack.get());
+    return views;
+  }
+  for (const std::size_t index : subset) {
+    support::expects(index < attacks_.size(),
+                     "attack subset index out of range");
+    views.push_back(attacks_[index].get());
+  }
+  return views;
+}
+
+std::size_t ExperimentHarness::ap_attack_index() const {
+  for (std::size_t i = 0; i < attacks_.size(); ++i) {
+    if (attacks_[i]->name() == "AP-Attack") return i;
+  }
+  throw support::LogicError("AP-Attack missing from suite");
+}
+
+StrategyResult ExperimentHarness::evaluate_no_lppm(
+    std::vector<std::size_t> attack_subset) const {
+  const auto views = attack_views(attack_subset);
+  StrategyResult result;
+  result.strategy = "no-LPPM";
+  result.users.resize(pairs_.size());
+  support::parallel_for(pairs_.size(), [&](std::size_t i) {
+    const auto& pair = pairs_[i];
+    bool caught = false;
+    for (const auto* attack : views) {
+      if (attacks::reidentifies(*attack, pair.test, pair.test.user())) {
+        caught = true;
+        break;
+      }
+    }
+    result.users[i] = UserOutcome{pair.test.user(), !caught, 0.0,
+                                  pair.test.size(), ""};
+  });
+  return result;
+}
+
+StrategyResult ExperimentHarness::evaluate_single(
+    const std::string& lppm_name,
+    std::vector<std::size_t> attack_subset) const {
+  const lppm::Lppm* mechanism = registry_.find(lppm_name);
+  support::expects(mechanism != nullptr,
+                   "evaluate_single: unknown LPPM " + lppm_name);
+  const auto views = attack_views(attack_subset);
+  StrategyResult result;
+  result.strategy = lppm_name;
+  result.users.resize(pairs_.size());
+  support::parallel_for(pairs_.size(), [&](std::size_t i) {
+    const auto& pair = pairs_[i];
+    auto rng = support::RngStream(seed_)
+                   .fork(pair.test.user())
+                   .fork(mechanism->name());
+    const mobility::Trace output = mechanism->apply(pair.test, std::move(rng));
+    bool caught = false;
+    for (const auto* attack : views) {
+      if (attacks::reidentifies(*attack, output, pair.test.user())) {
+        caught = true;
+        break;
+      }
+    }
+    const double distortion =
+        caught ? 0.0 : metric_.distortion(pair.test, output);
+    result.users[i] = UserOutcome{pair.test.user(), !caught, distortion,
+                                  pair.test.size(), lppm_name};
+  });
+  return result;
+}
+
+StrategyResult ExperimentHarness::evaluate_hybrid(
+    std::vector<std::size_t> attack_subset) const {
+  const auto views = attack_views(attack_subset);
+  const HybridLppm hybrid(registry_.singles(), views, &metric_, seed_);
+  StrategyResult result;
+  result.strategy = "HybridLPPM";
+  result.users.resize(pairs_.size());
+  support::parallel_for(pairs_.size(), [&](std::size_t i) {
+    const auto& pair = pairs_[i];
+    const auto outcome = hybrid.protect(pair.test);
+    if (outcome) {
+      result.users[i] = UserOutcome{pair.test.user(), true,
+                                    outcome->distortion, pair.test.size(),
+                                    outcome->lppm};
+    } else {
+      result.users[i] =
+          UserOutcome{pair.test.user(), false, 0.0, pair.test.size(), ""};
+    }
+  });
+  return result;
+}
+
+MoodEngine ExperimentHarness::make_engine(
+    std::vector<std::size_t> attack_subset) const {
+  MoodConfig mood_config = config_.mood;
+  mood_config.seed = seed_;
+  return MoodEngine(registry_.singles(), registry_.multi_compositions(),
+                    attack_views(attack_subset), &metric_, mood_config);
+}
+
+StrategyResult ExperimentHarness::evaluate_mood_search(
+    std::vector<std::size_t> attack_subset) const {
+  const MoodEngine engine = make_engine(std::move(attack_subset));
+  StrategyResult result;
+  result.strategy = "MooD";
+  result.users.resize(pairs_.size());
+  support::parallel_for(pairs_.size(), [&](std::size_t i) {
+    const auto& pair = pairs_[i];
+    const auto candidate = engine.search(pair.test);
+    if (candidate) {
+      result.users[i] = UserOutcome{pair.test.user(), true,
+                                    candidate->distortion, pair.test.size(),
+                                    candidate->lppm};
+    } else {
+      result.users[i] =
+          UserOutcome{pair.test.user(), false, 0.0, pair.test.size(), ""};
+    }
+  });
+  return result;
+}
+
+MoodResult ExperimentHarness::evaluate_mood_full(
+    std::vector<std::size_t> attack_subset) const {
+  const MoodEngine engine = make_engine(std::move(attack_subset));
+  MoodResult result;
+  result.users.resize(pairs_.size());
+  support::parallel_for(pairs_.size(), [&](std::size_t i) {
+    const auto& pair = pairs_[i];
+    MoodUserOutcome outcome;
+    outcome.user = pair.test.user();
+    outcome.records = pair.test.size();
+
+    // Stage 1: whole-trace search (singles + compositions).
+    ProtectionResult cost;
+    if (auto whole = engine.search(pair.test, &cost)) {
+      outcome.level = whole->level;
+      outcome.distortion = whole->distortion;
+      outcome.winner = whole->lppm;
+      outcome.lppm_applications = cost.lppm_applications;
+      outcome.attack_invocations = cost.attack_invocations;
+      result.users[i] = std::move(outcome);
+      return;
+    }
+
+    // Stage 2 (§4.2): 24 h slices, each through full Algorithm 1.
+    outcome.level = ProtectionLevel::kFineGrained;
+    double weighted_distortion = 0.0;
+    std::size_t weighted_records = 0;
+    for (const auto& slice : pair.test.slices(engine.config().preslice)) {
+      const ProtectionResult piece = engine.protect(slice);
+      ++outcome.subtraces;
+      if (piece.fully_protected()) ++outcome.protected_subtraces;
+      outcome.lost_records += piece.lost_records;
+      outcome.lppm_applications += piece.lppm_applications;
+      outcome.attack_invocations += piece.attack_invocations;
+      for (const auto& p : piece.pieces) {
+        weighted_distortion +=
+            p.distortion * static_cast<double>(p.original_records);
+        weighted_records += p.original_records;
+      }
+    }
+    outcome.lppm_applications += cost.lppm_applications;
+    outcome.attack_invocations += cost.attack_invocations;
+    outcome.distortion = weighted_records == 0
+                             ? 0.0
+                             : weighted_distortion /
+                                   static_cast<double>(weighted_records);
+    if (outcome.subtraces == 0) {
+      // Degenerate: empty test trace — nothing to lose or protect.
+      outcome.level = ProtectionLevel::kNone;
+    }
+    result.users[i] = std::move(outcome);
+  });
+  return result;
+}
+
+}  // namespace mood::core

@@ -1,0 +1,171 @@
+#pragma once
+
+/// \file experiment.h
+/// The evaluation harness behind every table and figure of the paper.
+///
+/// Built once per dataset, it owns the full experimental context:
+///   * the chronological train/test split (§4.2, 15d/15d by default),
+///   * the trained attack suite A = {POI, PIT, AP} (§4.1.1),
+///   * the LPPM registry L = {GeoI, TRL, HMC} with paper parameters
+///     (§4.1.2) and the derived composition set C \ L,
+///   * the STD utility metric (§3.5).
+///
+/// Strategy evaluators reproduce the experiment grid: no-LPPM / each single
+/// LPPM / HybridLPPM / MooD composition search / full MooD (with 24 h
+/// pre-slicing and recursive fine-grained protection). All evaluators
+/// parallelise over users and are deterministic for a fixed seed.
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "attacks/attack.h"
+#include "attacks/suite.h"
+#include "core/hybrid.h"
+#include "core/mood_engine.h"
+#include "lppm/heatmap_confusion.h"
+#include "lppm/registry.h"
+#include "metrics/data_loss.h"
+#include "metrics/distortion.h"
+#include "mobility/dataset.h"
+
+namespace mood::core {
+
+/// Full experimental configuration with the paper's defaults.
+struct ExperimentConfig {
+  double train_fraction = 0.5;          ///< 15 of 30 days
+  std::size_t min_records = 16;         ///< "active users" filter per half
+  attacks::SuiteParams attack_params;   ///< 200 m/1 h POIs, 800 m cells
+  double geoi_epsilon = 0.01;           ///< §4.1.2 (per metre)
+  double trl_radius_m = 1000.0;         ///< §4.1.2
+  double hmc_hot_coverage = 0.85;       ///< HMC alignment mass coverage
+  std::size_t hmc_max_cells = 32;       ///< HMC alignment budget (cells)
+  double hmc_budget_m = 6000.0;         ///< HMC relocation budget (metres)
+  MoodConfig mood;                      ///< delta = 4 h, preslice = 24 h
+};
+
+/// Per-user outcome of a protection strategy.
+struct UserOutcome {
+  mobility::UserId user;
+  bool is_protected = false;   ///< all considered attacks defeated
+  double distortion = 0.0;     ///< STD of the retained output (if protected)
+  std::size_t records = 0;     ///< user's original (test) records
+  std::string winner;          ///< winning LPPM name ("" if none / raw)
+};
+
+/// Aggregated result of one strategy on one dataset.
+struct StrategyResult {
+  std::string strategy;
+  std::vector<UserOutcome> users;
+
+  [[nodiscard]] std::size_t user_count() const { return users.size(); }
+  [[nodiscard]] std::size_t non_protected_users() const;
+  [[nodiscard]] double non_protected_ratio() const;
+  /// Eq. 7: records of non-protected users / all records.
+  [[nodiscard]] double data_loss() const;
+  /// Protected-user counts per Fig. 9 distortion band
+  /// [low, medium, high, extreme].
+  [[nodiscard]] std::array<std::size_t, 4> distortion_bands() const;
+};
+
+/// Per-user outcome of the full MooD pipeline (composition search, then
+/// 24 h slices + recursive fine-grained protection for the remainder).
+struct MoodUserOutcome {
+  mobility::UserId user;
+  ProtectionLevel level = ProtectionLevel::kNone;
+  std::size_t records = 0;             ///< original test records
+  std::size_t lost_records = 0;        ///< erased (Eq. 7 numerator share)
+  std::size_t subtraces = 0;           ///< 24 h slices examined (0 if whole)
+  std::size_t protected_subtraces = 0; ///< slices fully protected
+  double distortion = 0.0;             ///< record-weighted mean piece STD
+  std::string winner;                  ///< whole-trace winner ("" if split)
+  std::size_t lppm_applications = 0;   ///< search cost
+  std::size_t attack_invocations = 0;
+
+  [[nodiscard]] bool fully_protected() const { return lost_records == 0; }
+};
+
+/// Aggregate view of the full-MooD outcomes.
+struct MoodResult {
+  std::vector<MoodUserOutcome> users;
+
+  [[nodiscard]] std::size_t non_protected_users() const;  ///< any loss
+  [[nodiscard]] double data_loss() const;                 ///< Eq. 7, records
+  [[nodiscard]] std::array<std::size_t, 4> distortion_bands() const;
+};
+
+class ExperimentHarness {
+ public:
+  /// Builds the whole context: split, train attacks, instantiate LPPMs.
+  /// `seed` drives both LPPM noise and any tie-breaking.
+  ExperimentHarness(const mobility::Dataset& dataset, ExperimentConfig config,
+                    std::uint64_t seed = 7);
+
+  // ---- Context access -----------------------------------------------
+  [[nodiscard]] const std::vector<mobility::TrainTestPair>& pairs() const {
+    return pairs_;
+  }
+  [[nodiscard]] const std::vector<attacks::AttackPtr>& attacks() const {
+    return attacks_;
+  }
+  [[nodiscard]] const lppm::LppmRegistry& registry() const {
+    return registry_;
+  }
+  [[nodiscard]] const ExperimentConfig& config() const { return config_; }
+  [[nodiscard]] const std::string& dataset_name() const {
+    return dataset_name_;
+  }
+  [[nodiscard]] std::size_t total_test_records() const;
+
+  // ---- Strategy evaluators ------------------------------------------
+  // `attack_subset` holds indices into attacks(); empty means "all".
+
+  /// Raw traces, no protection — the "no-LPPM" bar of Fig. 6/7.
+  [[nodiscard]] StrategyResult evaluate_no_lppm(
+      std::vector<std::size_t> attack_subset = {}) const;
+
+  /// One fixed LPPM for everybody (Fig. 2/3/6/7 single-LPPM bars).
+  [[nodiscard]] StrategyResult evaluate_single(
+      const std::string& lppm_name,
+      std::vector<std::size_t> attack_subset = {}) const;
+
+  /// HybridLPPM baseline: per-user best protective single LPPM.
+  [[nodiscard]] StrategyResult evaluate_hybrid(
+      std::vector<std::size_t> attack_subset = {}) const;
+
+  /// MooD's multi-LPPM composition search only (no fine-grained stage) —
+  /// the "MooD" bars of Fig. 6/7.
+  [[nodiscard]] StrategyResult evaluate_mood_search(
+      std::vector<std::size_t> attack_subset = {}) const;
+
+  /// Full MooD pipeline (§4.2): whole-trace search; failures go through
+  /// 24 h pre-slicing + recursive fine-grained protection — Fig. 8/10.
+  [[nodiscard]] MoodResult evaluate_mood_full(
+      std::vector<std::size_t> attack_subset = {}) const;
+
+  /// Builds a MooD engine over the given attack subset (exposed so
+  /// examples/benches can drive Algorithm 1 directly).
+  [[nodiscard]] MoodEngine make_engine(
+      std::vector<std::size_t> attack_subset = {}) const;
+
+  /// Index of the AP attack inside attacks() (the single-attack
+  /// experiments of Fig. 6 use it alone).
+  [[nodiscard]] std::size_t ap_attack_index() const;
+
+ private:
+  [[nodiscard]] std::vector<const attacks::Attack*> attack_views(
+      const std::vector<std::size_t>& subset) const;
+
+  ExperimentConfig config_;
+  std::string dataset_name_;
+  std::vector<mobility::TrainTestPair> pairs_;
+  std::vector<attacks::AttackPtr> attacks_;
+  lppm::LppmRegistry registry_;
+  std::shared_ptr<const lppm::DonorPool> donor_pool_;
+  metrics::SpatialTemporalDistortion metric_;
+  std::uint64_t seed_;
+};
+
+}  // namespace mood::core

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file hybrid.h
+/// HybridLPPM — the strongest baseline of the paper [Maouche et al. 2017,
+/// adapted in §4.1.2]: a *user-centric single-LPPM selector*. For each
+/// user, apply every LPPM from L independently; among those that defeat
+/// all attacks, keep the one with the best utility. Unlike MooD it never
+/// composes mechanisms nor splits traces, so orphan users stay unprotected.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "attacks/attack.h"
+#include "lppm/lppm.h"
+#include "metrics/distortion.h"
+#include "mobility/trace.h"
+
+namespace mood::core {
+
+class HybridLppm {
+ public:
+  /// Pointers are non-owning; attacks must be trained.
+  HybridLppm(std::vector<const lppm::Lppm*> singles,
+             std::vector<const attacks::Attack*> attacks,
+             const metrics::UtilityMetric* metric, std::uint64_t seed = 0xB45E);
+
+  struct Result {
+    std::string lppm;          ///< winner name
+    mobility::Trace output;    ///< protected trace
+    double distortion = 0.0;   ///< winner's utility metric value
+  };
+
+  /// Best protective single LPPM for this trace, or nullopt when the user
+  /// is an orphan w.r.t. L and A.
+  [[nodiscard]] std::optional<Result> protect(
+      const mobility::Trace& trace) const;
+
+ private:
+  std::vector<const lppm::Lppm*> singles_;
+  std::vector<const attacks::Attack*> attacks_;
+  const metrics::UtilityMetric* metric_;
+  std::uint64_t seed_;
+};
+
+}  // namespace mood::core

@@ -1,0 +1,96 @@
+#include "geo/geo.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.h"
+
+namespace mood::geo {
+
+double haversine_m(const GeoPoint& a, const GeoPoint& b) {
+  const double lat1 = deg_to_rad(a.lat);
+  const double lat2 = deg_to_rad(b.lat);
+  const double dlat = lat2 - lat1;
+  const double dlon = deg_to_rad(b.lon - a.lon);
+  const double sin_dlat = std::sin(dlat / 2.0);
+  const double sin_dlon = std::sin(dlon / 2.0);
+  const double h = sin_dlat * sin_dlat +
+                   std::cos(lat1) * std::cos(lat2) * sin_dlon * sin_dlon;
+  return 2.0 * kEarthRadiusM * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double euclidean_m(const EnuPoint& a, const EnuPoint& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+GeoPoint destination(const GeoPoint& origin, double bearing_rad,
+                     double distance_m) {
+  const double north_m = distance_m * std::cos(bearing_rad);
+  const double east_m = distance_m * std::sin(bearing_rad);
+  const double dlat = rad_to_deg(north_m / kEarthRadiusM);
+  const double cos_lat = std::cos(deg_to_rad(origin.lat));
+  const double dlon =
+      cos_lat > 1e-9 ? rad_to_deg(east_m / (kEarthRadiusM * cos_lat)) : 0.0;
+  return GeoPoint{origin.lat + dlat, origin.lon + dlon};
+}
+
+LocalProjection::LocalProjection(const GeoPoint& reference)
+    : reference_(reference),
+      cos_ref_lat_(std::cos(deg_to_rad(reference.lat))) {
+  support::expects(std::abs(reference.lat) < 89.0,
+                   "LocalProjection: reference too close to a pole");
+}
+
+EnuPoint LocalProjection::to_enu(const GeoPoint& p) const {
+  return EnuPoint{
+      kEarthRadiusM * deg_to_rad(p.lon - reference_.lon) * cos_ref_lat_,
+      kEarthRadiusM * deg_to_rad(p.lat - reference_.lat)};
+}
+
+GeoPoint LocalProjection::to_geo(const EnuPoint& p) const {
+  return GeoPoint{
+      reference_.lat + rad_to_deg(p.y / kEarthRadiusM),
+      reference_.lon + rad_to_deg(p.x / (kEarthRadiusM * cos_ref_lat_))};
+}
+
+void BoundingBox::extend(const GeoPoint& p) {
+  if (!initialized_) {
+    min_lat_ = max_lat_ = p.lat;
+    min_lon_ = max_lon_ = p.lon;
+    initialized_ = true;
+    return;
+  }
+  min_lat_ = std::min(min_lat_, p.lat);
+  max_lat_ = std::max(max_lat_, p.lat);
+  min_lon_ = std::min(min_lon_, p.lon);
+  max_lon_ = std::max(max_lon_, p.lon);
+}
+
+bool BoundingBox::contains(const GeoPoint& p) const {
+  return initialized_ && p.lat >= min_lat_ && p.lat <= max_lat_ &&
+         p.lon >= min_lon_ && p.lon <= max_lon_;
+}
+
+GeoPoint BoundingBox::center() const {
+  support::expects(initialized_, "BoundingBox::center on empty box");
+  return GeoPoint{(min_lat_ + max_lat_) / 2.0, (min_lon_ + max_lon_) / 2.0};
+}
+
+double BoundingBox::diagonal_m() const {
+  if (!initialized_) return 0.0;
+  return haversine_m(GeoPoint{min_lat_, min_lon_},
+                     GeoPoint{max_lat_, max_lon_});
+}
+
+GeoPoint centroid(const std::vector<GeoPoint>& points) {
+  support::expects(!points.empty(), "centroid of empty point set");
+  double lat = 0.0, lon = 0.0;
+  for (const auto& p : points) {
+    lat += p.lat;
+    lon += p.lon;
+  }
+  const double n = static_cast<double>(points.size());
+  return GeoPoint{lat / n, lon / n};
+}
+
+}  // namespace mood::geo

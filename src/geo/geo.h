@@ -1,0 +1,114 @@
+#pragma once
+
+/// \file geo.h
+/// WGS-84 geodesy primitives: geographic points, great-circle distance,
+/// a local tangent-plane (ENU) projection, bearings and bounding boxes.
+///
+/// Mobility records live in (latitude, longitude); all privacy mechanisms
+/// and metrics reason in metres. City-scale experiments (< 100 km extents)
+/// tolerate an equirectangular local projection: its distance error against
+/// the haversine distance is well below GPS noise at these scales, and it
+/// is cheap enough to call per record in the hot loops.
+
+#include <cstddef>
+#include <vector>
+
+namespace mood::geo {
+
+/// Mean Earth radius in metres (IUGG value used throughout the library).
+inline constexpr double kEarthRadiusM = 6371000.0;
+
+inline constexpr double kPi = 3.14159265358979323846;
+
+/// Degrees -> radians.
+constexpr double deg_to_rad(double deg) { return deg * kPi / 180.0; }
+
+/// Radians -> degrees.
+constexpr double rad_to_deg(double rad) { return rad * 180.0 / kPi; }
+
+/// A geographic point in decimal degrees (WGS-84).
+struct GeoPoint {
+  double lat = 0.0;  ///< latitude in degrees, [-90, 90]
+  double lon = 0.0;  ///< longitude in degrees, [-180, 180]
+
+  friend bool operator==(const GeoPoint&, const GeoPoint&) = default;
+};
+
+/// A point in a local east/north tangent plane, metres from the origin.
+struct EnuPoint {
+  double x = 0.0;  ///< metres east of the projection origin
+  double y = 0.0;  ///< metres north of the projection origin
+
+  friend bool operator==(const EnuPoint&, const EnuPoint&) = default;
+};
+
+/// Great-circle (haversine) distance between two points, in metres.
+double haversine_m(const GeoPoint& a, const GeoPoint& b);
+
+/// Euclidean distance between two ENU points, in metres.
+double euclidean_m(const EnuPoint& a, const EnuPoint& b);
+
+/// The point reached from `origin` by travelling `distance_m` metres along
+/// `bearing_rad` (0 = north, pi/2 = east). Small-displacement planar model,
+/// accurate for the sub-10-km hops mobility simulation performs.
+GeoPoint destination(const GeoPoint& origin, double bearing_rad,
+                     double distance_m);
+
+/// Equirectangular projection centred on a reference point.
+///
+/// Value type; copying is free. All MooD modules that need metric geometry
+/// (heatmap cells, POI clustering, Laplace noise) construct one projection
+/// per dataset/city so cells align across users.
+class LocalProjection {
+ public:
+  /// Creates a projection centred on `reference`.
+  explicit LocalProjection(const GeoPoint& reference);
+
+  /// Geographic -> local metres.
+  [[nodiscard]] EnuPoint to_enu(const GeoPoint& p) const;
+
+  /// Local metres -> geographic.
+  [[nodiscard]] GeoPoint to_geo(const EnuPoint& p) const;
+
+  /// The projection centre.
+  [[nodiscard]] const GeoPoint& reference() const { return reference_; }
+
+ private:
+  GeoPoint reference_;
+  double cos_ref_lat_;
+};
+
+/// Axis-aligned geographic bounding box, grown incrementally.
+class BoundingBox {
+ public:
+  /// Extends the box to contain `p`.
+  void extend(const GeoPoint& p);
+
+  /// True if no point has been added yet.
+  [[nodiscard]] bool empty() const { return !initialized_; }
+
+  /// True if `p` lies inside (inclusive). An empty box contains nothing.
+  [[nodiscard]] bool contains(const GeoPoint& p) const;
+
+  /// Geometric centre. Precondition: !empty().
+  [[nodiscard]] GeoPoint center() const;
+
+  [[nodiscard]] double min_lat() const { return min_lat_; }
+  [[nodiscard]] double max_lat() const { return max_lat_; }
+  [[nodiscard]] double min_lon() const { return min_lon_; }
+  [[nodiscard]] double max_lon() const { return max_lon_; }
+
+  /// Diagonal extent in metres (0 for empty boxes).
+  [[nodiscard]] double diagonal_m() const;
+
+ private:
+  bool initialized_ = false;
+  double min_lat_ = 0.0, max_lat_ = 0.0;
+  double min_lon_ = 0.0, max_lon_ = 0.0;
+};
+
+/// Centroid of a set of geographic points (arithmetic mean of coordinates —
+/// adequate at city scale). Precondition: points non-empty.
+GeoPoint centroid(const std::vector<GeoPoint>& points);
+
+}  // namespace mood::geo

@@ -1,0 +1,88 @@
+#include "lppm/composition.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace mood::lppm {
+
+Composition::Composition(std::vector<const Lppm*> stages)
+    : stages_(std::move(stages)) {
+  support::expects(!stages_.empty(), "Composition: needs at least one stage");
+  for (const Lppm* stage : stages_) {
+    support::expects(stage != nullptr, "Composition: null stage");
+  }
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    if (i > 0) name_ += '+';
+    name_ += stages_[i]->name();
+  }
+}
+
+mobility::Trace Composition::apply(const mobility::Trace& trace,
+                                   support::RngStream rng) const {
+  mobility::Trace current = trace;
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    // Each stage gets an independent deterministic stream so that the same
+    // stage at the same position always draws the same noise.
+    current = stages_[i]->apply(current, rng.fork(stages_[i]->name(), i));
+  }
+  return current;
+}
+
+namespace {
+
+void enumerate_recursive(const std::vector<const Lppm*>& singles,
+                         std::size_t min_length, std::size_t max_length,
+                         std::vector<const Lppm*>& current,
+                         std::vector<bool>& used,
+                         std::vector<Composition>& out) {
+  if (current.size() >= min_length) {
+    out.emplace_back(current);
+  }
+  if (current.size() == max_length) return;
+  for (std::size_t i = 0; i < singles.size(); ++i) {
+    if (used[i]) continue;
+    used[i] = true;
+    current.push_back(singles[i]);
+    enumerate_recursive(singles, min_length, max_length, current, used, out);
+    current.pop_back();
+    used[i] = false;
+  }
+}
+
+}  // namespace
+
+std::vector<Composition> enumerate_compositions(
+    const std::vector<const Lppm*>& singles, std::size_t min_length,
+    std::size_t max_length) {
+  support::expects(min_length >= 1, "enumerate_compositions: min_length >= 1");
+  support::expects(min_length <= max_length,
+                   "enumerate_compositions: min_length <= max_length");
+  std::vector<Composition> out;
+  std::vector<const Lppm*> current;
+  std::vector<bool> used(singles.size(), false);
+  // Depth-first enumeration emits shorter prefixes before their extensions;
+  // re-sort by length (stable) to get the increasing-length order the
+  // engine's "incremental and exhaustive" search expects.
+  enumerate_recursive(singles, min_length,
+                      std::min(max_length, singles.size()), current, used,
+                      out);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Composition& a, const Composition& b) {
+                     return a.length() < b.length();
+                   });
+  return out;
+}
+
+std::size_t composition_count(std::size_t n, std::size_t min_length,
+                              std::size_t max_length) {
+  std::size_t total = 0;
+  for (std::size_t i = min_length; i <= std::min(max_length, n); ++i) {
+    std::size_t arrangements = 1;  // n! / (n-i)!
+    for (std::size_t k = 0; k < i; ++k) arrangements *= (n - k);
+    total += arrangements;
+  }
+  return total;
+}
+
+}  // namespace mood::lppm

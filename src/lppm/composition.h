@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file composition.h
+/// Ordered composition of LPPMs (paper Eq. 3):
+///   C_p(T) = L_ip ∘ ... ∘ L_i2 ∘ L_i1 (T)
+/// — apply L_i1 first, feed its output to L_i2, and so on. Order matters.
+/// A Composition is itself an Lppm, so the MooD engine treats singles and
+/// compositions uniformly.
+
+#include <string>
+#include <vector>
+
+#include "lppm/lppm.h"
+
+namespace mood::lppm {
+
+/// Non-owning ordered sequence of LPPM stages. The referenced LPPMs must
+/// outlive the composition (in practice they live in the LppmRegistry).
+class Composition final : public Lppm {
+ public:
+  /// Precondition: stages non-empty, no nulls.
+  explicit Composition(std::vector<const Lppm*> stages);
+
+  /// Name in application order, e.g. "GeoI+TRL" = TRL(GeoI(T)).
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  [[nodiscard]] mobility::Trace apply(const mobility::Trace& trace,
+                                      support::RngStream rng) const override;
+
+  [[nodiscard]] const std::vector<const Lppm*>& stages() const {
+    return stages_;
+  }
+  [[nodiscard]] std::size_t length() const { return stages_.size(); }
+
+ private:
+  std::vector<const Lppm*> stages_;
+  std::string name_;
+};
+
+/// Enumerates every ordered selection of distinct LPPMs from `singles` with
+/// length in [min_length, max_length]. With min_length = 1 and
+/// max_length = n this is the paper's C, of size sum_{i=1..n} n!/(n-i)!
+/// (= 15 for n = 3); with min_length = 2 it is C \ L, the set the engine
+/// explores after the single-LPPM pass fails. Order of results is
+/// deterministic: increasing length, then lexicographic by stage index.
+std::vector<Composition> enumerate_compositions(
+    const std::vector<const Lppm*>& singles, std::size_t min_length,
+    std::size_t max_length);
+
+/// Number of ordered selections of i distinct items out of n, summed over
+/// i in [min_length, max_length] — the closed form of the enumeration size.
+std::size_t composition_count(std::size_t n, std::size_t min_length,
+                              std::size_t max_length);
+
+}  // namespace mood::lppm

@@ -1,0 +1,39 @@
+#include "lppm/geo_ind.h"
+
+#include <cmath>
+
+#include "geo/geo.h"
+#include "support/error.h"
+#include "support/math.h"
+
+namespace mood::lppm {
+
+GeoIndistinguishability::GeoIndistinguishability(double epsilon_per_m)
+    : epsilon_per_m_(epsilon_per_m) {
+  support::expects(epsilon_per_m > 0.0, "GeoI: epsilon must be positive");
+}
+
+double GeoIndistinguishability::sample_radius_m(support::RngStream& rng) const {
+  // Inverse CDF of the polar Laplace radius (Andrés et al., Thm. 4.3):
+  //   r = -(1/ε) (W_{-1}((p - 1)/e) + 1),  p ~ U[0, 1).
+  // Clamp p away from 1 to keep the W argument inside (-1/e, 0).
+  double p = rng.uniform();
+  if (p > 1.0 - 1e-12) p = 1.0 - 1e-12;
+  const double w = support::lambert_w_minus1((p - 1.0) / std::exp(1.0));
+  return -(w + 1.0) / epsilon_per_m_;
+}
+
+mobility::Trace GeoIndistinguishability::apply(const mobility::Trace& trace,
+                                               support::RngStream rng) const {
+  std::vector<mobility::Record> out;
+  out.reserve(trace.size());
+  for (const auto& record : trace.records()) {
+    const double bearing = rng.uniform(0.0, 2.0 * geo::kPi);
+    const double radius = sample_radius_m(rng);
+    out.push_back(mobility::Record{
+        geo::destination(record.position, bearing, radius), record.time});
+  }
+  return mobility::Trace(trace.user(), std::move(out));
+}
+
+}  // namespace mood::lppm

@@ -1,0 +1,128 @@
+#include "lppm/heatmap_confusion.h"
+
+#include <limits>
+#include <unordered_map>
+
+#include "support/error.h"
+
+namespace mood::lppm {
+
+DonorPool::DonorPool(const std::vector<mobility::Trace>& background,
+                     const geo::CellGrid& grid) {
+  entries_.reserve(background.size());
+  for (const auto& trace : background) {
+    Entry entry;
+    entry.user = trace.user();
+    entry.heatmap = profiles::Heatmap::from_trace(trace, grid);
+    entry.ranked = entry.heatmap.ranked_cells();
+    entries_.push_back(std::move(entry));
+  }
+}
+
+HeatmapConfusion::HeatmapConfusion(geo::CellGrid grid,
+                                   std::shared_ptr<const DonorPool> pool,
+                                   double hot_coverage,
+                                   std::size_t max_mapped_cells,
+                                   double distortion_budget_m)
+    : grid_(std::move(grid)),
+      pool_(std::move(pool)),
+      hot_coverage_(hot_coverage),
+      max_mapped_cells_(max_mapped_cells),
+      distortion_budget_m_(distortion_budget_m) {
+  support::expects(pool_ != nullptr && !pool_->empty(),
+                   "HMC: donor pool must be non-empty");
+  support::expects(hot_coverage > 0.0 && hot_coverage <= 1.0,
+                   "HMC: hot_coverage must be in (0, 1]");
+  support::expects(max_mapped_cells >= 1,
+                   "HMC: max_mapped_cells must be >= 1");
+  support::expects(distortion_budget_m > 0.0,
+                   "HMC: distortion budget must be positive");
+}
+
+double HeatmapConfusion::relocation_cost(
+    const std::vector<std::pair<geo::CellIndex, double>>& user_cells,
+    double user_total, const DonorPool::Entry& donor) const {
+  if (donor.ranked.empty() || user_total <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  double cost = 0.0;
+  double covered = 0.0;
+  const double target = hot_coverage_ * user_total;
+  for (std::size_t rank = 0;
+       rank < user_cells.size() && rank < max_mapped_cells_ &&
+       covered < target;
+       ++rank) {
+    const auto& [cell, count] = user_cells[rank];
+    const auto& donor_cell = donor.ranked[rank % donor.ranked.size()].first;
+    const double mass = count / user_total;
+    cost += mass * geo::haversine_m(grid_.cell_center(cell),
+                                    grid_.cell_center(donor_cell));
+    covered += count;
+  }
+  return cost;
+}
+
+const DonorPool::Entry* HeatmapConfusion::choose_donor(
+    const profiles::Heatmap& user_map, const mobility::UserId& owner) const {
+  const auto user_cells = user_map.ranked_cells();
+  const DonorPool::Entry* best = nullptr;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (const auto& entry : pool_->entries()) {
+    if (entry.user == owner) continue;  // never donate to yourself
+    const double cost = relocation_cost(user_cells, user_map.total(), entry);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = &entry;
+    }
+  }
+  return best;
+}
+
+mobility::Trace HeatmapConfusion::apply(const mobility::Trace& trace,
+                                        support::RngStream /*rng*/) const {
+  if (trace.empty()) return trace;
+  const auto user_map = profiles::Heatmap::from_trace(trace, grid_);
+  const DonorPool::Entry* donor = choose_donor(user_map, trace.user());
+  if (donor == nullptr || donor->ranked.empty()) {
+    return trace;  // degenerate pool: nothing to confuse with
+  }
+
+  // Feasibility: if even the cheapest plan exceeds the distortion budget,
+  // refuse — imitating anyone would cost more utility than the mechanism
+  // is allowed to spend. (This is how orphan users escape HMC.)
+  const auto user_cells = user_map.ranked_cells();
+  if (relocation_cost(user_cells, user_map.total(), *donor) >
+      distortion_budget_m_) {
+    return trace;
+  }
+
+  // Execute the plan: align the user's hottest cells onto the donor's,
+  // rank by rank, up to the coverage target and the cell cap.
+  std::unordered_map<geo::CellIndex, geo::CellIndex, geo::CellIndexHash>
+      mapping;
+  double covered = 0.0;
+  const double target = hot_coverage_ * user_map.total();
+  for (std::size_t rank = 0; rank < user_cells.size(); ++rank) {
+    if (covered >= target || mapping.size() >= max_mapped_cells_) break;
+    const auto& [cell, count] = user_cells[rank];
+    covered += count;
+    mapping.emplace(cell, donor->ranked[rank % donor->ranked.size()].first);
+  }
+
+  std::vector<mobility::Record> out;
+  out.reserve(trace.size());
+  for (const auto& record : trace.records()) {
+    const geo::CellIndex cell = grid_.cell_of(record.position);
+    const auto mapped = mapping.find(cell);
+    if (mapped == mapping.end()) {
+      out.push_back(record);  // unmapped cell: residual leakage by design
+      continue;
+    }
+    const geo::EnuPoint offset = grid_.offset_within_cell(record.position);
+    out.push_back(mobility::Record{grid_.point_in_cell(mapped->second, offset),
+                                   record.time});
+  }
+  return mobility::Trace(trace.user(), std::move(out));
+}
+
+}  // namespace mood::lppm

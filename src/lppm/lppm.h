@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file lppm.h
+/// Location Privacy Protection Mechanism interface (paper Eq. 2).
+///
+/// An LPPM is a (possibly randomised) transformation of a mobility trace:
+/// L(Υ, T) = T'. Implementations are immutable after construction (their
+/// parameters Υ are constructor arguments) and therefore safe to share
+/// across threads; all randomness flows through the RngStream argument, so
+/// the same (trace, stream) pair always yields the same output — the
+/// property MooD's reproducible composition search relies on.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mobility/trace.h"
+#include "support/rng.h"
+
+namespace mood::lppm {
+
+/// Abstract protection mechanism.
+class Lppm {
+ public:
+  virtual ~Lppm() = default;
+
+  /// Display name ("GeoI", "TRL", "HMC", "HMC+GeoI", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Produces the obfuscated trace. The output keeps the input's user id
+  /// (id renewal is MooD's job, not the LPPM's). Implementations fork `rng`
+  /// for their internal draws and must not touch other global state.
+  [[nodiscard]] virtual mobility::Trace apply(const mobility::Trace& trace,
+                                              support::RngStream rng) const = 0;
+};
+
+using LppmPtr = std::unique_ptr<Lppm>;
+
+}  // namespace mood::lppm

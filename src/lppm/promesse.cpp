@@ -1,0 +1,47 @@
+#include "lppm/promesse.h"
+
+#include "geo/geo.h"
+#include "support/error.h"
+
+namespace mood::lppm {
+
+Promesse::Promesse(double stride_m) : stride_m_(stride_m) {
+  support::expects(stride_m > 0.0, "Promesse: stride must be positive");
+}
+
+mobility::Trace Promesse::apply(const mobility::Trace& trace,
+                                support::RngStream /*rng*/) const {
+  std::vector<mobility::Record> out;
+  if (trace.empty()) return mobility::Trace(trace.user(), std::move(out));
+
+  // Walk the polyline; emit a record every time the accumulated path
+  // length crosses a stride boundary. Timestamps are linearly interpolated
+  // along each leg, so the output is evenly spaced in distance and the
+  // dwell time that used to pile up at a stay is spread along the path —
+  // which is exactly what erases the POIs.
+  out.push_back(trace.front());
+  double since_last_m = 0.0;
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    const auto& prev = trace.at(i - 1);
+    const auto& next = trace.at(i);
+    const double leg = geo::haversine_m(prev.position, next.position);
+    if (leg <= 0.0) continue;  // dwell: contributes no path length
+    double consumed = 0.0;
+    while (since_last_m + (leg - consumed) >= stride_m_) {
+      const double need = stride_m_ - since_last_m;
+      consumed += need;
+      const double ratio = consumed / leg;
+      const geo::GeoPoint position{
+          prev.position.lat + ratio * (next.position.lat - prev.position.lat),
+          prev.position.lon + ratio * (next.position.lon - prev.position.lon)};
+      const auto time = static_cast<mobility::Timestamp>(
+          prev.time + ratio * static_cast<double>(next.time - prev.time));
+      out.push_back(mobility::Record{position, time});
+      since_last_m = 0.0;
+    }
+    since_last_m += leg - consumed;
+  }
+  return mobility::Trace(trace.user(), std::move(out));
+}
+
+}  // namespace mood::lppm

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file promesse.h
+/// Promesse-style speed smoothing [Primault et al., the POI-erasure
+/// mechanism the paper's related work builds on]: resample the trace at a
+/// constant spatial stride along its own path. Dwells collapse to a single
+/// point per stride, so stay-point clustering finds no POIs at all —
+/// the strongest defence against POI/PIT-style profiling — while the
+/// *route* stays exact (good for traffic analysis).
+///
+/// Extension LPPM (§6), not part of the paper's evaluated set.
+
+#include <string>
+
+#include "lppm/lppm.h"
+
+namespace mood::lppm {
+
+class Promesse final : public Lppm {
+ public:
+  /// `stride_m`: distance between consecutive output records along the
+  /// path (default 200 m, the POI-clustering diameter). Precondition > 0.
+  explicit Promesse(double stride_m = 200.0);
+
+  [[nodiscard]] std::string name() const override { return "Promesse"; }
+
+  [[nodiscard]] mobility::Trace apply(const mobility::Trace& trace,
+                                      support::RngStream rng) const override;
+
+  [[nodiscard]] double stride_m() const { return stride_m_; }
+
+ private:
+  double stride_m_;
+};
+
+}  // namespace mood::lppm

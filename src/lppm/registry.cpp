@@ -1,0 +1,32 @@
+#include "lppm/registry.h"
+
+#include "support/error.h"
+
+namespace mood::lppm {
+
+const Lppm* LppmRegistry::add(LppmPtr lppm) {
+  support::expects(lppm != nullptr, "LppmRegistry::add: null lppm");
+  support::expects(find(lppm->name()) == nullptr,
+                   "LppmRegistry::add: duplicate name " + lppm->name());
+  owned_.push_back(std::move(lppm));
+  views_.push_back(owned_.back().get());
+  return views_.back();
+}
+
+const Lppm* LppmRegistry::find(const std::string& name) const {
+  for (const Lppm* lppm : views_) {
+    if (lppm->name() == name) return lppm;
+  }
+  return nullptr;
+}
+
+std::vector<Composition> LppmRegistry::all_compositions() const {
+  return enumerate_compositions(views_, 1, views_.size());
+}
+
+std::vector<Composition> LppmRegistry::multi_compositions() const {
+  if (views_.size() < 2) return {};
+  return enumerate_compositions(views_, 2, views_.size());
+}
+
+}  // namespace mood::lppm

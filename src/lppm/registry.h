@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file registry.h
+/// Owning registry of the single LPPMs an experiment works with (the
+/// paper's set L), plus the derived composition set C. Keeps the engine,
+/// benches and examples configuration-driven: LPPMs are registered once and
+/// addressed by name afterwards.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lppm/composition.h"
+#include "lppm/lppm.h"
+
+namespace mood::lppm {
+
+class LppmRegistry {
+ public:
+  LppmRegistry() = default;
+
+  // The registry hands out raw pointers into its storage; moving it would
+  // invalidate engines holding them.
+  LppmRegistry(const LppmRegistry&) = delete;
+  LppmRegistry& operator=(const LppmRegistry&) = delete;
+
+  /// Registers a single LPPM. Precondition: its name is not taken yet.
+  /// Returns the stable pointer the registry will keep alive.
+  const Lppm* add(LppmPtr lppm);
+
+  /// Registered single LPPMs, in registration order (the paper's L).
+  [[nodiscard]] const std::vector<const Lppm*>& singles() const {
+    return views_;
+  }
+
+  /// Lookup by name; nullptr if absent.
+  [[nodiscard]] const Lppm* find(const std::string& name) const;
+
+  /// The full composition set C (lengths 1..n), size sum n!/(n-i)!.
+  [[nodiscard]] std::vector<Composition> all_compositions() const;
+
+  /// C \ L: compositions of length >= 2, the set the engine searches after
+  /// the single-LPPM pass.
+  [[nodiscard]] std::vector<Composition> multi_compositions() const;
+
+  [[nodiscard]] std::size_t size() const { return owned_.size(); }
+
+ private:
+  std::vector<LppmPtr> owned_;
+  std::vector<const Lppm*> views_;
+};
+
+}  // namespace mood::lppm

@@ -1,0 +1,16 @@
+#include "lppm/spatial_cloaking.h"
+
+namespace mood::lppm {
+
+mobility::Trace SpatialCloaking::apply(const mobility::Trace& trace,
+                                       support::RngStream /*rng*/) const {
+  std::vector<mobility::Record> out;
+  out.reserve(trace.size());
+  for (const auto& record : trace.records()) {
+    out.push_back(mobility::Record{
+        grid_.cell_center(grid_.cell_of(record.position)), record.time});
+  }
+  return mobility::Trace(trace.user(), std::move(out));
+}
+
+}  // namespace mood::lppm

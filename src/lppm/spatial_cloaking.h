@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file spatial_cloaking.h
+/// Spatial cloaking — the generalisation class of LPPMs (paper §5 cites
+/// NeverWalkAlone/W4M [Abul et al.] and semantic cloaking [Barak et al.]).
+/// Every record is snapped to the centre of its grid cell, so any position
+/// inside a cell becomes indistinguishable from any other: a cell-level
+/// k-anonymity surrogate that needs no coordination with other users.
+///
+/// Not part of the paper's evaluated set L = {GeoI, TRL, HMC}; provided as
+/// an off-the-shelf extension (§6: "MooD can be extended by using
+/// state-of-the-art LPPMs") and exercised by the registry-size ablation.
+
+#include <string>
+
+#include "geo/cell_grid.h"
+#include "lppm/lppm.h"
+
+namespace mood::lppm {
+
+class SpatialCloaking final : public Lppm {
+ public:
+  /// Snaps records to the centres of `grid` cells.
+  explicit SpatialCloaking(geo::CellGrid grid) : grid_(std::move(grid)) {}
+
+  [[nodiscard]] std::string name() const override { return "Cloak"; }
+
+  [[nodiscard]] mobility::Trace apply(const mobility::Trace& trace,
+                                      support::RngStream rng) const override;
+
+  [[nodiscard]] const geo::CellGrid& grid() const { return grid_; }
+
+ private:
+  geo::CellGrid grid_;
+};
+
+}  // namespace mood::lppm

@@ -1,0 +1,35 @@
+#include "lppm/time_distortion.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.h"
+
+namespace mood::lppm {
+
+TimeDistortion::TimeDistortion(mobility::Timestamp max_shift,
+                               double step_sigma)
+    : max_shift_(max_shift), step_sigma_(step_sigma) {
+  support::expects(max_shift > 0, "TimeDistortion: max_shift must be > 0");
+  support::expects(step_sigma >= 0.0,
+                   "TimeDistortion: step_sigma must be >= 0");
+}
+
+mobility::Trace TimeDistortion::apply(const mobility::Trace& trace,
+                                      support::RngStream rng) const {
+  const double bound = static_cast<double>(max_shift_);
+  // Base shift in [-max_shift/2, max_shift/2), then a clamped random walk.
+  double offset = rng.uniform(-bound / 2.0, bound / 2.0);
+  std::vector<mobility::Record> out;
+  out.reserve(trace.size());
+  for (const auto& record : trace.records()) {
+    offset = std::clamp(offset + rng.normal(0.0, step_sigma_), -bound, bound);
+    out.push_back(mobility::Record{
+        record.position,
+        record.time + static_cast<mobility::Timestamp>(offset)});
+  }
+  // The walk can locally reorder records; Trace construction re-sorts.
+  return mobility::Trace(trace.user(), std::move(out));
+}
+
+}  // namespace mood::lppm

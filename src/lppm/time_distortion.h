@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file time_distortion.h
+/// Time-distortion anonymisation [Primault et al. 2015, paper ref. 28]:
+/// keeps every position exact but perturbs *when* the user was there, so
+/// profiling attacks that depend on temporal regularity (dwell lengths,
+/// visit order statistics) lose their anchor while count/where queries
+/// keep full spatial precision.
+///
+/// Each record's timestamp is shifted by a smoothly varying offset: a
+/// per-trace base shift plus a bounded random walk (so local event order
+/// is preserved — the output is re-sorted, but adjacent records rarely
+/// swap). Extension LPPM (§6), not part of the paper's evaluated set.
+
+#include <string>
+
+#include "lppm/lppm.h"
+
+namespace mood::lppm {
+
+class TimeDistortion final : public Lppm {
+ public:
+  /// `max_shift` bounds the total time offset of any record;
+  /// `step_sigma` controls how fast the offset drifts between consecutive
+  /// records. Preconditions: max_shift > 0, step_sigma >= 0.
+  explicit TimeDistortion(mobility::Timestamp max_shift = 2 * mobility::kHour,
+                          double step_sigma = 120.0);
+
+  [[nodiscard]] std::string name() const override { return "TimeDist"; }
+
+  [[nodiscard]] mobility::Trace apply(const mobility::Trace& trace,
+                                      support::RngStream rng) const override;
+
+  [[nodiscard]] mobility::Timestamp max_shift() const { return max_shift_; }
+
+ private:
+  mobility::Timestamp max_shift_;
+  double step_sigma_;
+};
+
+}  // namespace mood::lppm

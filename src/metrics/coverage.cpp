@@ -1,0 +1,43 @@
+#include "metrics/coverage.h"
+
+#include <algorithm>
+
+#include "profiles/heatmap.h"
+
+namespace mood::metrics {
+
+double cell_coverage_similarity(const mobility::Trace& original,
+                                const mobility::Trace& protected_trace,
+                                const geo::CellGrid& grid) {
+  if (original.empty() || protected_trace.empty()) return 0.0;
+  const auto a = profiles::Heatmap::from_trace(original, grid);
+  const auto b = profiles::Heatmap::from_trace(protected_trace, grid);
+  double overlap = 0.0;
+  for (const auto& [cell, count] : a.counts()) {
+    overlap += std::min(count / a.total(), b.probability(cell));
+  }
+  return overlap;
+}
+
+double poi_preservation(const mobility::Trace& original,
+                        const mobility::Trace& protected_trace,
+                        const clustering::PoiParams& params) {
+  const auto original_pois = clustering::extract_pois(original, params);
+  if (original_pois.empty()) return 1.0;
+  const auto protected_pois =
+      clustering::extract_pois(protected_trace, params);
+  std::size_t preserved = 0;
+  for (const auto& poi : original_pois) {
+    for (const auto& candidate : protected_pois) {
+      if (geo::haversine_m(poi.center, candidate.center) <=
+          params.max_diameter_m) {
+        ++preserved;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(preserved) /
+         static_cast<double>(original_pois.size());
+}
+
+}  // namespace mood::metrics

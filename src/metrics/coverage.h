@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file coverage.h
+/// Application-level utility metrics beyond Eq. 8's spatio-temporal
+/// distortion, matching the deployment scenarios of paper §3.4/§4.6:
+///
+///  * cell-coverage similarity — how well count queries ("how many people
+///    were in this area?") survive protection: the mass overlap between
+///    the original and protected heatmaps (1 = identical counts, 0 =
+///    disjoint). Traffic-congestion analysis needs this, not positional
+///    precision.
+///  * POI preservation — share of the user's original POIs for which the
+///    protected trace still has a POI within the clustering diameter.
+///    Semantically sensitive (it is exactly what POI-attack exploits), so
+///    *lower* is more private but *higher* means place-based services
+///    still work.
+
+#include "clustering/poi_extraction.h"
+#include "geo/cell_grid.h"
+#include "mobility/trace.h"
+
+namespace mood::metrics {
+
+/// Mass overlap of the two traces' heatmaps on `grid`:
+///   sum_c min(p_original(c), p_protected(c))  in [0, 1].
+/// Returns 0 if either trace is empty.
+double cell_coverage_similarity(const mobility::Trace& original,
+                                const mobility::Trace& protected_trace,
+                                const geo::CellGrid& grid);
+
+/// Fraction of `original`'s POIs that still have a protected-trace POI
+/// within `params.max_diameter_m`. Returns 1 when the original has no
+/// POIs (nothing to preserve).
+double poi_preservation(const mobility::Trace& original,
+                        const mobility::Trace& protected_trace,
+                        const clustering::PoiParams& params = {});
+
+}  // namespace mood::metrics

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file data_loss.h
+/// Data loss of paper Eq. 7: the record-weighted share of a dataset that
+/// must be erased because no considered protection defeats every attack.
+///
+///   data_loss(D, Λ, A) = |D_NP|_r / |D|_r
+///
+/// where D_NP is the set of traces for which every LPPM in Λ leaves at
+/// least one attack in A able to re-identify the owner, and |.|_r counts
+/// records.
+
+#include <cstddef>
+
+namespace mood::metrics {
+
+/// Accumulates record counts of protected vs. lost traces.
+class DataLossAccumulator {
+ public:
+  /// Registers a trace that survived protection, with its record count.
+  void add_protected(std::size_t records) { protected_records_ += records; }
+
+  /// Registers a trace (or sub-trace) that had to be erased.
+  void add_lost(std::size_t records) { lost_records_ += records; }
+
+  [[nodiscard]] std::size_t protected_records() const {
+    return protected_records_;
+  }
+  [[nodiscard]] std::size_t lost_records() const { return lost_records_; }
+  [[nodiscard]] std::size_t total_records() const {
+    return protected_records_ + lost_records_;
+  }
+
+  /// Eq. 7 ratio in [0, 1]; 0 for an empty accumulator.
+  [[nodiscard]] double ratio() const {
+    const std::size_t total = total_records();
+    return total == 0 ? 0.0
+                      : static_cast<double>(lost_records_) /
+                            static_cast<double>(total);
+  }
+
+ private:
+  std::size_t protected_records_ = 0;
+  std::size_t lost_records_ = 0;
+};
+
+}  // namespace mood::metrics

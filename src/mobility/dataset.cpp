@@ -1,0 +1,76 @@
+#include "mobility/dataset.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace mood::mobility {
+
+void Dataset::add(Trace trace) {
+  support::expects(find(trace.user()) == nullptr,
+                   "Dataset::add: duplicate user id " + trace.user());
+  traces_.push_back(std::move(trace));
+}
+
+std::size_t Dataset::record_count() const {
+  std::size_t n = 0;
+  for (const auto& t : traces_) n += t.size();
+  return n;
+}
+
+const Trace* Dataset::find(const UserId& user) const {
+  const auto it =
+      std::find_if(traces_.begin(), traces_.end(),
+                   [&](const Trace& t) { return t.user() == user; });
+  return it == traces_.end() ? nullptr : &*it;
+}
+
+std::vector<TrainTestPair> Dataset::chronological_split(
+    double train_fraction, std::size_t min_records) const {
+  support::expects(train_fraction > 0.0 && train_fraction < 1.0,
+                   "chronological_split: fraction must be in (0,1)");
+  std::vector<TrainTestPair> out;
+  out.reserve(traces_.size());
+  for (const Trace& trace : traces_) {
+    if (trace.size() < 2) continue;
+    const Timestamp cut =
+        trace.front().time +
+        static_cast<Timestamp>(train_fraction *
+                               static_cast<double>(trace.duration()));
+    Trace train = trace.between(trace.front().time, cut);
+    Trace test = trace.between(cut, trace.back().time + 1);
+    if (train.size() < min_records || test.size() < min_records) continue;
+    out.push_back(TrainTestPair{std::move(train), std::move(test)});
+  }
+  return out;
+}
+
+Dataset most_active_window(const Dataset& dataset, int days) {
+  support::expects(days > 0, "most_active_window: days must be > 0");
+  const Timestamp window = static_cast<Timestamp>(days) * kDay;
+  Dataset out(dataset.name());
+  for (const Trace& trace : dataset.traces()) {
+    if (trace.empty()) continue;
+    // Slide the window over record start positions (two-pointer); keep the
+    // densest [t, t + window).
+    const auto& records = trace.records();
+    std::size_t best_begin = 0, best_count = 0, right = 0;
+    for (std::size_t left = 0; left < records.size(); ++left) {
+      const Timestamp end_time = records[left].time + window;
+      if (right < left) right = left;
+      while (right < records.size() && records[right].time < end_time) {
+        ++right;
+      }
+      if (right - left > best_count) {
+        best_count = right - left;
+        best_begin = left;
+      }
+    }
+    std::vector<Record> kept(records.begin() + best_begin,
+                             records.begin() + best_begin + best_count);
+    out.add(Trace(trace.user(), std::move(kept)));
+  }
+  return out;
+}
+
+}  // namespace mood::mobility

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file dataset.h
+/// A named collection of user traces plus the chronological train/test
+/// split the evaluation protocol uses (paper §4.2: 30 most-active days,
+/// first 15 as background knowledge H, last 15 as the data to protect).
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mobility/trace.h"
+
+namespace mood::mobility {
+
+/// Per-user pair produced by the chronological split.
+struct TrainTestPair {
+  Trace train;  ///< background knowledge H_u (attacker side)
+  Trace test;   ///< the trace T_u the user wants to share
+};
+
+/// A mobility dataset: one trace per user, plus a display name.
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Adds a user's trace. Precondition: no trace with the same user id yet.
+  void add(Trace trace);
+
+  [[nodiscard]] const std::vector<Trace>& traces() const { return traces_; }
+  [[nodiscard]] std::size_t user_count() const { return traces_.size(); }
+
+  /// Total number of records across all users.
+  [[nodiscard]] std::size_t record_count() const;
+
+  /// Trace of a given user, if present.
+  [[nodiscard]] const Trace* find(const UserId& user) const;
+
+  /// Splits every trace at `train_fraction` of its own time span
+  /// (default 0.5 = the paper's 15/15 days). Users whose train or test half
+  /// would hold fewer than `min_records` records are dropped (the paper
+  /// keeps only "active users during those periods").
+  [[nodiscard]] std::vector<TrainTestPair> chronological_split(
+      double train_fraction = 0.5, std::size_t min_records = 2) const;
+
+ private:
+  std::string name_;
+  std::vector<Trace> traces_;
+};
+
+/// Restricts each trace to its densest `days`-day window (the paper's
+/// "30 most active successive days"): the window with the most records.
+Dataset most_active_window(const Dataset& dataset, int days);
+
+}  // namespace mood::mobility

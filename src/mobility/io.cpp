@@ -1,0 +1,103 @@
+#include "mobility/io.h"
+
+#include <charconv>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "support/csv.h"
+#include "support/error.h"
+
+namespace mood::mobility {
+
+namespace {
+
+double parse_double_field(const std::string& field, const char* what) {
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  if (ec != std::errc() || ptr != field.data() + field.size()) {
+    throw support::IoError(std::string("dataset CSV: bad ") + what + ": '" +
+                           field + "'");
+  }
+  return value;
+}
+
+Timestamp parse_time_field(const std::string& field) {
+  Timestamp value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  if (ec != std::errc() || ptr != field.data() + field.size()) {
+    throw support::IoError("dataset CSV: bad timestamp: '" + field + "'");
+  }
+  return value;
+}
+
+std::string format_double(double v) {
+  std::ostringstream oss;
+  oss.precision(9);
+  oss << v;
+  return oss.str();
+}
+
+}  // namespace
+
+void write_dataset_csv(std::ostream& out, const Dataset& dataset) {
+  out << "user,lat,lon,timestamp\n";
+  for (const Trace& trace : dataset.traces()) {
+    for (const Record& r : trace.records()) {
+      out << support::format_csv_line({trace.user(),
+                                       format_double(r.position.lat),
+                                       format_double(r.position.lon),
+                                       std::to_string(r.time)})
+          << '\n';
+    }
+  }
+}
+
+void write_dataset_csv_file(const std::string& path, const Dataset& dataset) {
+  std::ofstream out(path);
+  if (!out) throw support::IoError("cannot open for writing: " + path);
+  write_dataset_csv(out, dataset);
+  if (!out) throw support::IoError("write failed: " + path);
+}
+
+Dataset read_dataset_csv(std::istream& in, const std::string& name) {
+  const auto rows = support::read_csv(in);
+  // Preserve first-appearance order of users for reproducibility.
+  std::vector<UserId> order;
+  std::map<UserId, std::vector<Record>> per_user;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    if (i == 0 && !row.empty() && row[0] == "user") continue;  // header
+    if (row.size() != 4) {
+      throw support::IoError("dataset CSV: row " + std::to_string(i + 1) +
+                             ": expected 4 fields, got " +
+                             std::to_string(row.size()));
+    }
+    const double lat = parse_double_field(row[1], "latitude");
+    const double lon = parse_double_field(row[2], "longitude");
+    if (lat < -90.0 || lat > 90.0 || lon < -180.0 || lon > 180.0) {
+      throw support::IoError("dataset CSV: row " + std::to_string(i + 1) +
+                             ": coordinates out of range");
+    }
+    auto [it, inserted] = per_user.try_emplace(row[0]);
+    if (inserted) order.push_back(row[0]);
+    it->second.push_back(
+        Record{geo::GeoPoint{lat, lon}, parse_time_field(row[3])});
+  }
+  Dataset dataset(name);
+  for (const UserId& user : order) {
+    dataset.add(Trace(user, std::move(per_user[user])));
+  }
+  return dataset;
+}
+
+Dataset read_dataset_csv_file(const std::string& path,
+                              const std::string& name) {
+  std::ifstream in(path);
+  if (!in) throw support::IoError("cannot open for reading: " + path);
+  return read_dataset_csv(in, name);
+}
+
+}  // namespace mood::mobility

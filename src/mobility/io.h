@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file io.h
+/// CSV import/export of mobility datasets.
+///
+/// Wire format (header required on export, tolerated on import):
+///   user,lat,lon,timestamp
+/// One record per row; rows may arrive unsorted — traces sort on load.
+
+#include <iosfwd>
+#include <string>
+
+#include "mobility/dataset.h"
+
+namespace mood::mobility {
+
+/// Writes `dataset` as CSV (with header) to a stream.
+void write_dataset_csv(std::ostream& out, const Dataset& dataset);
+
+/// Writes `dataset` as CSV to a file. Throws IoError on failure.
+void write_dataset_csv_file(const std::string& path, const Dataset& dataset);
+
+/// Reads a dataset from CSV. `name` becomes the dataset name.
+/// Throws IoError on malformed rows (wrong arity, unparsable numbers,
+/// out-of-range coordinates).
+Dataset read_dataset_csv(std::istream& in, const std::string& name);
+
+/// Reads a dataset from a CSV file. Throws IoError on failure.
+Dataset read_dataset_csv_file(const std::string& path,
+                              const std::string& name);
+
+}  // namespace mood::mobility

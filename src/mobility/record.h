@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file record.h
+/// The atomic unit of mobility data: one timestamped GPS fix.
+///
+/// A mobility trace is a time-ordered sequence of records r = (lat, lng, t)
+/// (paper §2.1); timestamps are Unix seconds.
+
+#include <cstdint>
+
+#include "geo/geo.h"
+
+namespace mood::mobility {
+
+/// Seconds since the Unix epoch.
+using Timestamp = std::int64_t;
+
+/// Convenience duration constants (seconds).
+inline constexpr Timestamp kMinute = 60;
+inline constexpr Timestamp kHour = 3600;
+inline constexpr Timestamp kDay = 86400;
+
+/// One spatio-temporal record.
+struct Record {
+  geo::GeoPoint position;  ///< GPS fix
+  Timestamp time = 0;      ///< Unix seconds
+
+  friend bool operator==(const Record&, const Record&) = default;
+};
+
+}  // namespace mood::mobility

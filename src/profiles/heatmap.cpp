@@ -1,0 +1,67 @@
+#include "profiles/heatmap.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/error.h"
+
+namespace mood::profiles {
+
+Heatmap Heatmap::from_trace(const mobility::Trace& trace,
+                            const geo::CellGrid& grid) {
+  Heatmap map;
+  for (const auto& record : trace.records()) {
+    map.add(grid.cell_of(record.position));
+  }
+  return map;
+}
+
+double Heatmap::probability(const geo::CellIndex& cell) const {
+  if (total_ <= 0.0) return 0.0;
+  const auto it = counts_.find(cell);
+  return it == counts_.end() ? 0.0 : it->second / total_;
+}
+
+void Heatmap::add(const geo::CellIndex& cell, double count) {
+  support::expects(count >= 0.0, "Heatmap::add: negative count");
+  counts_[cell] += count;
+  total_ += count;
+}
+
+std::vector<std::pair<geo::CellIndex, double>> Heatmap::ranked_cells() const {
+  std::vector<std::pair<geo::CellIndex, double>> cells(counts_.begin(),
+                                                       counts_.end());
+  std::sort(cells.begin(), cells.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return cells;
+}
+
+double topsoe_divergence(const Heatmap& a, const Heatmap& b) {
+  if (a.empty() || b.empty()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  // Terms are non-zero only where p or q is non-zero, so iterating both
+  // support sets covers the whole sum. Cells present in both maps are
+  // visited twice, so take care to add each side's term exactly once.
+  double divergence = 0.0;
+  auto term = [](double p, double q) {
+    if (p <= 0.0) return 0.0;
+    return p * std::log(2.0 * p / (p + q));
+  };
+  for (const auto& [cell, count] : a.counts()) {
+    const double p = count / a.total();
+    const double q = b.probability(cell);
+    divergence += term(p, q) + term(q, p);
+  }
+  for (const auto& [cell, count] : b.counts()) {
+    if (a.counts().contains(cell)) continue;  // already handled above
+    const double q = count / b.total();
+    divergence += term(q, 0.0);
+  }
+  return divergence;
+}
+
+}  // namespace mood::profiles

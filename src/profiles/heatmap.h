@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file heatmap.h
+/// Heatmap mobility profile (Fig. 1, right): visit counts aggregated over a
+/// fixed cell grid (800 m cells in the paper). AP-attack [Maouche et al.
+/// 2017] matches anonymous heatmaps to known users with the Topsoe
+/// divergence; HMC [Maouche et al. 2018] aligns a user's heatmap onto a
+/// donor's to confuse that matching.
+
+#include <unordered_map>
+#include <vector>
+
+#include "geo/cell_grid.h"
+#include "mobility/trace.h"
+
+namespace mood::profiles {
+
+/// Sparse cell -> count map over a shared CellGrid.
+class Heatmap {
+ public:
+  using CountMap =
+      std::unordered_map<geo::CellIndex, double, geo::CellIndexHash>;
+
+  Heatmap() = default;
+
+  /// Builds the heatmap of a trace on the given grid (one count per record).
+  static Heatmap from_trace(const mobility::Trace& trace,
+                            const geo::CellGrid& grid);
+
+  /// Raw (unnormalised) counts.
+  [[nodiscard]] const CountMap& counts() const { return counts_; }
+
+  /// Sum of all counts.
+  [[nodiscard]] double total() const { return total_; }
+
+  [[nodiscard]] bool empty() const { return counts_.empty(); }
+  [[nodiscard]] std::size_t cell_count() const { return counts_.size(); }
+
+  /// Probability of a cell (count / total); 0 for unseen cells.
+  [[nodiscard]] double probability(const geo::CellIndex& cell) const;
+
+  /// Adds `count` visits to a cell.
+  void add(const geo::CellIndex& cell, double count = 1.0);
+
+  /// Cells sorted by decreasing count (ties broken by cell index for
+  /// determinism). The "hot ranking" HMC's alignment uses.
+  [[nodiscard]] std::vector<std::pair<geo::CellIndex, double>> ranked_cells()
+      const;
+
+ private:
+  CountMap counts_;
+  double total_ = 0.0;
+};
+
+/// Topsoe divergence between two heatmaps viewed as distributions:
+///   sum_c p ln(2p/(p+q)) + q ln(2q/(p+q))
+/// Symmetric, bounded by 2 ln 2, zero iff the distributions coincide.
+/// Infinite if either heatmap is empty.
+double topsoe_divergence(const Heatmap& a, const Heatmap& b);
+
+}  // namespace mood::profiles

@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file markov_profile.h
+/// Mobility Markov Chain profile (Fig. 1, middle) after Gambs et al.:
+/// states are the user's POIs ranked by record count; edges carry the
+/// empirical probability of moving from one POI to another. PIT-attack
+/// compares MMCs with the stats-prox distance, a combination of a
+/// stationary-weight distance and a geographic proximity distance over
+/// matched states.
+
+#include <vector>
+
+#include "clustering/poi_extraction.h"
+#include "mobility/trace.h"
+
+namespace mood::profiles {
+
+/// One MMC state: a POI plus its stationary weight (share of the user's
+/// records spent there).
+struct MarkovState {
+  geo::GeoPoint center;
+  double weight = 0.0;  ///< stationary probability, sums to 1 over states
+};
+
+/// Mobility Markov Chain: ranked states + row-stochastic transition matrix.
+class MarkovProfile {
+ public:
+  MarkovProfile() = default;
+
+  /// Builds the MMC of a trace: POI extraction -> visit sequence -> counts.
+  /// States are sorted by decreasing weight (the paper ranks by records).
+  static MarkovProfile from_trace(const mobility::Trace& trace,
+                                  const clustering::PoiParams& params = {});
+
+  [[nodiscard]] const std::vector<MarkovState>& states() const {
+    return states_;
+  }
+  [[nodiscard]] bool empty() const { return states_.empty(); }
+  [[nodiscard]] std::size_t size() const { return states_.size(); }
+
+  /// Transition probability from state i to state j. Rows with no observed
+  /// transition are uniform. Precondition: i, j < size().
+  [[nodiscard]] double transition(std::size_t i, std::size_t j) const;
+
+ private:
+  std::vector<MarkovState> states_;
+  std::vector<double> transitions_;  // row-major size() x size()
+};
+
+/// stats-prox distance between two MMCs (Gambs et al. 2014): matched-state
+/// stationary distance multiplied with a rank-weighted geographic proximity
+/// distance (normalised by `proximity_scale_m`). Lower is more similar.
+/// Infinite if either chain is empty.
+///
+/// - stationary part: sum over greedy rank-order matched state pairs of
+///   |w_a - w_b|, plus the unmatched mass of the longer chain;
+/// - proximity part: weighted mean geographic distance between matched
+///   pairs (weights = mean matched stationary mass), in units of
+///   `proximity_scale_m`.
+/// stats_prox = stationary_part + proximity_part (both dimensionless,
+/// so the sum is meaningful; the original paper reports this combined form
+/// as its most effective variant).
+double stats_prox_distance(const MarkovProfile& a, const MarkovProfile& b,
+                           double proximity_scale_m = 1000.0);
+
+}  // namespace mood::profiles

@@ -1,0 +1,32 @@
+#include "profiles/poi_profile.h"
+
+#include <limits>
+
+#include "geo/geo.h"
+
+namespace mood::profiles {
+
+PoiProfile PoiProfile::from_trace(const mobility::Trace& trace,
+                                  const clustering::PoiParams& params) {
+  // Merge repeated visits so each meaningful place appears once.
+  auto seq = clustering::build_visit_sequence(
+      clustering::extract_pois(trace, params), params.max_diameter_m);
+  return PoiProfile(std::move(seq.states));
+}
+
+double poi_profile_distance(const PoiProfile& a, const PoiProfile& b) {
+  if (a.empty() || b.empty()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  double total = 0.0;
+  for (const auto& pa : a.pois()) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& pb : b.pois()) {
+      best = std::min(best, geo::haversine_m(pa.center, pb.center));
+    }
+    total += best;
+  }
+  return total / static_cast<double>(a.size());
+}
+
+}  // namespace mood::profiles

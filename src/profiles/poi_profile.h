@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file poi_profile.h
+/// POI-based mobility profile (Fig. 1, left): a user's set of meaningful
+/// places. Used by POI-attack [Primault et al. 2014] to match an anonymous
+/// trace to a known user by geographic proximity of their POIs.
+
+#include <vector>
+
+#include "clustering/poi_extraction.h"
+#include "mobility/trace.h"
+
+namespace mood::profiles {
+
+/// A user's set of Points of Interest.
+class PoiProfile {
+ public:
+  PoiProfile() = default;
+  explicit PoiProfile(std::vector<clustering::Poi> pois)
+      : pois_(std::move(pois)) {}
+
+  /// Builds the profile by running POI extraction on a trace.
+  static PoiProfile from_trace(const mobility::Trace& trace,
+                               const clustering::PoiParams& params = {});
+
+  [[nodiscard]] const std::vector<clustering::Poi>& pois() const {
+    return pois_;
+  }
+  [[nodiscard]] bool empty() const { return pois_.empty(); }
+  [[nodiscard]] std::size_t size() const { return pois_.size(); }
+
+ private:
+  std::vector<clustering::Poi> pois_;
+};
+
+/// Asymmetric POI-set distance: mean over POIs of `a` of the distance to the
+/// closest POI of `b`, in metres. Infinity if either profile is empty (an
+/// empty profile can never be re-identified nor re-identify anyone).
+double poi_profile_distance(const PoiProfile& a, const PoiProfile& b);
+
+}  // namespace mood::profiles

@@ -1,0 +1,358 @@
+#include "simulation/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "mobility/record.h"
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace mood::simulation {
+
+using geo::GeoPoint;
+using mobility::kDay;
+using mobility::kHour;
+using mobility::kMinute;
+using mobility::Record;
+using mobility::Timestamp;
+using support::RngStream;
+
+namespace {
+
+/// A segment of a user's timeline: stationary at `at` or moving from `at`
+/// to `to` with linear progress.
+struct Segment {
+  Timestamp start = 0;
+  Timestamp end = 0;
+  GeoPoint at;
+  GeoPoint to;
+  bool moving = false;
+};
+
+GeoPoint jitter(const GeoPoint& p, double sigma_m, RngStream& rng) {
+  const double bearing = rng.uniform(0.0, 2.0 * geo::kPi);
+  const double distance = std::abs(rng.normal(0.0, sigma_m));
+  return geo::destination(p, bearing, distance);
+}
+
+GeoPoint scatter(const GeoPoint& center, double spread_m, RngStream& rng) {
+  // Gaussian scatter: most mass near the centre, realistic suburb tail.
+  const double bearing = rng.uniform(0.0, 2.0 * geo::kPi);
+  const double distance = std::abs(rng.normal(0.0, spread_m));
+  return geo::destination(center, bearing, distance);
+}
+
+GeoPoint position_at(const Segment& seg, Timestamp t) {
+  if (!seg.moving || seg.end <= seg.start) return seg.at;
+  const double ratio = static_cast<double>(t - seg.start) /
+                       static_cast<double>(seg.end - seg.start);
+  return GeoPoint{seg.at.lat + ratio * (seg.to.lat - seg.at.lat),
+                  seg.at.lon + ratio * (seg.to.lon - seg.at.lon)};
+}
+
+/// Samples records from a timeline at a fixed cadence with +-20% jitter.
+std::vector<Record> sample_timeline(const std::vector<Segment>& timeline,
+                                    double period_s, double gps_noise_m,
+                                    RngStream& rng) {
+  std::vector<Record> records;
+  if (timeline.empty() || period_s <= 0.0) return records;
+  std::size_t seg = 0;
+  double t = static_cast<double>(timeline.front().start);
+  const double t_end = static_cast<double>(timeline.back().end);
+  while (t < t_end) {
+    const auto ts = static_cast<Timestamp>(t);
+    while (seg + 1 < timeline.size() && timeline[seg].end <= ts) ++seg;
+    const GeoPoint raw = position_at(timeline[seg], ts);
+    records.push_back(Record{jitter(raw, gps_noise_m, rng), ts});
+    t += period_s * rng.uniform(0.8, 1.2);
+  }
+  return records;
+}
+
+/// Appends a dwell (and the travel leg reaching it) to the timeline.
+void travel_then_dwell(std::vector<Segment>& timeline, const GeoPoint& to,
+                       Timestamp dwell_until, double speed_mps) {
+  Timestamp now = timeline.empty() ? 0 : timeline.back().end;
+  GeoPoint from = timeline.empty() ? to : timeline.back().to;
+  const double distance = geo::haversine_m(from, to);
+  const auto travel_s =
+      static_cast<Timestamp>(distance / std::max(1.0, speed_mps));
+  if (travel_s > 0 && distance > 1.0) {
+    timeline.push_back(Segment{now, now + travel_s, from, to, true});
+    now += travel_s;
+  }
+  if (dwell_until > now) {
+    timeline.push_back(Segment{now, dwell_until, to, to, false});
+  }
+}
+
+/// Builds a wanderer's full-period timeline: overnight at home, then a
+/// daily multi-hour tour through a private angular sector of the city
+/// outskirts — a broad, unique territory signature that no cell-level
+/// obfuscation fully erases (the orphan-user archetype).
+std::vector<Segment> wanderer_timeline(const GeneratorParams& params,
+                                       RngStream& rng) {
+  const double sector_bearing = rng.uniform(0.0, 2.0 * geo::kPi);
+  auto sector_point = [&](RngStream& r) {
+    const double bearing = sector_bearing + r.normal(0.0, 0.25);
+    const double radius =
+        r.uniform(params.wander_radius_min_m, params.wander_radius_max_m);
+    return geo::destination(params.city_center, bearing, radius);
+  };
+
+  // Home plus a fixed repertoire of favourite spots spread through the
+  // sector — ritual stops revisited across days, each dwell long enough to
+  // register as a POI.
+  const GeoPoint home = sector_point(rng);
+  std::vector<GeoPoint> favourites;
+  for (int f = 0; f < 10; ++f) favourites.push_back(sector_point(rng));
+
+  std::vector<Segment> timeline;
+  timeline.push_back(Segment{params.start_time, params.start_time, home,
+                             home, false});
+  for (int day = 0; day < params.days; ++day) {
+    const Timestamp day_start = params.start_time + day * kDay;
+    const Timestamp departure =
+        day_start + 8 * kHour +
+        static_cast<Timestamp>(rng.uniform(0.0, 90.0 * kMinute));
+    travel_then_dwell(timeline, home, departure, params.speed_mps);
+
+    // Tour: 4-9 favourite stops, 40-90 min each, so the day is dominated
+    // by the sector. Short-tour days leave a thinner residue, which is
+    // what lets the fine-grained stage protect *some* of a wanderer's
+    // sub-traces (paper Fig. 8).
+    const std::size_t stops = 4 + rng.uniform_index(6);
+    for (std::size_t w = 0; w < stops; ++w) {
+      const GeoPoint stop = jitter(
+          favourites[rng.uniform_index(favourites.size())], 50.0, rng);
+      const Timestamp pause =
+          40 * kMinute +
+          static_cast<Timestamp>(rng.uniform(0.0, 50.0 * kMinute));
+      travel_then_dwell(timeline, stop, timeline.back().end + pause,
+                        params.speed_mps);
+    }
+    travel_then_dwell(timeline, home, day_start + kDay, params.speed_mps);
+  }
+  return timeline;
+}
+
+/// Builds a routine user's full-period timeline. Sets `relocated` when the
+/// user re-draws their POIs mid-period (the naturally-protected archetype).
+std::vector<Segment> routine_timeline(const GeneratorParams& params,
+                                      RngStream& rng,
+                                      const std::vector<GeoPoint>& pool,
+                                      bool& relocated) {
+  // ---- Draw the user's POIs. Index 0 = home, 1 = work, rest = leisure.
+  const std::size_t poi_count =
+      params.pois_per_user_min +
+      rng.uniform_index(params.pois_per_user_max - params.pois_per_user_min +
+                        1);
+  auto draw_poi = [&](RngStream& r, bool primary) {
+    const double p_private =
+        primary ? params.p_private_poi : params.p_private_leisure;
+    if (pool.empty() || r.bernoulli(p_private)) {
+      return scatter(params.city_center, params.private_poi_spread_m, r);
+    }
+    // Shared hotspot with a small offset (same building, different door).
+    return jitter(pool[r.uniform_index(pool.size())], 80.0, r);
+  };
+  std::vector<GeoPoint> pois;
+  pois.reserve(poi_count);
+  for (std::size_t i = 0; i < poi_count; ++i) {
+    pois.push_back(draw_poi(rng, /*primary=*/i < 2));
+  }
+
+  // Relocators re-draw every POI mid-period: their background profile no
+  // longer predicts their published data.
+  const bool relocates = rng.bernoulli(params.relocation_prob);
+  relocated = relocates;
+  std::vector<GeoPoint> pois_after = pois;
+  if (relocates) {
+    // A relocation is a fresh private draw: moving house lands you at a
+    // genuinely new address, not back onto the old hotspot grid — that
+    // novelty is what makes relocators naturally unlinkable.
+    for (auto& poi : pois_after) {
+      poi = scatter(params.city_center, params.private_poi_spread_m, rng);
+    }
+  }
+  const Timestamp t_mid =
+      params.start_time + params.days * kDay / 2;
+
+  // ---- Walk the days.
+  std::vector<Segment> timeline;
+  timeline.push_back(Segment{params.start_time, params.start_time, pois[0],
+                             pois[0], false});
+  for (int day = 0; day < params.days; ++day) {
+    const Timestamp day_start = params.start_time + day * kDay;
+    const auto& p = (day_start >= t_mid) ? pois_after : pois;
+    const GeoPoint home = p[0];
+    const GeoPoint work = p[1 % p.size()];
+    const bool weekend = (day % 7) >= 5;
+
+    const Timestamp wake =
+        day_start + 7 * kHour +
+        static_cast<Timestamp>(rng.uniform(0.0, 2.0 * kHour));
+    // Stay home until wake (extends the previous evening's dwell).
+    travel_then_dwell(timeline, home, wake, params.speed_mps);
+
+    Timestamp clock = wake;
+    if (!weekend) {
+      // Work block ~8-9 h.
+      const Timestamp work_end =
+          clock + 8 * kHour +
+          static_cast<Timestamp>(rng.uniform(0.0, 1.5 * kHour));
+      travel_then_dwell(timeline, work, work_end, params.speed_mps);
+      clock = timeline.back().end;
+    }
+    // Leisure visits: 0-2 on weekdays, 1-3 on weekends. Dwells straddle
+    // the POI-extraction threshold (45 min - 2.25 h vs the 1 h cut), so
+    // only some leisure stops materialise as attackable POIs.
+    const std::size_t visits =
+        (weekend ? 1 : 0) + rng.uniform_index(3);
+    for (std::size_t v = 0; v < visits && p.size() > 2; ++v) {
+      const GeoPoint& spot = p[2 + rng.uniform_index(p.size() - 2)];
+      const Timestamp dwell =
+          45 * kMinute +
+          static_cast<Timestamp>(rng.uniform(0.0, 90.0 * kMinute));
+      travel_then_dwell(timeline, spot, timeline.back().end + dwell,
+                        params.speed_mps);
+      clock = timeline.back().end;
+    }
+    // Home for the night.
+    const Timestamp midnight = day_start + kDay;
+    travel_then_dwell(timeline, home, midnight, params.speed_mps);
+  }
+  return timeline;
+}
+
+/// Builds a cab's full-period timeline: hotspot hops around the clock.
+/// Sets `territorial` for cabs with a favoured district + depot.
+std::vector<Segment> cab_timeline(const GeneratorParams& params,
+                                  RngStream& rng,
+                                  const std::vector<GeoPoint>& pool,
+                                  bool& territorial_out) {
+  support::ensures(!pool.empty(), "cab fleet requires a hotspot pool");
+
+  const bool territorial = rng.bernoulli(params.territorial_fraction);
+  territorial_out = territorial;
+  const double bias =
+      rng.uniform(params.territory_bias_min, params.territory_bias_max);
+  GeoPoint depot = scatter(params.city_center,
+                           params.private_poi_spread_m, rng);
+  // Territory: the hotspots within territory_radius_m of a random anchor.
+  std::vector<std::size_t> district;
+  if (territorial) {
+    const GeoPoint anchor =
+        pool[rng.uniform_index(pool.size())];
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      if (geo::haversine_m(anchor, pool[i]) <= params.territory_radius_m) {
+        district.push_back(i);
+      }
+    }
+    if (district.empty()) district.push_back(rng.uniform_index(pool.size()));
+  }
+
+  auto next_stop = [&](RngStream& r) -> GeoPoint {
+    if (territorial && !district.empty() && r.bernoulli(bias)) {
+      return jitter(pool[district[r.uniform_index(district.size())]], 60.0,
+                    r);
+    }
+    return jitter(pool[r.uniform_index(pool.size())], 60.0, r);
+  };
+
+  const Timestamp t_end = params.start_time + params.days * kDay;
+  std::vector<Segment> timeline;
+  const GeoPoint first = territorial ? depot : next_stop(rng);
+  timeline.push_back(
+      Segment{params.start_time, params.start_time + 10 * kMinute, first,
+              first, false});
+  while (timeline.back().end < t_end) {
+    // Nightly depot break for territorial cabs (3-5 h) adds a private,
+    // discriminative dwell; fleet cabs keep rolling.
+    const Timestamp now = timeline.back().end;
+    const Timestamp day_clock = (now - params.start_time) % kDay;
+    if (territorial && day_clock > 2 * kHour && day_clock < 4 * kHour) {
+      travel_then_dwell(timeline, depot,
+                        now + 3 * kHour +
+                            static_cast<Timestamp>(rng.uniform(0.0, 2.0 * kHour)),
+                        params.speed_mps * 1.5);
+      continue;
+    }
+    const GeoPoint stop = next_stop(rng);
+    const Timestamp dwell =
+        3 * kMinute + static_cast<Timestamp>(rng.uniform(0.0, 12.0 * kMinute));
+    travel_then_dwell(timeline, stop, now + dwell, params.speed_mps * 1.5);
+    // travel_then_dwell ends at arrival+dwell only if arrival < now+dwell;
+    // ensure progress when the hop was long:
+    if (timeline.back().end <= now) {
+      timeline.push_back(Segment{now, now + 5 * kMinute, stop, stop, false});
+    }
+  }
+  return timeline;
+}
+
+}  // namespace
+
+mobility::Dataset generate(const GeneratorParams& params) {
+  support::expects(params.users > 0, "generate: need at least one user");
+  support::expects(params.days > 0, "generate: need at least one day");
+  support::expects(params.records_per_user_per_day > 0.0,
+                   "generate: records_per_user_per_day must be positive");
+  support::expects(params.pois_per_user_min >= 2,
+                   "generate: users need at least home + work POIs");
+  support::expects(params.pois_per_user_max >= params.pois_per_user_min,
+                   "generate: poi bounds inverted");
+  support::expects(
+      params.activity_min > 0.0 && params.activity_max >= params.activity_min,
+      "generate: activity bounds invalid");
+
+  RngStream root(params.seed);
+
+  // Shared hotspot pool (downtown-concentrated).
+  RngStream pool_rng = root.fork("pool");
+  std::vector<GeoPoint> pool;
+  pool.reserve(params.shared_poi_pool);
+  for (std::size_t i = 0; i < params.shared_poi_pool; ++i) {
+    pool.push_back(
+        scatter(params.city_center, params.shared_poi_spread_m, pool_rng));
+  }
+
+  const double period_s = 86400.0 / params.records_per_user_per_day;
+
+  mobility::Dataset dataset(params.dataset_name);
+  for (std::size_t u = 0; u < params.users; ++u) {
+    RngStream rng = root.fork("user", u);
+    const bool wanderer =
+        !params.cab_fleet && rng.bernoulli(params.wanderer_fraction);
+    // Archetype tag embedded in the user id (usr/rel/wnd/cab/tcb) — opaque
+    // to attacks (ids are matched for equality only) but invaluable when
+    // analysing who stays vulnerable under which mechanism.
+    const char* tag;
+    std::vector<Segment> timeline;
+    if (params.cab_fleet) {
+      bool territorial = false;
+      timeline = cab_timeline(params, rng, pool, territorial);
+      tag = territorial ? "tcb" : "cab";
+    } else if (wanderer) {
+      timeline = wanderer_timeline(params, rng);
+      tag = "wnd";
+    } else {
+      bool relocated = false;
+      timeline = routine_timeline(params, rng, pool, relocated);
+      tag = relocated ? "rel" : "usr";
+    }
+    const double activity =
+        rng.fork("activity").uniform(params.activity_min, params.activity_max);
+    auto records =
+        sample_timeline(timeline, period_s / activity, params.gps_noise_m,
+                        rng);
+    char id[32];
+    std::snprintf(id, sizeof id, "%s_u%03zu", tag, u);
+    dataset.add(mobility::Trace(params.dataset_name + ":" + id,
+                                std::move(records)));
+  }
+  return dataset;
+}
+
+}  // namespace mood::simulation

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file presets.h
+/// Per-dataset generator presets mirroring Table 1 of the paper.
+///
+/// User counts are the paper's (141 / 41 / 41 / 531); record volumes follow
+/// the paper's per-user averages, multiplied by `scale` so experiments fit
+/// the host (scale = 1.0 approximates the paper's record counts; benches
+/// default to a smaller scale via --scale / MOOD_SCALE). Population
+/// structure parameters (POI privacy, relocation, fleet homogeneity) are
+/// tuned so the *no-LPPM vulnerability* of each synthetic city matches the
+/// paper's Fig. 6/7 ballpark — see EXPERIMENTS.md for measured values.
+
+#include <string>
+#include <vector>
+
+#include "mobility/dataset.h"
+#include "simulation/generator.h"
+
+namespace mood::simulation {
+
+/// Generator parameters for one of: "mdc", "privamov", "geolife",
+/// "cabspotting". Throws PreconditionError for unknown names.
+/// Precondition: 0 < scale <= 4.
+GeneratorParams preset_params(const std::string& name, double scale = 1.0,
+                              std::uint64_t seed = 42);
+
+/// Convenience: generate a preset dataset directly.
+mobility::Dataset make_preset_dataset(const std::string& name,
+                                      double scale = 1.0,
+                                      std::uint64_t seed = 42);
+
+/// The four preset names in the paper's Table 1 order.
+const std::vector<std::string>& preset_names();
+
+}  // namespace mood::simulation

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file csv.h
+/// Minimal CSV reading/writing used for trace import/export and bench output.
+///
+/// Supports the RFC-4180 subset MooD needs: comma separator, optional
+/// double-quote quoting with "" escapes, one record per line, optional
+/// header row. No embedded newlines inside quoted fields (mobility exports
+/// never contain them).
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mood::support {
+
+/// Splits one CSV line into fields, honouring double-quote quoting.
+/// Throws IoError on unterminated quotes.
+std::vector<std::string> parse_csv_line(std::string_view line);
+
+/// Joins fields into a CSV line, quoting any field containing a comma,
+/// quote, or leading/trailing whitespace.
+std::string format_csv_line(const std::vector<std::string>& fields);
+
+/// Reads an entire CSV document from a stream. Skips blank lines.
+/// Throws IoError on malformed content.
+std::vector<std::vector<std::string>> read_csv(std::istream& in);
+
+/// Reads an entire CSV file from disk. Throws IoError if unreadable.
+std::vector<std::vector<std::string>> read_csv_file(const std::string& path);
+
+/// Writes rows to a stream as CSV.
+void write_csv(std::ostream& out,
+               const std::vector<std::vector<std::string>>& rows);
+
+/// Writes rows to a file on disk. Throws IoError on failure.
+void write_csv_file(const std::string& path,
+                    const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace mood::support

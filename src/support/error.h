@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file error.h
+/// Error handling primitives shared by every MooD subsystem.
+///
+/// Policy (C++ Core Guidelines E.2/E.3): exceptions signal violated
+/// preconditions and unrecoverable environment failures (I/O); internal
+/// invariants use expects()/ensures() which throw LogicError so tests can
+/// observe them, while release builds keep full checking (the checks are
+/// cheap relative to the surrounding numerical work).
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace mood::support {
+
+/// Base class of all MooD exceptions so callers can catch the library
+/// wholesale without swallowing unrelated std errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition of a public API.
+class PreconditionError : public Error {
+ public:
+  explicit PreconditionError(const std::string& what) : Error(what) {}
+};
+
+/// An internal invariant failed — a bug in MooD itself.
+class LogicError : public Error {
+ public:
+  explicit LogicError(const std::string& what) : Error(what) {}
+};
+
+/// Failure while reading or writing external data (CSV files, ...).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// Precondition check for public entry points.
+inline void expects(bool condition, std::string_view message) {
+  if (!condition) throw PreconditionError(std::string(message));
+}
+
+/// Internal invariant check; failing means a MooD bug, not a user error.
+inline void ensures(bool condition, std::string_view message) {
+  if (!condition) throw LogicError(std::string(message));
+}
+
+}  // namespace mood::support

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file logging.h
+/// Leveled stderr logger. Thread-safe (one line per call, atomic write).
+/// The level defaults to `info` and can be lowered for tests or raised for
+/// verbose experiment runs via MOOD_LOG=debug|info|warn|error|off.
+
+#include <sstream>
+#include <string>
+
+namespace mood::support {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Current minimum level; initialised from MOOD_LOG on first use.
+LogLevel log_level();
+
+/// Overrides the level programmatically (e.g. tests silencing output).
+void set_log_level(LogLevel level);
+
+/// Emits one formatted line ("[level] message") if level >= threshold.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream oss;
+  (oss << ... << std::forward<Args>(args));
+  return oss.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  if (log_level() <= LogLevel::kDebug)
+    log_line(LogLevel::kDebug, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_info(Args&&... args) {
+  if (log_level() <= LogLevel::kInfo)
+    log_line(LogLevel::kInfo, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_warn(Args&&... args) {
+  if (log_level() <= LogLevel::kWarn)
+    log_line(LogLevel::kWarn, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_error(Args&&... args) {
+  if (log_level() <= LogLevel::kError)
+    log_line(LogLevel::kError, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace mood::support

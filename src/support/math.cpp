@@ -1,0 +1,44 @@
+#include "support/math.h"
+
+#include <cmath>
+
+#include "support/error.h"
+
+namespace mood::support {
+
+double lambert_w_minus1(double x) {
+  constexpr double kMinusOneOverE = -0.367879441171442321595;  // -1/e
+  expects(x >= kMinusOneOverE && x < 0.0,
+          "lambert_w_minus1: argument outside [-1/e, 0)");
+
+  // At the branch point the value is exactly -1.
+  if (x <= kMinusOneOverE + 1e-16) return -1.0;
+
+  // Initial guess. Near the branch point use the square-root expansion
+  // w = -1 - p - p^2/3 with p = sqrt(2(1 + e x)); elsewhere the asymptotic
+  // log-log series w = L1 - L2 + L2/L1.
+  double w;
+  const double p2 = 2.0 * (1.0 + std::exp(1.0) * x);
+  if (p2 < 0.25) {
+    const double p = -std::sqrt(p2);
+    w = -1.0 + p - p2 / 6.0;
+  } else {
+    const double l1 = std::log(-x);
+    const double l2 = std::log(-l1);
+    w = l1 - l2 + l2 / l1;
+  }
+
+  // Halley iterations.
+  for (int iter = 0; iter < 32; ++iter) {
+    const double ew = std::exp(w);
+    const double f = w * ew - x;
+    const double denominator =
+        ew * (w + 1.0) - (w + 2.0) * f / (2.0 * w + 2.0);
+    const double step = f / denominator;
+    w -= step;
+    if (std::abs(step) < 1e-14 * (1.0 + std::abs(w))) break;
+  }
+  return w;
+}
+
+}  // namespace mood::support

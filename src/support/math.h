@@ -1,0 +1,17 @@
+#pragma once
+
+/// \file math.h
+/// Special functions the library needs that the standard library lacks.
+
+namespace mood::support {
+
+/// Lambert W, branch W_{-1}: the solution w <= -1 of w * e^w = x for
+/// x in [-1/e, 0). Used by the planar Laplace radius sampler of
+/// Geo-indistinguishability (Andrés et al. 2013).
+///
+/// Accuracy: |w e^w - x| / |x| < 1e-12 across the domain (Halley
+/// iterations from the standard series initial guess).
+/// Throws PreconditionError outside [-1/e, 0).
+double lambert_w_minus1(double x);
+
+}  // namespace mood::support

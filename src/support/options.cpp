@@ -1,0 +1,85 @@
+#include "support/options.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+#include "support/error.h"
+
+namespace mood::support {
+
+Options::Options(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_[arg.substr(2)] = "true";
+      } else {
+        values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    } else {
+      positional_.push_back(arg);
+    }
+  }
+}
+
+std::optional<std::string> Options::get(const std::string& key) const {
+  if (const auto it = values_.find(key); it != values_.end()) {
+    return it->second;
+  }
+  std::string env_name = "MOOD_" + key;
+  std::transform(env_name.begin(), env_name.end(), env_name.begin(),
+                 [](unsigned char c) {
+                   return c == '-' ? '_' : static_cast<char>(std::toupper(c));
+                 });
+  if (const char* env = std::getenv(env_name.c_str())) {
+    return std::string(env);
+  }
+  return std::nullopt;
+}
+
+std::string Options::get_string(const std::string& key,
+                                const std::string& fallback) const {
+  return get(key).value_or(fallback);
+}
+
+double Options::get_double(const std::string& key, double fallback) const {
+  const auto value = get(key);
+  if (!value) return fallback;
+  try {
+    std::size_t consumed = 0;
+    const double parsed = std::stod(*value, &consumed);
+    expects(consumed == value->size(), "trailing junk");
+    return parsed;
+  } catch (...) {
+    throw PreconditionError("option --" + key + ": expected number, got '" +
+                            *value + "'");
+  }
+}
+
+std::int64_t Options::get_int(const std::string& key,
+                              std::int64_t fallback) const {
+  const auto value = get(key);
+  if (!value) return fallback;
+  try {
+    std::size_t consumed = 0;
+    const long long parsed = std::stoll(*value, &consumed);
+    expects(consumed == value->size(), "trailing junk");
+    return parsed;
+  } catch (...) {
+    throw PreconditionError("option --" + key + ": expected integer, got '" +
+                            *value + "'");
+  }
+}
+
+bool Options::get_bool(const std::string& key, bool fallback) const {
+  const auto value = get(key);
+  if (!value) return fallback;
+  if (*value == "true" || *value == "1" || *value == "yes") return true;
+  if (*value == "false" || *value == "0" || *value == "no") return false;
+  throw PreconditionError("option --" + key + ": expected boolean, got '" +
+                          *value + "'");
+}
+
+}  // namespace mood::support

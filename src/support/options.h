@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file options.h
+/// Tiny command-line / environment option reader for benches and examples.
+///
+/// Syntax: `--key=value` or `--flag` (boolean true). Unknown arguments are
+/// kept in positional(). Every lookup also consults the environment variable
+/// `MOOD_<KEY>` (upper-cased, '-' -> '_') so experiment scale can be tuned
+/// without editing command lines, e.g. `MOOD_SCALE=0.5 ./fig7_multi_attack`.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mood::support {
+
+/// Parsed option set with typed getters and defaults.
+class Options {
+ public:
+  Options() = default;
+
+  /// Parses argv (excluding argv[0]).
+  Options(int argc, const char* const* argv);
+
+  /// Raw lookup: CLI first, then MOOD_<KEY> environment variable.
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
+
+  /// Typed getters with defaults. Throw PreconditionError on unparsable
+  /// values (a typo in an experiment invocation should fail loudly).
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Arguments that did not look like --options, in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace mood::support

@@ -1,0 +1,317 @@
+// Mock-driven tests of Algorithm 1: the MooD engine's single pass,
+// composition pass, best-utility selection, fine-grained recursion, the
+// delta floor, id renewal and the crowdsensing pre-slicing mode.
+//
+// The mocks make the control flow directly observable: ShiftLppm displaces
+// traces north by a fixed amount (displacements add up under composition,
+// STD equals the total shift), and FakeAttack re-identifies the owner
+// whenever a predicate on the observed trace holds.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/mood_engine.h"
+#include "lppm/composition.h"
+#include "metrics/distortion.h"
+#include "support/error.h"
+#include "test_helpers.h"
+
+namespace mood::core {
+namespace {
+
+using mobility::kHour;
+using mobility::Timestamp;
+using mobility::Trace;
+using testing::FakeAttack;
+using testing::rec;
+using testing::ShiftLppm;
+
+/// Original (unshifted) latitude of the test traces; the oracles below
+/// measure displacement against it.
+constexpr double kBaseLat = 45.0;
+
+double shift_of(const Trace& trace) {
+  if (trace.empty()) return 0.0;
+  double mean_lat = 0.0;
+  for (const auto& r : trace.records()) mean_lat += r.position.lat;
+  mean_lat /= static_cast<double>(trace.size());
+  return geo::deg_to_rad(mean_lat - kBaseLat) * geo::kEarthRadiusM;
+}
+
+/// Attack that re-identifies the owner unless the trace moved at least
+/// `threshold_m` north of its true position.
+FakeAttack::Oracle catches_below(double threshold_m) {
+  return [threshold_m](const Trace& trace) -> std::optional<mobility::UserId> {
+    if (shift_of(trace) < threshold_m) {
+      // Mocks assume the single test user "victim".
+      return mobility::UserId("victim");
+    }
+    return std::nullopt;
+  };
+}
+
+/// A 24-hour trace for user "victim", one record per 30 min at kBaseLat.
+Trace day_trace() {
+  std::vector<mobility::Record> records;
+  for (Timestamp t = 0; t < 24 * kHour; t += kHour / 2) {
+    records.push_back(rec(kBaseLat, 5.0, t));
+  }
+  return Trace("victim", std::move(records));
+}
+
+class EngineTest : public ::testing::Test {
+ protected:
+  MoodEngine make_engine(std::vector<const lppm::Lppm*> singles,
+                         std::vector<const attacks::Attack*> attack_views,
+                         MoodConfig config = {}) {
+    return MoodEngine(std::move(singles),
+                      lppm::enumerate_compositions(singles_, 2,
+                                                   singles_.size()),
+                      std::move(attack_views), &metric_, config);
+  }
+
+  // Shifts: A = 60 m, B = 100 m, C = 150 m.
+  ShiftLppm a_{"A", 60.0};
+  ShiftLppm b_{"B", 100.0};
+  ShiftLppm c_{"C", 150.0};
+  std::vector<const lppm::Lppm*> singles_{&a_, &b_, &c_};
+  metrics::SpatialTemporalDistortion metric_;
+};
+
+TEST_F(EngineTest, SinglePassPicksLowestDistortionProtectiveLppm) {
+  // Threshold 80 m: B (100) and C (150) protect; A (60) does not.
+  FakeAttack attack("fake", catches_below(80.0));
+  const std::vector<const attacks::Attack*> attacks{&attack};
+  const auto engine = make_engine(singles_, attacks);
+
+  const auto candidate = engine.search(day_trace());
+  ASSERT_TRUE(candidate.has_value());
+  EXPECT_EQ(candidate->level, ProtectionLevel::kSingle);
+  EXPECT_EQ(candidate->lppm, "B");  // argmin STD among protective singles
+  EXPECT_NEAR(candidate->distortion, 100.0, 1.0);
+}
+
+TEST_F(EngineTest, CompositionPassRunsOnlyWhenSinglesFail) {
+  // Threshold 200 m: no single protects (max 150). Compositions reach
+  // 160..310; best utility = lowest total shift >= 200, i.e. A+C = 210.
+  FakeAttack attack("fake", catches_below(200.0));
+  const std::vector<const attacks::Attack*> attacks{&attack};
+  const auto engine = make_engine(singles_, attacks);
+
+  const auto candidate = engine.search(day_trace());
+  ASSERT_TRUE(candidate.has_value());
+  EXPECT_EQ(candidate->level, ProtectionLevel::kComposition);
+  EXPECT_NEAR(candidate->distortion, 210.0, 1.0);
+  // A+C or C+A — both shift 210 m; selection keeps the first minimum found.
+  EXPECT_TRUE(candidate->lppm == "A+C" || candidate->lppm == "C+A");
+}
+
+TEST_F(EngineTest, MultipleAttacksMustAllFail) {
+  // Attack 1 threshold 120 m, attack 2 threshold 260 m: only the triple
+  // compositions (total 310) defeat both.
+  FakeAttack attack1("fake1", catches_below(120.0));
+  FakeAttack attack2("fake2", catches_below(260.0));
+  const std::vector<const attacks::Attack*> attacks{&attack1, &attack2};
+  const auto engine = make_engine(singles_, attacks);
+
+  const auto candidate = engine.search(day_trace());
+  ASSERT_TRUE(candidate.has_value());
+  EXPECT_EQ(candidate->level, ProtectionLevel::kComposition);
+  EXPECT_NEAR(candidate->distortion, 310.0, 1.0);
+}
+
+TEST_F(EngineTest, SearchFailsWhenNothingProtects) {
+  FakeAttack attack("fake", catches_below(1e9));
+  const std::vector<const attacks::Attack*> attacks{&attack};
+  const auto engine = make_engine(singles_, attacks);
+  EXPECT_FALSE(engine.search(day_trace()).has_value());
+}
+
+TEST_F(EngineTest, SearchCountsCost) {
+  FakeAttack attack("fake", catches_below(1e9));
+  const std::vector<const attacks::Attack*> attacks{&attack};
+  const auto engine = make_engine(singles_, attacks);
+  ProtectionResult cost;
+  EXPECT_FALSE(engine.search(day_trace(), &cost).has_value());
+  // 3 singles + 12 compositions, all tried, one attack each.
+  EXPECT_EQ(cost.lppm_applications, 15u);
+  EXPECT_EQ(cost.attack_invocations, 15u);
+}
+
+TEST_F(EngineTest, ProtectWholeTraceKeepsUserId) {
+  FakeAttack attack("fake", catches_below(80.0));
+  const std::vector<const attacks::Attack*> attacks{&attack};
+  const auto engine = make_engine(singles_, attacks);
+
+  const auto result = engine.protect(day_trace());
+  EXPECT_EQ(result.level, ProtectionLevel::kSingle);
+  ASSERT_EQ(result.pieces.size(), 1u);
+  EXPECT_EQ(result.pieces[0].trace.user(), "victim");
+  EXPECT_TRUE(result.fully_protected());
+  EXPECT_EQ(result.lost_records, 0u);
+  EXPECT_EQ(result.original_records, day_trace().size());
+}
+
+TEST_F(EngineTest, FineGrainedSplitsUntilSubTracesProtectable) {
+  // This attack catches any trace spanning > 7 h regardless of shift
+  // (long traces are too discriminative), and shorter traces when the
+  // shift is under 80 m. A 24 h trace fails whole and as 12 h halves;
+  // 6 h quarters are protectable by B or C.
+  FakeAttack attack("fake", [](const Trace& trace)
+                                -> std::optional<mobility::UserId> {
+    if (trace.duration() > 7 * kHour) return mobility::UserId("victim");
+    if (shift_of(trace) < 80.0) return mobility::UserId("victim");
+    return std::nullopt;
+  });
+  const std::vector<const attacks::Attack*> attacks{&attack};
+  const auto engine = make_engine(singles_, attacks);
+
+  const auto result = engine.protect(day_trace());
+  EXPECT_EQ(result.level, ProtectionLevel::kFineGrained);
+  EXPECT_EQ(result.pieces.size(), 4u);  // 24 h -> 2 x 12 h -> 4 x 6 h
+  EXPECT_TRUE(result.fully_protected());
+  // renew_Ids: every piece published under a fresh pseudonym.
+  std::set<std::string> ids;
+  for (const auto& piece : result.pieces) {
+    EXPECT_NE(piece.trace.user(), "victim");
+    EXPECT_TRUE(piece.trace.user().starts_with("victim#"));
+    ids.insert(piece.trace.user());
+    EXPECT_EQ(piece.level, ProtectionLevel::kFineGrained);
+  }
+  EXPECT_EQ(ids.size(), result.pieces.size());
+  // No record lost: piece originals partition the day.
+  std::size_t piece_records = 0;
+  for (const auto& piece : result.pieces) {
+    piece_records += piece.original_records;
+  }
+  EXPECT_EQ(piece_records, day_trace().size());
+}
+
+TEST_F(EngineTest, DeltaFloorStopsRecursionAndErasesData) {
+  // Nothing ever protects; delta = 4 h. The 24 h trace recurses down to
+  // pieces shorter than 4 h, all of which are erased.
+  FakeAttack attack("fake", catches_below(1e9));
+  const std::vector<const attacks::Attack*> attacks{&attack};
+  MoodConfig config;
+  config.delta = 4 * kHour;
+  const auto engine = make_engine(singles_, attacks, config);
+
+  const auto result = engine.protect(day_trace());
+  EXPECT_EQ(result.level, ProtectionLevel::kNone);
+  EXPECT_TRUE(result.pieces.empty());
+  EXPECT_EQ(result.lost_records, day_trace().size());
+  EXPECT_FALSE(result.fully_protected());
+}
+
+TEST_F(EngineTest, PartialProtectionCountsPartialLoss) {
+  // Catches: traces spanning > 7 h always; short traces in the first half
+  // of the day always (owner's morning is hopeless); afternoon short
+  // traces protected when shifted >= 80 m.
+  FakeAttack attack("fake", [](const Trace& trace)
+                                -> std::optional<mobility::UserId> {
+    if (trace.duration() > 7 * kHour) return mobility::UserId("victim");
+    if (trace.empty() || trace.front().time < 12 * kHour) {
+      return mobility::UserId("victim");
+    }
+    if (shift_of(trace) < 80.0) return mobility::UserId("victim");
+    return std::nullopt;
+  });
+  const std::vector<const attacks::Attack*> attacks{&attack};
+  const auto engine = make_engine(singles_, attacks);
+
+  const auto result = engine.protect(day_trace());
+  EXPECT_EQ(result.level, ProtectionLevel::kFineGrained);
+  EXPECT_GT(result.lost_records, 0u);
+  EXPECT_LT(result.lost_records, day_trace().size());
+  EXPECT_FALSE(result.fully_protected());
+  EXPECT_GT(result.protected_records(), 0u);
+}
+
+TEST_F(EngineTest, MeanDistortionIsRecordWeighted) {
+  ProtectionResult result;
+  result.pieces.push_back(
+      ProtectedPiece{Trace("x", {}), "A", ProtectionLevel::kSingle, 100.0, 10});
+  result.pieces.push_back(
+      ProtectedPiece{Trace("y", {}), "B", ProtectionLevel::kSingle, 200.0, 30});
+  EXPECT_NEAR(result.mean_distortion(), 175.0, 1e-9);
+}
+
+TEST_F(EngineTest, CrowdsensingModePreslicesByConfiguredPeriod) {
+  // 24 h trace, 6 h preslice, threshold 80 m: each of the 4 slices is
+  // protected by a single LPPM; ids are renewed per slice.
+  FakeAttack attack("fake", catches_below(80.0));
+  const std::vector<const attacks::Attack*> attacks{&attack};
+  MoodConfig config;
+  config.preslice = 6 * kHour;
+  const auto engine = make_engine(singles_, attacks, config);
+
+  const auto result = engine.protect_crowdsensing(day_trace());
+  EXPECT_EQ(result.pieces.size(), 4u);
+  EXPECT_TRUE(result.fully_protected());
+  for (const auto& piece : result.pieces) {
+    EXPECT_TRUE(piece.trace.user().starts_with("victim#"));
+  }
+}
+
+TEST_F(EngineTest, EmptyTraceProtectsTrivially) {
+  FakeAttack attack("fake", catches_below(80.0));
+  const std::vector<const attacks::Attack*> attacks{&attack};
+  const auto engine = make_engine(singles_, attacks);
+  const auto result = engine.protect(Trace("victim", {}));
+  EXPECT_EQ(result.level, ProtectionLevel::kNone);
+  EXPECT_EQ(result.lost_records, 0u);
+  EXPECT_EQ(result.original_records, 0u);
+}
+
+TEST_F(EngineTest, FirstHitModeStopsEarly) {
+  // Threshold 200: compositions of total >= 200 protect. In first-hit mode
+  // the engine returns the first protective composition in enumeration
+  // order instead of the global best.
+  FakeAttack attack("fake", catches_below(200.0));
+  const std::vector<const attacks::Attack*> attacks{&attack};
+  MoodConfig config;
+  config.first_hit = true;
+  const auto engine = make_engine(singles_, attacks, config);
+
+  ProtectionResult cost;
+  const auto candidate = engine.search(day_trace(), &cost);
+  ASSERT_TRUE(candidate.has_value());
+  // Exhaustive mode would try all 15; first-hit stops earlier.
+  EXPECT_LT(cost.lppm_applications, 15u);
+}
+
+TEST_F(EngineTest, ValidatesConstruction) {
+  FakeAttack attack("fake", catches_below(1.0));
+  const std::vector<const attacks::Attack*> attacks{&attack};
+  EXPECT_THROW(MoodEngine({}, {}, attacks, &metric_, {}),
+               support::PreconditionError);
+  EXPECT_THROW(MoodEngine(singles_, {}, {}, &metric_, {}),
+               support::PreconditionError);
+  EXPECT_THROW(MoodEngine(singles_, {}, attacks, nullptr, {}),
+               support::PreconditionError);
+  MoodConfig bad;
+  bad.delta = 0;
+  EXPECT_THROW(MoodEngine(singles_, {}, attacks, &metric_, bad),
+               support::PreconditionError);
+}
+
+TEST(RenewIds, AssignsSequentialPseudonyms) {
+  std::vector<ProtectedPiece> pieces(3);
+  for (auto& piece : pieces) piece.trace = Trace("alice", {});
+  renew_ids(pieces, "alice");
+  EXPECT_EQ(pieces[0].trace.user(), "alice#0");
+  EXPECT_EQ(pieces[1].trace.user(), "alice#1");
+  EXPECT_EQ(pieces[2].trace.user(), "alice#2");
+}
+
+TEST(ProtectionLevelNames, Stable) {
+  EXPECT_EQ(to_string(ProtectionLevel::kNone), "none");
+  EXPECT_EQ(to_string(ProtectionLevel::kSingle), "single-LPPM");
+  EXPECT_EQ(to_string(ProtectionLevel::kComposition), "multi-LPPM");
+  EXPECT_EQ(to_string(ProtectionLevel::kFineGrained), "fine-grained");
+}
+
+}  // namespace
+}  // namespace mood::core

@@ -1,0 +1,252 @@
+// Unit tests for the extension LPPMs (SpatialCloaking, TimeDistortion,
+// Promesse) and the application-level utility metrics (cell coverage,
+// POI preservation).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "clustering/poi_extraction.h"
+#include "geo/cell_grid.h"
+#include "lppm/promesse.h"
+#include "lppm/spatial_cloaking.h"
+#include "lppm/time_distortion.h"
+#include "metrics/coverage.h"
+#include "metrics/distortion.h"
+#include "support/error.h"
+#include "test_helpers.h"
+
+namespace mood::lppm {
+namespace {
+
+using geo::GeoPoint;
+using mobility::kHour;
+using mobility::kMinute;
+using mobility::Trace;
+using support::RngStream;
+using testing::dwell;
+using testing::rec;
+using testing::trace_of;
+
+const GeoPoint kHome{45.7640, 4.8357};
+const GeoPoint kWork{45.7800, 4.8700};
+
+Trace commute_trace() {
+  std::vector<mobility::Record> records = dwell(kHome, 0, 30);
+  // Commute leg sampled every 2 minutes.
+  for (int i = 1; i <= 10; ++i) {
+    const double f = i / 11.0;
+    records.push_back(rec(kHome.lat + f * (kWork.lat - kHome.lat),
+                          kHome.lon + f * (kWork.lon - kHome.lon),
+                          150 * kMinute + i * 2 * kMinute));
+  }
+  auto w = dwell(kWork, 4 * kHour, 30);
+  records.insert(records.end(), w.begin(), w.end());
+  return Trace("u", std::move(records));
+}
+
+// ------------------------------------------------------- SpatialCloaking --
+
+TEST(SpatialCloaking, SnapsEveryRecordToCellCenter) {
+  const geo::CellGrid grid(geo::LocalProjection(kHome), 800.0);
+  const SpatialCloaking cloak(grid);
+  const Trace in = commute_trace();
+  const Trace out = cloak.apply(in, RngStream(1));
+  ASSERT_EQ(out.size(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(out.at(i).time, in.at(i).time);
+    const auto cell = grid.cell_of(in.at(i).position);
+    EXPECT_NEAR(
+        geo::haversine_m(out.at(i).position, grid.cell_center(cell)), 0.0,
+        0.01);
+    // Displacement bounded by half the cell diagonal.
+    EXPECT_LE(geo::haversine_m(out.at(i).position, in.at(i).position),
+              800.0 * std::numbers::sqrt2 / 2.0 + 0.01);
+  }
+}
+
+TEST(SpatialCloaking, IsIdempotent) {
+  const geo::CellGrid grid(geo::LocalProjection(kHome), 800.0);
+  const SpatialCloaking cloak(grid);
+  const Trace once = cloak.apply(commute_trace(), RngStream(1));
+  const Trace twice = cloak.apply(once, RngStream(2));
+  EXPECT_EQ(once, twice);
+}
+
+TEST(SpatialCloaking, CollapsesCoLocatedUsers) {
+  // Two users in the same cell become positionally identical — the
+  // cell-level k-anonymity effect.
+  const geo::CellGrid grid(geo::LocalProjection(kHome), 800.0);
+  const SpatialCloaking cloak(grid);
+  const Trace a = trace_of("a", {dwell(kHome, 0, 5)});
+  const Trace b = trace_of(
+      "b", {dwell(geo::destination(kHome, 0.3, 100.0), 0, 5)});
+  const Trace ca = cloak.apply(a, RngStream(1));
+  const Trace cb = cloak.apply(b, RngStream(1));
+  EXPECT_EQ(ca.at(0).position, cb.at(0).position);
+}
+
+// -------------------------------------------------------- TimeDistortion --
+
+TEST(TimeDistortion, KeepsPositionsExactly) {
+  const TimeDistortion distort(2 * kHour, 120.0);
+  const Trace in = commute_trace();
+  const Trace out = distort.apply(in, RngStream(3));
+  ASSERT_EQ(out.size(), in.size());
+  std::multiset<std::pair<double, double>> in_positions, out_positions;
+  for (const auto& r : in.records()) {
+    in_positions.insert({r.position.lat, r.position.lon});
+  }
+  for (const auto& r : out.records()) {
+    out_positions.insert({r.position.lat, r.position.lon});
+  }
+  EXPECT_EQ(in_positions, out_positions);
+}
+
+TEST(TimeDistortion, ShiftsAreBoundedByMaxShift) {
+  const mobility::Timestamp bound = kHour;
+  const TimeDistortion distort(bound, 300.0);
+  const Trace in = commute_trace();
+  const Trace out = distort.apply(in, RngStream(4));
+  // Output is re-sorted; compare the sorted sets of timestamps via the
+  // min/max envelope (every output time within [min-in - bound,
+  // max-in + bound]).
+  EXPECT_GE(out.front().time, in.front().time - bound);
+  EXPECT_LE(out.back().time, in.back().time + bound);
+}
+
+TEST(TimeDistortion, ActuallyMovesTimestamps) {
+  const TimeDistortion distort(2 * kHour, 120.0);
+  const Trace in = commute_trace();
+  const Trace out = distort.apply(in, RngStream(5));
+  EXPECT_NE(in, out);
+}
+
+TEST(TimeDistortion, OutputRemainsTimeOrdered) {
+  const TimeDistortion distort(2 * kHour, 600.0);
+  const Trace out = distort.apply(commute_trace(), RngStream(6));
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    EXPECT_LE(out.at(i - 1).time, out.at(i).time);
+  }
+}
+
+TEST(TimeDistortion, ValidatesParameters) {
+  EXPECT_THROW(TimeDistortion(0, 10.0), support::PreconditionError);
+  EXPECT_THROW(TimeDistortion(kHour, -1.0), support::PreconditionError);
+}
+
+// -------------------------------------------------------------- Promesse --
+
+TEST(Promesse, ErasesPois) {
+  const Promesse promesse(200.0);
+  const Trace in = commute_trace();
+  ASSERT_FALSE(clustering::extract_pois(in).empty());  // dwells exist
+  const Trace out = promesse.apply(in, RngStream(7));
+  EXPECT_TRUE(clustering::extract_pois(out).empty());
+}
+
+TEST(Promesse, OutputIsEvenlySpacedAlongPath) {
+  const Promesse promesse(200.0);
+  const Trace out = promesse.apply(commute_trace(), RngStream(8));
+  ASSERT_GT(out.size(), 2u);
+  // Consecutive output records (after the seed record) are one stride
+  // apart along the straight commute path.
+  for (std::size_t i = 2; i < out.size(); ++i) {
+    EXPECT_NEAR(
+        geo::haversine_m(out.at(i - 1).position, out.at(i).position), 200.0,
+        5.0);
+  }
+}
+
+TEST(Promesse, KeepsRouteGeometry) {
+  // All resampled points lie on the home->work segment (within noise).
+  const Promesse promesse(150.0);
+  const Trace out = promesse.apply(commute_trace(), RngStream(9));
+  for (const auto& r : out.records()) {
+    // Cross-track distance from the straight line home->work stays small
+    // relative to the 3.2 km leg.
+    const double to_home = geo::haversine_m(r.position, kHome);
+    const double to_work = geo::haversine_m(r.position, kWork);
+    const double leg = geo::haversine_m(kHome, kWork);
+    EXPECT_LE(to_home + to_work, leg * 1.02);
+  }
+}
+
+TEST(Promesse, EmptyAndSingleRecordTraces) {
+  const Promesse promesse(200.0);
+  EXPECT_TRUE(promesse.apply(Trace("u", {}), RngStream(1)).empty());
+  const Trace single("u", {rec(45, 5, 0)});
+  EXPECT_EQ(promesse.apply(single, RngStream(1)).size(), 1u);
+}
+
+TEST(Promesse, ValidatesStride) {
+  EXPECT_THROW(Promesse(0.0), support::PreconditionError);
+}
+
+}  // namespace
+}  // namespace mood::lppm
+
+namespace mood::metrics {
+namespace {
+
+using geo::GeoPoint;
+using mobility::Trace;
+using testing::dwell;
+using testing::trace_of;
+
+const GeoPoint kSpot{45.7640, 4.8357};
+
+TEST(CellCoverage, IdenticalTraceScoresOne) {
+  const geo::CellGrid grid(geo::LocalProjection(kSpot), 800.0);
+  const Trace t = trace_of("u", {dwell(kSpot, 0, 20)});
+  EXPECT_NEAR(cell_coverage_similarity(t, t, grid), 1.0, 1e-9);
+}
+
+TEST(CellCoverage, DisjointTracesScoreZero) {
+  const geo::CellGrid grid(geo::LocalProjection(kSpot), 800.0);
+  const Trace a = trace_of("u", {dwell(kSpot, 0, 20)});
+  const Trace b = trace_of(
+      "u", {dwell(geo::destination(kSpot, 0.0, 20000.0), 0, 20)});
+  EXPECT_NEAR(cell_coverage_similarity(a, b, grid), 0.0, 1e-9);
+}
+
+TEST(CellCoverage, PartialOverlapInBetween) {
+  const geo::CellGrid grid(geo::LocalProjection(kSpot), 800.0);
+  const Trace a = trace_of("u", {dwell(kSpot, 0, 20)});
+  // Half the records in the same cell, half far away.
+  const Trace b = trace_of(
+      "u", {dwell(kSpot, 0, 10),
+            dwell(geo::destination(kSpot, 0.0, 20000.0), 7200, 10)});
+  const double score = cell_coverage_similarity(a, b, grid);
+  EXPECT_GT(score, 0.3);
+  EXPECT_LT(score, 0.7);
+}
+
+TEST(CellCoverage, EmptyTraceScoresZero) {
+  const geo::CellGrid grid(geo::LocalProjection(kSpot), 800.0);
+  const Trace t = trace_of("u", {dwell(kSpot, 0, 20)});
+  EXPECT_EQ(cell_coverage_similarity(t, Trace("u", {}), grid), 0.0);
+  EXPECT_EQ(cell_coverage_similarity(Trace("u", {}), t, grid), 0.0);
+}
+
+TEST(PoiPreservation, IdentityPreservesEverything) {
+  const Trace t = trace_of("u", {dwell(kSpot, 0, 20)});
+  EXPECT_DOUBLE_EQ(poi_preservation(t, t), 1.0);
+}
+
+TEST(PoiPreservation, FarShiftPreservesNothing) {
+  const Trace t = trace_of("u", {dwell(kSpot, 0, 20)});
+  const Trace moved = trace_of(
+      "u", {dwell(geo::destination(kSpot, 0.0, 5000.0), 0, 20)});
+  EXPECT_DOUBLE_EQ(poi_preservation(t, moved), 0.0);
+}
+
+TEST(PoiPreservation, NoOriginalPoisMeansVacuouslyPreserved) {
+  const Trace sparse("u", {testing::rec(45, 5, 0)});
+  const Trace t = trace_of("u", {dwell(kSpot, 0, 20)});
+  EXPECT_DOUBLE_EQ(poi_preservation(sparse, t), 1.0);
+}
+
+}  // namespace
+}  // namespace mood::metrics

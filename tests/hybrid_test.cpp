@@ -1,0 +1,98 @@
+// Mock-driven tests of the HybridLPPM baseline: per-user best protective
+// single LPPM, no compositions, no splitting.
+
+#include <gtest/gtest.h>
+
+#include "core/hybrid.h"
+#include "metrics/distortion.h"
+#include "support/error.h"
+#include "test_helpers.h"
+
+namespace mood::core {
+namespace {
+
+using mobility::kHour;
+using mobility::Timestamp;
+using mobility::Trace;
+using testing::FakeAttack;
+using testing::rec;
+using testing::ShiftLppm;
+
+constexpr double kBaseLat = 45.0;
+
+double shift_of(const Trace& trace) {
+  if (trace.empty()) return 0.0;
+  double mean_lat = 0.0;
+  for (const auto& r : trace.records()) mean_lat += r.position.lat;
+  mean_lat /= static_cast<double>(trace.size());
+  return geo::deg_to_rad(mean_lat - kBaseLat) * geo::kEarthRadiusM;
+}
+
+FakeAttack::Oracle catches_below(double threshold_m) {
+  return [threshold_m](const Trace& trace) -> std::optional<mobility::UserId> {
+    if (shift_of(trace) < threshold_m) return mobility::UserId("victim");
+    return std::nullopt;
+  };
+}
+
+Trace day_trace() {
+  std::vector<mobility::Record> records;
+  for (Timestamp t = 0; t < 24 * kHour; t += kHour) {
+    records.push_back(rec(kBaseLat, 5.0, t));
+  }
+  return Trace("victim", std::move(records));
+}
+
+class HybridTest : public ::testing::Test {
+ protected:
+  ShiftLppm a_{"A", 60.0};
+  ShiftLppm b_{"B", 100.0};
+  ShiftLppm c_{"C", 150.0};
+  std::vector<const lppm::Lppm*> singles_{&a_, &b_, &c_};
+  metrics::SpatialTemporalDistortion metric_;
+};
+
+TEST_F(HybridTest, PicksBestUtilityAmongProtectiveSingles) {
+  FakeAttack attack("fake", catches_below(80.0));
+  const HybridLppm hybrid(singles_, {&attack}, &metric_);
+  const auto result = hybrid.protect(day_trace());
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->lppm, "B");  // 100 m beats 150 m, 60 m is caught
+  EXPECT_NEAR(result->distortion, 100.0, 1.0);
+}
+
+TEST_F(HybridTest, OrphanUserYieldsNullopt) {
+  // No single reaches 200 m: hybrid gives up (MooD's compositions would
+  // not).
+  FakeAttack attack("fake", catches_below(200.0));
+  const HybridLppm hybrid(singles_, {&attack}, &metric_);
+  EXPECT_FALSE(hybrid.protect(day_trace()).has_value());
+}
+
+TEST_F(HybridTest, AllAttacksMustFail) {
+  FakeAttack weak("weak", catches_below(80.0));
+  FakeAttack strong("strong", catches_below(120.0));
+  const HybridLppm hybrid(singles_, {&weak, &strong}, &metric_);
+  const auto result = hybrid.protect(day_trace());
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->lppm, "C");  // only 150 m clears both thresholds
+}
+
+TEST_F(HybridTest, EmptyTraceIsNotProtectable) {
+  FakeAttack attack("fake", catches_below(0.0));
+  const HybridLppm hybrid(singles_, {&attack}, &metric_);
+  EXPECT_FALSE(hybrid.protect(Trace("victim", {})).has_value());
+}
+
+TEST_F(HybridTest, ValidatesConstruction) {
+  FakeAttack attack("fake", catches_below(0.0));
+  EXPECT_THROW(HybridLppm({}, {&attack}, &metric_),
+               support::PreconditionError);
+  EXPECT_THROW(HybridLppm(singles_, {}, &metric_),
+               support::PreconditionError);
+  EXPECT_THROW(HybridLppm(singles_, {&attack}, nullptr),
+               support::PreconditionError);
+}
+
+}  // namespace
+}  // namespace mood::core

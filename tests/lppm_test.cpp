@@ -1,0 +1,444 @@
+// Unit tests for the LPPM set: Geo-I (planar Laplace), TRL (dummies),
+// HMC (heatmap confusion), composition algebra and the registry.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "geo/cell_grid.h"
+#include "lppm/composition.h"
+#include "lppm/geo_ind.h"
+#include "lppm/heatmap_confusion.h"
+#include "lppm/registry.h"
+#include "lppm/trilateration.h"
+#include "profiles/heatmap.h"
+#include "support/error.h"
+#include "test_helpers.h"
+
+namespace mood::lppm {
+namespace {
+
+using geo::GeoPoint;
+using mobility::Trace;
+using support::RngStream;
+using testing::dwell;
+using testing::trace_of;
+
+const GeoPoint kHome{45.7640, 4.8357};
+const GeoPoint kWork{45.7800, 4.8700};
+
+Trace sample_trace(const std::string& user = "u") {
+  std::vector<mobility::Record> records = dwell(kHome, 0, 40);
+  auto w = dwell(kWork, 5 * mobility::kHour, 40);
+  records.insert(records.end(), w.begin(), w.end());
+  return Trace(user, std::move(records));
+}
+
+// ----------------------------------------------------------------- GeoI --
+
+TEST(GeoI, PreservesTimestampsAndCardinality) {
+  const GeoIndistinguishability geoi(0.01);
+  const Trace in = sample_trace();
+  const Trace out = geoi.apply(in, RngStream(1));
+  ASSERT_EQ(out.size(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(out.at(i).time, in.at(i).time);
+  }
+  EXPECT_EQ(out.user(), in.user());
+}
+
+TEST(GeoI, DeterministicForSameStream) {
+  const GeoIndistinguishability geoi(0.01);
+  const Trace in = sample_trace();
+  EXPECT_EQ(geoi.apply(in, RngStream(7)), geoi.apply(in, RngStream(7)));
+}
+
+TEST(GeoI, DifferentStreamsDiffer) {
+  const GeoIndistinguishability geoi(0.01);
+  const Trace in = sample_trace();
+  EXPECT_NE(geoi.apply(in, RngStream(7)), geoi.apply(in, RngStream(8)));
+}
+
+TEST(GeoI, MeanDisplacementMatchesTheory) {
+  // E[r] for the polar Laplace is 2/epsilon.
+  const double epsilon = 0.01;
+  const GeoIndistinguishability geoi(epsilon);
+  const Trace in = sample_trace();
+  RngStream rng(3);
+  double total = 0.0;
+  int count = 0;
+  for (int rep = 0; rep < 30; ++rep) {
+    const Trace out = geoi.apply(in, rng.fork("rep", rep));
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      total += geo::haversine_m(in.at(i).position, out.at(i).position);
+      ++count;
+    }
+  }
+  EXPECT_NEAR(total / count, 2.0 / epsilon, 12.0);
+}
+
+TEST(GeoI, RadiusSamplerMatchesAnalyticCdf) {
+  // CDF of the polar Laplace radius: C(r) = 1 - (1 + eps r) e^{-eps r}.
+  const double epsilon = 0.01;
+  const GeoIndistinguishability geoi(epsilon);
+  RngStream rng(11);
+  const int n = 50000;
+  std::vector<double> radii;
+  radii.reserve(n);
+  for (int i = 0; i < n; ++i) radii.push_back(geoi.sample_radius_m(rng));
+  for (const double q : {100.0, 200.0, 400.0, 800.0}) {
+    const double expected = 1.0 - (1.0 + epsilon * q) * std::exp(-epsilon * q);
+    const double observed =
+        static_cast<double>(std::count_if(radii.begin(), radii.end(),
+                                          [&](double r) { return r <= q; })) /
+        n;
+    EXPECT_NEAR(observed, expected, 0.01) << "q=" << q;
+  }
+}
+
+TEST(GeoI, LowerEpsilonMeansMoreNoise) {
+  const Trace in = sample_trace();
+  auto mean_noise = [&](double eps) {
+    const GeoIndistinguishability geoi(eps);
+    const Trace out = geoi.apply(in, RngStream(5));
+    double total = 0.0;
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      total += geo::haversine_m(in.at(i).position, out.at(i).position);
+    }
+    return total / static_cast<double>(in.size());
+  };
+  EXPECT_GT(mean_noise(0.001), mean_noise(0.1));
+}
+
+TEST(GeoI, RejectsNonPositiveEpsilon) {
+  EXPECT_THROW(GeoIndistinguishability(0.0), support::PreconditionError);
+  EXPECT_THROW(GeoIndistinguishability(-1.0), support::PreconditionError);
+}
+
+// ------------------------------------------------------------------ TRL --
+
+TEST(Trl, EmitsThreeDummiesPerRecordWithinRadius) {
+  const Trilateration trl(1000.0);
+  const Trace in = sample_trace();
+  const Trace out = trl.apply(in, RngStream(2));
+  ASSERT_EQ(out.size(), in.size() * 3);
+  double min_r = 1e9;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    for (int d = 0; d < 3; ++d) {
+      const auto& dummy = out.at(i * 3 + d);
+      EXPECT_EQ(dummy.time, in.at(i).time);
+      const double r = geo::haversine_m(dummy.position, in.at(i).position);
+      EXPECT_LE(r, 1000.5);
+      min_r = std::min(min_r, r);
+    }
+  }
+  EXPECT_LT(min_r, 400.0);  // default disk sampling reaches near the centre
+}
+
+TEST(Trl, AnnulusVariantKeepsAwayFromTruePosition) {
+  const Trilateration trl(1000.0, 3, 0.7);
+  const Trace in = sample_trace();
+  const Trace out = trl.apply(in, RngStream(2));
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    for (int d = 0; d < 3; ++d) {
+      const double r =
+          geo::haversine_m(out.at(i * 3 + d).position, in.at(i).position);
+      EXPECT_GE(r, 699.5);
+      EXPECT_LE(r, 1000.5);
+    }
+  }
+}
+
+TEST(Trl, DummyCountConfigurable) {
+  const Trilateration trl(500.0, 5);
+  const Trace in = sample_trace();
+  EXPECT_EQ(trl.apply(in, RngStream(2)).size(), in.size() * 5);
+}
+
+TEST(Trl, NeverPublishesTheTruePosition) {
+  const Trilateration trl(1000.0);
+  const Trace in = sample_trace();
+  const Trace out = trl.apply(in, RngStream(2));
+  int exact = 0;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    for (int d = 0; d < 3; ++d) {
+      if (geo::haversine_m(out.at(i * 3 + d).position, in.at(i).position) <
+          0.5) {
+        ++exact;
+      }
+    }
+  }
+  EXPECT_EQ(exact, 0);
+}
+
+TEST(Trl, DeterministicForSameStream) {
+  const Trilateration trl(1000.0);
+  const Trace in = sample_trace();
+  EXPECT_EQ(trl.apply(in, RngStream(9)), trl.apply(in, RngStream(9)));
+}
+
+TEST(Trl, RejectsBadParameters) {
+  EXPECT_THROW(Trilateration(0.0), support::PreconditionError);
+  EXPECT_THROW(Trilateration(100.0, 0), support::PreconditionError);
+  EXPECT_THROW(Trilateration(100.0, 3, 1.0), support::PreconditionError);
+  EXPECT_THROW(Trilateration(100.0, 3, -0.1), support::PreconditionError);
+}
+
+TEST(Hmc, CellBudgetCapsTheAlignment) {
+  // With max_mapped_cells = 1 only the hottest cell can move even at full
+  // coverage.
+  const geo::GeoPoint home{45.7640, 4.8357};
+  const geo::CellGrid grid(geo::LocalProjection(home), 800.0);
+  const auto dataset = testing::distinct_population(3, 4);
+  std::vector<Trace> background(dataset.traces().begin(),
+                                dataset.traces().end());
+  const auto pool = std::make_shared<DonorPool>(background, grid);
+  const HeatmapConfusion hmc(grid, pool, 1.0, 1, 1e9);
+  const Trace& own = background[0];
+  const Trace out = hmc.apply(own, RngStream(1));
+  std::set<std::pair<int, int>> moved_cells;
+  for (std::size_t i = 0; i < own.size(); ++i) {
+    if (geo::haversine_m(own.at(i).position, out.at(i).position) > 0.01) {
+      const auto cell = grid.cell_of(own.at(i).position);
+      moved_cells.insert({cell.ix, cell.iy});
+    }
+  }
+  EXPECT_LE(moved_cells.size(), 1u);
+  EXPECT_THROW(HeatmapConfusion(grid, pool, 1.0, 0),
+               support::PreconditionError);
+}
+
+// ------------------------------------------------------------------ HMC --
+
+class HmcTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    grid_ = std::make_unique<geo::CellGrid>(geo::LocalProjection(kHome),
+                                            800.0);
+    // Background population: three users at distinct places.
+    const auto dataset = testing::distinct_population(3, 4);
+    for (const auto& trace : dataset.traces()) background_.push_back(trace);
+    pool_ = std::make_shared<DonorPool>(background_, *grid_);
+  }
+
+  std::unique_ptr<geo::CellGrid> grid_;
+  std::vector<Trace> background_;
+  std::shared_ptr<const DonorPool> pool_;
+};
+
+TEST_F(HmcTest, OutputHeatmapResemblesDonorNotSelf) {
+  // Unlimited budgets: the full map is aligned onto the donor.
+  const HeatmapConfusion hmc(*grid_, pool_, 1.0, 4096, 1e9);
+  const Trace& own = background_[0];
+  const Trace out = hmc.apply(own, RngStream(1));
+
+  const auto own_map = profiles::Heatmap::from_trace(own, *grid_);
+  const auto out_map = profiles::Heatmap::from_trace(out, *grid_);
+  const auto donor =
+      hmc.choose_donor(own_map, own.user());
+  ASSERT_NE(donor, nullptr);
+  EXPECT_NE(donor->user, own.user());
+  EXPECT_LT(profiles::topsoe_divergence(out_map, donor->heatmap),
+            profiles::topsoe_divergence(out_map, own_map));
+}
+
+TEST_F(HmcTest, KeepsTimestampsAndCount) {
+  const HeatmapConfusion hmc(*grid_, pool_, 0.8);
+  const Trace& own = background_[1];
+  const Trace out = hmc.apply(own, RngStream(1));
+  ASSERT_EQ(out.size(), own.size());
+  for (std::size_t i = 0; i < own.size(); ++i) {
+    EXPECT_EQ(out.at(i).time, own.at(i).time);
+  }
+}
+
+TEST_F(HmcTest, DonorSearchExcludesSelf) {
+  const HeatmapConfusion hmc(*grid_, pool_, 0.8);
+  const auto own_map =
+      profiles::Heatmap::from_trace(background_[2], *grid_);
+  const auto* donor = hmc.choose_donor(own_map, background_[2].user());
+  ASSERT_NE(donor, nullptr);
+  EXPECT_NE(donor->user, background_[2].user());
+}
+
+TEST_F(HmcTest, PartialCoverageLeavesColdCellsInPlace) {
+  // With tiny coverage only the single hottest cell moves; other records
+  // stay exactly where they were. (Unlimited budget so the plan is
+  // feasible.)
+  const HeatmapConfusion hmc(*grid_, pool_, 0.05, 32, 1e9);
+  const Trace& own = background_[0];
+  const Trace out = hmc.apply(own, RngStream(1));
+  int unchanged = 0;
+  for (std::size_t i = 0; i < own.size(); ++i) {
+    if (geo::haversine_m(own.at(i).position, out.at(i).position) < 0.01) {
+      ++unchanged;
+    }
+  }
+  EXPECT_GT(unchanged, 0);
+  EXPECT_LT(unchanged, static_cast<int>(own.size()));
+}
+
+TEST_F(HmcTest, EmptyTracePassesThrough) {
+  const HeatmapConfusion hmc(*grid_, pool_, 0.8);
+  EXPECT_TRUE(hmc.apply(Trace("ghost", {}), RngStream(1)).empty());
+}
+
+TEST_F(HmcTest, ValidatesConstruction) {
+  EXPECT_THROW(HeatmapConfusion(*grid_, nullptr, 0.8),
+               support::PreconditionError);
+  EXPECT_THROW(HeatmapConfusion(*grid_, pool_, 0.0),
+               support::PreconditionError);
+  EXPECT_THROW(HeatmapConfusion(*grid_, pool_, 1.5),
+               support::PreconditionError);
+  EXPECT_THROW(HeatmapConfusion(*grid_, pool_, 0.8, 64, 0.0),
+               support::PreconditionError);
+}
+
+TEST_F(HmcTest, UnaffordablePlanMakesHmcRefuse) {
+  // If even the cheapest donor costs more than the budget, the trace comes
+  // back unchanged (fail-open: the user stays visibly unprotected instead
+  // of silently wrecking utility). A huge budget relocates everything.
+  const Trace& own = background_[0];
+  auto moved_fraction = [&](double budget) {
+    const HeatmapConfusion hmc(*grid_, pool_, 1.0, 4096, budget);
+    const Trace out = hmc.apply(own, RngStream(1));
+    std::size_t moved = 0;
+    for (std::size_t i = 0; i < own.size(); ++i) {
+      if (geo::haversine_m(own.at(i).position, out.at(i).position) > 0.01) {
+        ++moved;
+      }
+    }
+    return static_cast<double>(moved) / static_cast<double>(own.size());
+  };
+  EXPECT_DOUBLE_EQ(moved_fraction(10.0), 0.0);  // refusal
+  EXPECT_NEAR(moved_fraction(1e9), 1.0, 1e-9);  // full alignment
+}
+
+TEST_F(HmcTest, DonorMinimisesRelocationCost) {
+  const HeatmapConfusion hmc(*grid_, pool_, 1.0, 4096, 1e9);
+  const auto own_map = profiles::Heatmap::from_trace(background_[0], *grid_);
+  const auto user_cells = own_map.ranked_cells();
+  const auto* donor = hmc.choose_donor(own_map, background_[0].user());
+  ASSERT_NE(donor, nullptr);
+  const double chosen_cost =
+      hmc.relocation_cost(user_cells, own_map.total(), *donor);
+  for (const auto& entry : pool_->entries()) {
+    if (entry.user == background_[0].user()) continue;
+    EXPECT_LE(chosen_cost,
+              hmc.relocation_cost(user_cells, own_map.total(), entry) + 1e-9);
+  }
+}
+
+// ---------------------------------------------------------- Composition --
+
+TEST(Composition, AppliesStagesInOrder) {
+  const testing::ShiftLppm a("A", 100.0);
+  const testing::ShiftLppm b("B", 50.0);
+  const Composition ab({&a, &b});
+  EXPECT_EQ(ab.name(), "A+B");
+  const Trace in = sample_trace();
+  const Trace out = ab.apply(in, RngStream(1));
+  EXPECT_NEAR(testing::mean_north_shift_m(in, out), 150.0, 0.5);
+}
+
+TEST(Composition, OrderChangesNameNotAdditiveShift) {
+  const testing::ShiftLppm a("A", 100.0);
+  const testing::ShiftLppm b("B", 50.0);
+  const Composition ab({&a, &b});
+  const Composition ba({&b, &a});
+  EXPECT_NE(ab.name(), ba.name());
+  const Trace in = sample_trace();
+  // Shifts commute (additive), but names must encode the order.
+  EXPECT_NEAR(testing::mean_north_shift_m(in, ab.apply(in, RngStream(1))),
+              testing::mean_north_shift_m(in, ba.apply(in, RngStream(1))),
+              0.5);
+}
+
+TEST(Composition, RejectsEmptyAndNull) {
+  EXPECT_THROW(Composition({}), support::PreconditionError);
+  EXPECT_THROW(Composition({nullptr}), support::PreconditionError);
+}
+
+TEST(CompositionEnumeration, CountsMatchClosedForm) {
+  // |C| = sum_{i=1..n} n!/(n-i)!; paper: n = 3 -> 15.
+  EXPECT_EQ(composition_count(3, 1, 3), 15u);
+  EXPECT_EQ(composition_count(3, 2, 3), 12u);  // C \ L
+  EXPECT_EQ(composition_count(1, 1, 1), 1u);
+  EXPECT_EQ(composition_count(2, 1, 2), 4u);
+  EXPECT_EQ(composition_count(4, 1, 4), 64u);
+}
+
+TEST(CompositionEnumeration, EnumeratesAllDistinctOrderings) {
+  const testing::ShiftLppm a("A", 1), b("B", 2), c("C", 3);
+  const std::vector<const Lppm*> singles{&a, &b, &c};
+  const auto all = enumerate_compositions(singles, 1, 3);
+  EXPECT_EQ(all.size(), 15u);
+  std::set<std::string> names;
+  for (const auto& comp : all) names.insert(comp.name());
+  EXPECT_EQ(names.size(), 15u);  // all distinct
+  EXPECT_TRUE(names.contains("A"));
+  EXPECT_TRUE(names.contains("A+B+C"));
+  EXPECT_TRUE(names.contains("C+B+A"));
+}
+
+TEST(CompositionEnumeration, OrderedByIncreasingLength) {
+  const testing::ShiftLppm a("A", 1), b("B", 2), c("C", 3);
+  const auto all = enumerate_compositions({&a, &b, &c}, 1, 3);
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LE(all[i - 1].length(), all[i].length());
+  }
+}
+
+TEST(CompositionEnumeration, RespectsLengthBounds) {
+  const testing::ShiftLppm a("A", 1), b("B", 2), c("C", 3);
+  const auto pairs_only = enumerate_compositions({&a, &b, &c}, 2, 2);
+  EXPECT_EQ(pairs_only.size(), 6u);
+  for (const auto& comp : pairs_only) EXPECT_EQ(comp.length(), 2u);
+}
+
+TEST(CompositionEnumeration, ValidatesBounds) {
+  const testing::ShiftLppm a("A", 1);
+  EXPECT_THROW(enumerate_compositions({&a}, 0, 1),
+               support::PreconditionError);
+  EXPECT_THROW(enumerate_compositions({&a}, 2, 1),
+               support::PreconditionError);
+}
+
+// -------------------------------------------------------------- Registry --
+
+TEST(Registry, AddFindAndViews) {
+  LppmRegistry registry;
+  const Lppm* a = registry.add(std::make_unique<testing::ShiftLppm>("A", 1));
+  registry.add(std::make_unique<testing::ShiftLppm>("B", 2));
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_EQ(registry.find("A"), a);
+  EXPECT_EQ(registry.find("missing"), nullptr);
+  EXPECT_EQ(registry.singles().size(), 2u);
+}
+
+TEST(Registry, RejectsDuplicatesAndNull) {
+  LppmRegistry registry;
+  registry.add(std::make_unique<testing::ShiftLppm>("A", 1));
+  EXPECT_THROW(registry.add(std::make_unique<testing::ShiftLppm>("A", 9)),
+               support::PreconditionError);
+  EXPECT_THROW(registry.add(nullptr), support::PreconditionError);
+}
+
+TEST(Registry, CompositionSetsMatchPaperSizes) {
+  LppmRegistry registry;
+  registry.add(std::make_unique<testing::ShiftLppm>("A", 1));
+  registry.add(std::make_unique<testing::ShiftLppm>("B", 2));
+  registry.add(std::make_unique<testing::ShiftLppm>("C", 3));
+  EXPECT_EQ(registry.all_compositions().size(), 15u);
+  EXPECT_EQ(registry.multi_compositions().size(), 12u);
+}
+
+TEST(Registry, MultiCompositionsEmptyForSingleLppm) {
+  LppmRegistry registry;
+  registry.add(std::make_unique<testing::ShiftLppm>("A", 1));
+  EXPECT_TRUE(registry.multi_compositions().empty());
+}
+
+}  // namespace
+}  // namespace mood::lppm

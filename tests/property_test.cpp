@@ -1,0 +1,217 @@
+// Property-based and parameterised suites (TEST_P sweeps) over the
+// library's core invariants: composition counting, trace splitting,
+// Geo-I noise laws, Topsoe divergence axioms and STD behaviour under
+// random inputs.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "lppm/composition.h"
+#include "lppm/geo_ind.h"
+#include "metrics/distortion.h"
+#include "profiles/heatmap.h"
+#include "support/rng.h"
+#include "test_helpers.h"
+
+namespace mood {
+namespace {
+
+using mobility::Record;
+using mobility::Timestamp;
+using mobility::Trace;
+using support::RngStream;
+
+/// Random walk trace of n records starting at t0.
+Trace random_trace(RngStream& rng, std::size_t n, Timestamp t0 = 0) {
+  std::vector<Record> records;
+  geo::GeoPoint p{45.0 + rng.uniform(-0.2, 0.2), 5.0 + rng.uniform(-0.2, 0.2)};
+  Timestamp t = t0;
+  for (std::size_t i = 0; i < n; ++i) {
+    records.push_back(Record{p, t});
+    p = geo::destination(p, rng.uniform(0.0, 2.0 * geo::kPi),
+                         rng.uniform(0.0, 400.0));
+    t += static_cast<Timestamp>(rng.uniform(30.0, 900.0));
+  }
+  return Trace("rw", std::move(records));
+}
+
+// ------------------------------------------ composition count property --
+
+class CompositionCountProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompositionCountProperty, EnumerationMatchesClosedForm) {
+  const int n = GetParam();
+  std::vector<std::unique_ptr<testing::ShiftLppm>> owned;
+  std::vector<const lppm::Lppm*> singles;
+  for (int i = 0; i < n; ++i) {
+    owned.push_back(std::make_unique<testing::ShiftLppm>(
+        "L" + std::to_string(i), i + 1.0));
+    singles.push_back(owned.back().get());
+  }
+  const auto all = lppm::enumerate_compositions(singles, 1, singles.size());
+  EXPECT_EQ(all.size(), lppm::composition_count(n, 1, n));
+
+  // All emitted compositions are distinct orderings of distinct stages.
+  std::set<std::string> names;
+  for (const auto& comp : all) {
+    names.insert(comp.name());
+    std::set<const lppm::Lppm*> stages(comp.stages().begin(),
+                                       comp.stages().end());
+    EXPECT_EQ(stages.size(), comp.length()) << "repeated stage in "
+                                            << comp.name();
+  }
+  EXPECT_EQ(names.size(), all.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(NFromOneToFive, CompositionCountProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// ------------------------------------------------ slicing is a partition --
+
+class SlicingProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SlicingProperty, SlicesPartitionAndPreserveOrder) {
+  RngStream rng(GetParam());
+  const Trace trace = random_trace(rng, 200 + rng.uniform_index(200));
+  const Timestamp slice_len =
+      static_cast<Timestamp>(rng.uniform(600.0, 8.0 * 3600.0));
+  const auto slices = trace.slices(slice_len);
+
+  std::size_t total = 0;
+  Timestamp previous_end = std::numeric_limits<Timestamp>::min();
+  for (const auto& slice : slices) {
+    ASSERT_FALSE(slice.empty());
+    EXPECT_LT(slice.duration(), slice_len);
+    EXPECT_GT(slice.front().time, previous_end);
+    previous_end = slice.back().time;
+    total += slice.size();
+  }
+  EXPECT_EQ(total, trace.size());
+}
+
+TEST_P(SlicingProperty, SplitInHalfPartitions) {
+  RngStream rng(GetParam() + 1000);
+  const Trace trace = random_trace(rng, 50 + rng.uniform_index(300));
+  const auto [left, right] = trace.split_in_half();
+  EXPECT_EQ(left.size() + right.size(), trace.size());
+  if (!left.empty() && !right.empty()) {
+    EXPECT_LE(left.back().time, right.front().time);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SlicingProperty,
+                         ::testing::Range(1, 13));
+
+// ----------------------------------------------------- Geo-I noise law --
+
+class GeoIProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(GeoIProperty, MeanRadiusIsTwoOverEpsilon) {
+  const double epsilon = GetParam();
+  const lppm::GeoIndistinguishability geoi(epsilon);
+  RngStream rng(7);
+  const int n = 40000;
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) total += geoi.sample_radius_m(rng);
+  const double expected = 2.0 / epsilon;
+  EXPECT_NEAR(total / n, expected, expected * 0.03) << "eps=" << epsilon;
+}
+
+TEST_P(GeoIProperty, RadiiAreNonNegative) {
+  const lppm::GeoIndistinguishability geoi(GetParam());
+  RngStream rng(8);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_GE(geoi.sample_radius_m(rng), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(EpsilonSweep, GeoIProperty,
+                         ::testing::Values(0.001, 0.005, 0.01, 0.05, 0.1));
+
+// ------------------------------------------------------ Topsoe axioms --
+
+class TopsoeProperty : public ::testing::TestWithParam<int> {};
+
+profiles::Heatmap random_heatmap(RngStream& rng, int cells) {
+  profiles::Heatmap map;
+  for (int i = 0; i < cells; ++i) {
+    map.add(geo::CellIndex{static_cast<int>(rng.uniform_index(12)),
+                           static_cast<int>(rng.uniform_index(12))},
+            rng.uniform(0.5, 20.0));
+  }
+  return map;
+}
+
+TEST_P(TopsoeProperty, SymmetricNonNegativeBounded) {
+  RngStream rng(GetParam());
+  const auto a = random_heatmap(rng, 8 + static_cast<int>(rng.uniform_index(20)));
+  const auto b = random_heatmap(rng, 8 + static_cast<int>(rng.uniform_index(20)));
+  const double ab = profiles::topsoe_divergence(a, b);
+  const double ba = profiles::topsoe_divergence(b, a);
+  EXPECT_NEAR(ab, ba, 1e-9);
+  EXPECT_GE(ab, -1e-12);
+  EXPECT_LE(ab, 2.0 * std::log(2.0) + 1e-9);
+  EXPECT_NEAR(profiles::topsoe_divergence(a, a), 0.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TopsoeProperty, ::testing::Range(1, 17));
+
+// ------------------------------------------------------- STD properties --
+
+class StdProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(StdProperty, IdentityZeroShiftExactSubsetZero) {
+  RngStream rng(GetParam());
+  const Trace trace = random_trace(rng, 100);
+  EXPECT_NEAR(metrics::spatial_temporal_distortion(trace, trace), 0.0, 1e-9);
+
+  // A temporal subset of the original projects exactly onto itself.
+  const Trace subset = trace.between(trace.front().time,
+                                     trace.front().time +
+                                         trace.duration() / 2);
+  if (!subset.empty()) {
+    EXPECT_NEAR(metrics::spatial_temporal_distortion(trace, subset), 0.0,
+                1e-9);
+  }
+
+  // Uniform shifts are recovered exactly.
+  const double shift = rng.uniform(50.0, 3000.0);
+  std::vector<Record> moved;
+  for (const auto& r : trace.records()) {
+    moved.push_back(Record{geo::destination(r.position, 0.0, shift), r.time});
+  }
+  EXPECT_NEAR(
+      metrics::spatial_temporal_distortion(trace, Trace("s", std::move(moved))),
+      shift, shift * 0.01 + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StdProperty, ::testing::Range(1, 13));
+
+// ----------------------------------------- RNG stream fork independence --
+
+class RngForkProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RngForkProperty, SiblingsUncorrelated) {
+  const RngStream root(GetParam() * 7919);
+  RngStream a = root.fork("left");
+  RngStream b = root.fork("right");
+  int matches = 0;
+  for (int i = 0; i < 256; ++i) matches += (a.next() == b.next());
+  EXPECT_LE(matches, 2);
+}
+
+TEST_P(RngForkProperty, IndexedForksAllDistinct) {
+  const RngStream root(GetParam());
+  std::set<std::uint64_t> firsts;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    firsts.insert(root.fork("stream", i).next());
+  }
+  EXPECT_EQ(firsts.size(), 64u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngForkProperty, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace mood

@@ -1,0 +1,214 @@
+// Unit tests for the synthetic mobility generator and the per-dataset
+// presets (the substitution for the paper's four real datasets).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "clustering/poi_extraction.h"
+#include "geo/cell_grid.h"
+#include "simulation/generator.h"
+#include "simulation/presets.h"
+#include "support/error.h"
+
+namespace mood::simulation {
+namespace {
+
+GeneratorParams small_params() {
+  GeneratorParams p;
+  p.users = 8;
+  p.days = 6;
+  p.records_per_user_per_day = 120.0;
+  p.seed = 99;
+  return p;
+}
+
+TEST(Generator, DeterministicForSameSeed) {
+  const auto a = generate(small_params());
+  const auto b = generate(small_params());
+  ASSERT_EQ(a.user_count(), b.user_count());
+  ASSERT_EQ(a.record_count(), b.record_count());
+  for (std::size_t u = 0; u < a.user_count(); ++u) {
+    EXPECT_EQ(a.traces()[u], b.traces()[u]);
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  auto p1 = small_params();
+  auto p2 = small_params();
+  p2.seed = 100;
+  EXPECT_NE(generate(p1).traces()[0], generate(p2).traces()[0]);
+}
+
+TEST(Generator, ProducesRequestedPopulation) {
+  const auto dataset = generate(small_params());
+  EXPECT_EQ(dataset.user_count(), 8u);
+  std::set<std::string> ids;
+  for (const auto& trace : dataset.traces()) ids.insert(trace.user());
+  EXPECT_EQ(ids.size(), 8u);
+}
+
+TEST(Generator, RecordVolumeNearTarget) {
+  auto params = small_params();
+  params.activity_min = params.activity_max = 1.0;  // uniform contributors
+  const auto dataset = generate(params);
+  const double per_user_day =
+      static_cast<double>(dataset.record_count()) / (8.0 * 6.0);
+  EXPECT_NEAR(per_user_day, 120.0, 25.0);
+}
+
+TEST(Generator, ActivityVarianceSpreadsUserVolumes) {
+  auto params = small_params();
+  params.activity_min = 0.5;
+  params.activity_max = 1.6;
+  const auto dataset = generate(params);
+  std::size_t min_records = SIZE_MAX, max_records = 0;
+  for (const auto& trace : dataset.traces()) {
+    min_records = std::min(min_records, trace.size());
+    max_records = std::max(max_records, trace.size());
+  }
+  // Heavy contributors should clearly out-record casual ones.
+  EXPECT_GT(static_cast<double>(max_records),
+            1.5 * static_cast<double>(min_records));
+}
+
+TEST(Generator, ValidatesActivityBounds) {
+  auto params = small_params();
+  params.activity_min = 0.0;
+  EXPECT_THROW(generate(params), support::PreconditionError);
+  params = small_params();
+  params.activity_min = 2.0;
+  params.activity_max = 1.0;
+  EXPECT_THROW(generate(params), support::PreconditionError);
+}
+
+TEST(Generator, RecordsAreTimeOrderedAndInPeriod) {
+  const auto params = small_params();
+  const auto dataset = generate(params);
+  for (const auto& trace : dataset.traces()) {
+    ASSERT_FALSE(trace.empty());
+    EXPECT_GE(trace.front().time, params.start_time);
+    EXPECT_LT(trace.back().time,
+              params.start_time + params.days * mobility::kDay);
+    for (std::size_t i = 1; i < trace.size(); ++i) {
+      EXPECT_GE(trace.at(i).time, trace.at(i - 1).time);
+    }
+  }
+}
+
+TEST(Generator, StaysNearTheCity) {
+  const auto params = small_params();
+  const auto dataset = generate(params);
+  for (const auto& trace : dataset.traces()) {
+    for (const auto& record : trace.records()) {
+      EXPECT_LT(geo::haversine_m(record.position, params.city_center),
+                80000.0);
+    }
+  }
+}
+
+TEST(Generator, RoutineUsersHaveExtractablePois) {
+  // Home/work routine must yield stay points — the raw material of the
+  // POI and PIT attacks.
+  const auto dataset = generate(small_params());
+  std::size_t users_with_pois = 0;
+  for (const auto& trace : dataset.traces()) {
+    if (!clustering::extract_pois(trace).empty()) ++users_with_pois;
+  }
+  EXPECT_EQ(users_with_pois, dataset.user_count());
+}
+
+TEST(Generator, CabFleetRoamsMoreThanRoutineUsers) {
+  auto routine = small_params();
+  auto cabs = small_params();
+  cabs.cab_fleet = true;
+  const auto r = generate(routine);
+  const auto c = generate(cabs);
+  // Cabs visit many more distinct 800 m cells than home/work commuters.
+  auto mean_cells = [](const mobility::Dataset& d) {
+    const geo::CellGrid grid(
+        geo::LocalProjection(d.traces()[0].front().position), 800.0);
+    double total = 0.0;
+    for (const auto& trace : d.traces()) {
+      std::set<std::pair<int, int>> cells;
+      for (const auto& rec : trace.records()) {
+        const auto cell = grid.cell_of(rec.position);
+        cells.insert({cell.ix, cell.iy});
+      }
+      total += static_cast<double>(cells.size());
+    }
+    return total / static_cast<double>(d.user_count());
+  };
+  EXPECT_GT(mean_cells(c), 2.0 * mean_cells(r));
+}
+
+TEST(Generator, ValidatesParameters) {
+  GeneratorParams p = small_params();
+  p.users = 0;
+  EXPECT_THROW(generate(p), support::PreconditionError);
+  p = small_params();
+  p.days = 0;
+  EXPECT_THROW(generate(p), support::PreconditionError);
+  p = small_params();
+  p.records_per_user_per_day = 0.0;
+  EXPECT_THROW(generate(p), support::PreconditionError);
+  p = small_params();
+  p.pois_per_user_min = 1;
+  EXPECT_THROW(generate(p), support::PreconditionError);
+  p = small_params();
+  p.pois_per_user_max = 2;
+  p.pois_per_user_min = 3;
+  EXPECT_THROW(generate(p), support::PreconditionError);
+}
+
+// -------------------------------------------------------------- Presets --
+
+TEST(Presets, FourNamesInTableOrder) {
+  const auto& names = preset_names();
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_EQ(names[0], "mdc");
+  EXPECT_EQ(names[3], "cabspotting");
+}
+
+TEST(Presets, UserCountsMatchTableOne) {
+  EXPECT_EQ(preset_params("mdc").users, 141u);
+  EXPECT_EQ(preset_params("privamov").users, 41u);
+  EXPECT_EQ(preset_params("geolife").users, 41u);
+  EXPECT_EQ(preset_params("cabspotting").users, 531u);
+}
+
+TEST(Presets, CitiesMatchTableOne) {
+  EXPECT_NEAR(preset_params("mdc").city_center.lat, 46.2, 0.1);      // Geneva
+  EXPECT_NEAR(preset_params("privamov").city_center.lat, 45.76, 0.1); // Lyon
+  EXPECT_NEAR(preset_params("geolife").city_center.lat, 39.9, 0.1);  // Beijing
+  EXPECT_NEAR(preset_params("cabspotting").city_center.lon, -122.4, 0.1);
+}
+
+TEST(Presets, OnlyCabspottingIsAFleet) {
+  EXPECT_FALSE(preset_params("mdc").cab_fleet);
+  EXPECT_FALSE(preset_params("privamov").cab_fleet);
+  EXPECT_FALSE(preset_params("geolife").cab_fleet);
+  EXPECT_TRUE(preset_params("cabspotting").cab_fleet);
+}
+
+TEST(Presets, ScaleControlsRecordVolume) {
+  const auto full = preset_params("mdc", 1.0);
+  const auto tenth = preset_params("mdc", 0.1);
+  EXPECT_NEAR(tenth.records_per_user_per_day,
+              full.records_per_user_per_day * 0.1, 1e-9);
+}
+
+TEST(Presets, RejectsUnknownNameAndBadScale) {
+  EXPECT_THROW(preset_params("mars"), support::PreconditionError);
+  EXPECT_THROW(preset_params("mdc", 0.0), support::PreconditionError);
+  EXPECT_THROW(preset_params("mdc", 5.0), support::PreconditionError);
+}
+
+TEST(Presets, GeneratedPresetHasPaperUserCount) {
+  const auto dataset = make_preset_dataset("privamov", 0.05, 5);
+  EXPECT_EQ(dataset.user_count(), 41u);
+  EXPECT_EQ(dataset.name(), "PrivaMov");
+}
+
+}  // namespace
+}  // namespace mood::simulation

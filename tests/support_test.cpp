@@ -1,0 +1,350 @@
+// Unit tests for the support subsystem: RNG streams, special functions,
+// CSV, options, logging and the thread pool.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "support/csv.h"
+#include "support/error.h"
+#include "support/logging.h"
+#include "support/math.h"
+#include "support/options.h"
+#include "support/rng.h"
+#include "support/thread_pool.h"
+
+namespace mood::support {
+namespace {
+
+// ---------------------------------------------------------------- RNG --
+
+TEST(RngStream, SameSeedSameSequence) {
+  RngStream a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngStream, DifferentSeedsDiverge) {
+  RngStream a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.next() == b.next());
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngStream, ForkIsDeterministicAndLabelled) {
+  const RngStream root(42);
+  RngStream a = root.fork("alpha");
+  RngStream a2 = root.fork("alpha");
+  RngStream b = root.fork("beta");
+  EXPECT_EQ(a.next(), a2.next());
+  EXPECT_NE(a.seed(), b.seed());
+}
+
+TEST(RngStream, ForkWithIndexGivesIndependentStreams) {
+  const RngStream root(42);
+  EXPECT_NE(root.fork("x", 0).next(), root.fork("x", 1).next());
+}
+
+TEST(RngStream, ForkDoesNotAdvanceParent) {
+  RngStream root(7);
+  RngStream copy = root;
+  (void)root.fork("child");
+  EXPECT_EQ(root.next(), copy.next());
+}
+
+TEST(RngStream, UniformWithinBounds) {
+  RngStream rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngStream, UniformRejectsInvertedBounds) {
+  RngStream rng(9);
+  EXPECT_THROW(rng.uniform(2.0, 1.0), PreconditionError);
+}
+
+TEST(RngStream, UniformIndexCoversRangeUniformly) {
+  RngStream rng(11);
+  std::vector<int> counts(10, 0);
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) counts[rng.uniform_index(10)]++;
+  for (int c : counts) {
+    EXPECT_NEAR(c, draws / 10, draws / 10 * 0.15);
+  }
+}
+
+TEST(RngStream, UniformIndexRejectsZero) {
+  RngStream rng(1);
+  EXPECT_THROW(rng.uniform_index(0), PreconditionError);
+}
+
+TEST(RngStream, NormalMomentsMatch) {
+  RngStream rng(13);
+  double sum = 0.0, sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(RngStream, NormalScaled) {
+  RngStream rng(13);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+  EXPECT_THROW(rng.normal(0.0, -1.0), PreconditionError);
+}
+
+TEST(RngStream, ExponentialMeanMatches) {
+  RngStream rng(17);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(0.5);
+  EXPECT_NEAR(sum / n, 2.0, 0.1);
+  EXPECT_THROW(rng.exponential(0.0), PreconditionError);
+}
+
+TEST(RngStream, BernoulliFrequency) {
+  RngStream rng(19);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+  EXPECT_THROW(rng.bernoulli(1.5), PreconditionError);
+}
+
+TEST(SeedDerivation, StableAndLabelSensitive) {
+  EXPECT_EQ(derive_seed(1, "a"), derive_seed(1, "a"));
+  EXPECT_NE(derive_seed(1, "a"), derive_seed(1, "b"));
+  EXPECT_NE(derive_seed(1, "a", 0), derive_seed(1, "a", 1));
+  EXPECT_NE(derive_seed(1, "a"), derive_seed(2, "a"));
+}
+
+// ----------------------------------------------------------- Lambert W --
+
+TEST(LambertW, SatisfiesDefiningEquation) {
+  // W_{-1}(x) e^{W_{-1}(x)} = x over a log-spaced sweep of the domain.
+  for (double x = -0.3678; x < -1e-10; x /= 1.7) {
+    const double w = lambert_w_minus1(x);
+    EXPECT_LE(w, -1.0);
+    EXPECT_NEAR(w * std::exp(w), x, std::abs(x) * 1e-9) << "x=" << x;
+  }
+}
+
+TEST(LambertW, BranchPoint) {
+  EXPECT_NEAR(lambert_w_minus1(-1.0 / std::exp(1.0)), -1.0, 1e-6);
+}
+
+TEST(LambertW, KnownValue) {
+  // W_{-1}(-2 e^{-2}) = -2 by construction.
+  EXPECT_NEAR(lambert_w_minus1(-2.0 * std::exp(-2.0)), -2.0, 1e-9);
+  EXPECT_NEAR(lambert_w_minus1(-5.0 * std::exp(-5.0)), -5.0, 1e-9);
+}
+
+TEST(LambertW, RejectsOutsideDomain) {
+  EXPECT_THROW(lambert_w_minus1(0.0), PreconditionError);
+  EXPECT_THROW(lambert_w_minus1(0.5), PreconditionError);
+  EXPECT_THROW(lambert_w_minus1(-0.5), PreconditionError);
+}
+
+// ----------------------------------------------------------------- CSV --
+
+TEST(Csv, ParsesPlainFields) {
+  const auto fields = parse_csv_line("a,b,c");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(Csv, ParsesQuotedFieldsWithCommasAndQuotes) {
+  const auto fields = parse_csv_line(R"(x,"a,b","he said ""hi""")");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[1], "a,b");
+  EXPECT_EQ(fields[2], "he said \"hi\"");
+}
+
+TEST(Csv, ParsesEmptyFields) {
+  const auto fields = parse_csv_line(",,");
+  ASSERT_EQ(fields.size(), 3u);
+  for (const auto& f : fields) EXPECT_TRUE(f.empty());
+}
+
+TEST(Csv, StripsCarriageReturn) {
+  const auto fields = parse_csv_line("a,b\r");
+  EXPECT_EQ(fields[1], "b");
+}
+
+TEST(Csv, RejectsUnterminatedQuote) {
+  EXPECT_THROW(parse_csv_line("\"unterminated"), IoError);
+}
+
+TEST(Csv, FormatQuotesOnlyWhenNeeded) {
+  EXPECT_EQ(format_csv_line({"a", "b c", "d,e", "f\"g"}),
+            "a,b c,\"d,e\",\"f\"\"g\"");
+}
+
+TEST(Csv, RoundTripThroughStreams) {
+  const std::vector<std::vector<std::string>> rows{
+      {"user", "lat", "note"},
+      {"u1", "45.5", "plain"},
+      {"u2", "46.1", "with,comma"},
+  };
+  std::stringstream buffer;
+  write_csv(buffer, rows);
+  EXPECT_EQ(read_csv(buffer), rows);
+}
+
+TEST(Csv, ReadSkipsBlankLines) {
+  std::stringstream buffer("a,b\n\n\nc,d\n");
+  EXPECT_EQ(read_csv(buffer).size(), 2u);
+}
+
+TEST(Csv, MissingFileThrows) {
+  EXPECT_THROW(read_csv_file("/nonexistent/definitely/missing.csv"), IoError);
+}
+
+// ------------------------------------------------------------- Options --
+
+TEST(Options, ParsesKeyValueAndFlags) {
+  const char* argv[] = {"prog", "--scale=0.5", "--verbose", "positional"};
+  const Options options(4, argv);
+  EXPECT_EQ(options.get_double("scale", 1.0), 0.5);
+  EXPECT_TRUE(options.get_bool("verbose", false));
+  ASSERT_EQ(options.positional().size(), 1u);
+  EXPECT_EQ(options.positional()[0], "positional");
+}
+
+TEST(Options, FallsBackToDefaults) {
+  const Options options;
+  EXPECT_EQ(options.get_string("missing", "dft"), "dft");
+  EXPECT_EQ(options.get_int("missing", 7), 7);
+  EXPECT_FALSE(options.get_bool("missing", false));
+}
+
+TEST(Options, EnvironmentFallback) {
+  ::setenv("MOOD_TEST_OPTION_X", "42", 1);
+  const Options options;
+  EXPECT_EQ(options.get_int("test-option-x", 0), 42);
+  ::unsetenv("MOOD_TEST_OPTION_X");
+}
+
+TEST(Options, RejectsMalformedNumbers) {
+  const char* argv[] = {"prog", "--count=abc", "--ratio=1.2.3", "--flag=maybe"};
+  const Options options(4, argv);
+  EXPECT_THROW(static_cast<void>(options.get_int("count", 0)),
+               PreconditionError);
+  EXPECT_THROW(static_cast<void>(options.get_double("ratio", 0.0)),
+               PreconditionError);
+  EXPECT_THROW(static_cast<void>(options.get_bool("flag", false)),
+               PreconditionError);
+}
+
+TEST(Options, BooleanSpellings) {
+  const char* argv[] = {"prog", "--a=yes", "--b=0", "--c=false"};
+  const Options options(4, argv);
+  EXPECT_TRUE(options.get_bool("a", false));
+  EXPECT_FALSE(options.get_bool("b", true));
+  EXPECT_FALSE(options.get_bool("c", true));
+}
+
+// --------------------------------------------------------- Thread pool --
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.submit([&] { counter++; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(ThreadPool, PropagatesTaskExceptions) {
+  ThreadPool pool(1);
+  auto future = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ParallelFor, CoversAllIndicesExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(hits.size(), [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, HandlesZeroAndOneIteration) {
+  std::atomic<int> count{0};
+  parallel_for(0, [&](std::size_t) { count++; });
+  EXPECT_EQ(count.load(), 0);
+  parallel_for(1, [&](std::size_t) { count++; });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  EXPECT_THROW(
+      parallel_for(100,
+                   [&](std::size_t i) {
+                     if (i == 50) throw std::runtime_error("halt");
+                   }),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, NestedCallsDegradeGracefully) {
+  std::atomic<int> counter{0};
+  parallel_for(8, [&](std::size_t) {
+    parallel_for(8, [&](std::size_t) { counter++; });
+  });
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ParallelFor, RespectsGrainParameter) {
+  std::atomic<int> counter{0};
+  parallel_for(1000, [&](std::size_t) { counter++; }, 128);
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+// ------------------------------------------------------------- Logging --
+
+TEST(Logging, LevelFilteringIsMonotone) {
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(LogLevel::kOff);
+  log_error("this must not crash even when off");
+  set_log_level(saved);
+}
+
+// --------------------------------------------------------------- Error --
+
+TEST(Error, HierarchyCatchable) {
+  EXPECT_THROW(expects(false, "msg"), PreconditionError);
+  EXPECT_THROW(ensures(false, "msg"), LogicError);
+  try {
+    expects(false, "precondition text");
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("precondition text"),
+              std::string::npos);
+  }
+  EXPECT_NO_THROW(expects(true, "fine"));
+  EXPECT_NO_THROW(ensures(true, "fine"));
+}
+
+}  // namespace
+}  // namespace mood::support
