@@ -25,12 +25,16 @@ double euclidean_m(const EnuPoint& a, const EnuPoint& b) {
 
 GeoPoint destination(const GeoPoint& origin, double bearing_rad,
                      double distance_m) {
+  // Same bound as LocalProjection: the equirectangular approximation (and
+  // the 1/cos(lat) term) degenerates near the poles, so fail loudly instead
+  // of silently returning a corrupted longitude.
+  support::expects(std::abs(origin.lat) < 89.0,
+                   "geo::destination: origin too close to a pole");
   const double north_m = distance_m * std::cos(bearing_rad);
   const double east_m = distance_m * std::sin(bearing_rad);
   const double dlat = rad_to_deg(north_m / kEarthRadiusM);
   const double cos_lat = std::cos(deg_to_rad(origin.lat));
-  const double dlon =
-      cos_lat > 1e-9 ? rad_to_deg(east_m / (kEarthRadiusM * cos_lat)) : 0.0;
+  const double dlon = rad_to_deg(east_m / (kEarthRadiusM * cos_lat));
   return GeoPoint{origin.lat + dlat, origin.lon + dlon};
 }
 

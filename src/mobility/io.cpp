@@ -77,7 +77,12 @@ Dataset read_dataset_csv(std::istream& in, const std::string& name) {
     }
     const double lat = parse_double_field(row[1], "latitude");
     const double lon = parse_double_field(row[2], "longitude");
-    if (lat < -90.0 || lat > 90.0 || lon < -180.0 || lon > 180.0) {
+    // Latitudes at or beyond +/-89 are rejected at ingestion because
+    // LocalProjection (and, at the pole itself, geo::destination) treats
+    // them as precondition violations; accepting them here would turn one
+    // corrupt GPS fix into a mid-batch abort. Genuine polar traces are out
+    // of scope for the paper's city-scale datasets.
+    if (lat <= -89.0 || lat >= 89.0 || lon < -180.0 || lon > 180.0) {
       throw support::IoError("dataset CSV: row " + std::to_string(i + 1) +
                              ": coordinates out of range");
     }

@@ -79,12 +79,14 @@ std::vector<Trace> Trace::slices(Timestamp slice) const {
   std::vector<Record> current;
   Timestamp current_end = t0 + slice;
   for (const Record& r : records_) {
-    while (r.time >= current_end) {
+    if (r.time >= current_end) {
       if (!current.empty()) {
         out.emplace_back(user_, std::move(current));
         current = {};
       }
-      current_end += slice;
+      // Jump directly to the window containing r; stepping one slice at a
+      // time is O(gap/slice) across multi-week gaps in sparse traces.
+      current_end = t0 + ((r.time - t0) / slice + 1) * slice;
     }
     current.push_back(r);
   }

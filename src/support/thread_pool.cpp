@@ -56,9 +56,14 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    t_inside_pool_worker = true;
+    // RAII keeps the flag correct on every exit path. packaged_task
+    // captures exceptions into the future today, but nothing else should
+    // have to know that for the flag to stay balanced.
+    struct InsidePoolGuard {
+      InsidePoolGuard() { t_inside_pool_worker = true; }
+      ~InsidePoolGuard() { t_inside_pool_worker = false; }
+    } guard;
     task();  // exceptions propagate through the packaged_task's future
-    t_inside_pool_worker = false;
   }
 }
 

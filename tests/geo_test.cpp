@@ -56,6 +56,22 @@ TEST(Destination, ZeroDistanceIsIdentity) {
   EXPECT_NEAR(haversine_m(origin, there), 0.0, 1e-9);
 }
 
+TEST(Destination, RejectsNearPoleOrigins) {
+  // Near-pole origins used to silently return an unchanged (or wildly
+  // wrong) longitude, corrupting LPPM output; they must now fail loudly
+  // with the same |lat| < 89 bound as LocalProjection.
+  EXPECT_THROW(destination(GeoPoint{90.0, 0.0}, 0.0, 10.0),
+               support::PreconditionError);
+  EXPECT_THROW(destination(GeoPoint{-90.0, 0.0}, 0.0, 10.0),
+               support::PreconditionError);
+  EXPECT_THROW(destination(GeoPoint{89.0, 0.0}, 0.0, 10.0),
+               support::PreconditionError);
+  EXPECT_THROW(destination(GeoPoint{-89.5, 0.0}, 0.0, 10.0),
+               support::PreconditionError);
+  // Well away from the poles still works.
+  EXPECT_NO_THROW(destination(GeoPoint{85.0, 0.0}, 0.0, 10.0));
+}
+
 TEST(LocalProjection, RoundTripsAccurately) {
   const LocalProjection proj(GeoPoint{kLyonLat, kLyonLon});
   for (double dlat = -0.1; dlat <= 0.1; dlat += 0.05) {

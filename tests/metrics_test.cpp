@@ -124,6 +124,26 @@ TEST(DataLoss, AllLostIsOne) {
   EXPECT_DOUBLE_EQ(acc.ratio(), 1.0);
 }
 
+TEST(DataLoss, EmptyAndZeroRecordInputs) {
+  // Eq. 7 boundary: |D|_r == 0 must yield 0, not NaN — both for a fresh
+  // accumulator and after zero-record add calls.
+  DataLossAccumulator acc;
+  EXPECT_DOUBLE_EQ(acc.ratio(), 0.0);
+  acc.add_protected(0);
+  acc.add_lost(0);
+  EXPECT_EQ(acc.total_records(), 0u);
+  EXPECT_DOUBLE_EQ(acc.ratio(), 0.0);
+}
+
+TEST(DataLoss, AllLostAcrossMultipleTraces) {
+  DataLossAccumulator acc;
+  acc.add_lost(10);
+  acc.add_lost(0);  // an empty lost trace must not disturb the ratio
+  acc.add_lost(32);
+  EXPECT_DOUBLE_EQ(acc.ratio(), 1.0);
+  EXPECT_EQ(acc.protected_records(), 0u);
+}
+
 TEST(DataLoss, AccumulatesAcrossManyTraces) {
   DataLossAccumulator acc;
   for (int i = 0; i < 10; ++i) {

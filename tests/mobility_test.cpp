@@ -124,6 +124,49 @@ TEST(Trace, SlicesSkipEmptyGaps) {
   EXPECT_EQ(slices[1].size(), 2u);
 }
 
+TEST(Trace, SplitInHalfSingleTimestampUnevenCount) {
+  // Fallback splits by record count; an odd count must still hand every
+  // record to exactly one side.
+  const Trace trace("u", {rec(1, 1, 7), rec(2, 2, 7), rec(3, 3, 7)});
+  const auto [left, right] = trace.split_in_half();
+  EXPECT_EQ(left.size(), 1u);
+  EXPECT_EQ(right.size(), 2u);
+  EXPECT_EQ(left.size() + right.size(), trace.size());
+}
+
+TEST(Trace, SplitInHalfSingleRecord) {
+  const Trace trace("u", {rec(45, 5, 10)});
+  const auto [left, right] = trace.split_in_half();
+  EXPECT_EQ(left.size() + right.size(), 1u);
+}
+
+TEST(Trace, SlicesJumpMultiWeekGapsDirectly) {
+  // A >30-day gap with a 1-hour slice: the window must jump straight to
+  // the record after the gap (the old one-slice-at-a-time walk was
+  // O(gap/slice)), and boundaries must stay anchored at the trace start.
+  // The two post-gap records straddle a t0-anchored window boundary, so a
+  // regression to record-anchored windows would merge them into one slice.
+  const Timestamp t0 = 500;
+  const Timestamp after_gap = t0 + 40 * kDay + 3599;
+  const Trace trace("u", {rec(1, 1, t0), rec(1, 1, t0 + 60),
+                          rec(2, 2, after_gap), rec(2, 2, after_gap + 2)});
+  const auto slices = trace.slices(kHour);
+  ASSERT_EQ(slices.size(), 3u);
+  EXPECT_EQ(slices[0].size(), 2u);
+  EXPECT_EQ(slices[1].size(), 1u);
+  EXPECT_EQ(slices[2].size(), 1u);
+  EXPECT_EQ(slices[1].front().time, after_gap);
+  EXPECT_EQ(slices[2].front().time, after_gap + 2);
+}
+
+TEST(Trace, SlicesBoundaryRecordOpensNewSlice) {
+  // A record exactly on a window boundary belongs to the next slice.
+  const Trace trace("u", {rec(1, 1, 0), rec(2, 2, kHour)});
+  const auto slices = trace.slices(kHour);
+  ASSERT_EQ(slices.size(), 2u);
+  EXPECT_EQ(slices[1].front().time, kHour);
+}
+
 TEST(Trace, SlicesRejectNonPositiveDuration) {
   const Trace trace("u", {rec(45, 5, 0)});
   EXPECT_THROW(trace.slices(0), support::PreconditionError);
@@ -246,6 +289,10 @@ TEST(Io, RejectsMalformedRows) {
   EXPECT_THROW(read_dataset_csv(bad_time, "d"), support::IoError);
   std::stringstream out_of_range("u,95,5,1\n");
   EXPECT_THROW(read_dataset_csv(out_of_range, "d"), support::IoError);
+  // Pole-adjacent fixes are rejected so geo::destination / LocalProjection
+  // preconditions can't abort a batch mid-run on loaded data.
+  std::stringstream pole("u,90,5,1\n");
+  EXPECT_THROW(read_dataset_csv(pole, "d"), support::IoError);
 }
 
 TEST(Io, MissingFileThrows) {
