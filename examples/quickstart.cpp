@@ -7,8 +7,10 @@
 // Run:  ./quickstart [--users=12] [--days=8] [--seed=42]
 
 #include <cstdio>
+#include <iostream>
 
 #include "core/experiment.h"
+#include "report/report.h"
 #include "simulation/generator.h"
 #include "support/logging.h"
 #include "support/options.h"
@@ -48,19 +50,13 @@ int main(int argc, char** argv) {
                 answer ? answer->c_str() : "(no match)");
   }
 
-  // 4. Run Algorithm 1.
+  // 4. Run Algorithm 1. The outcome is printed through src/report — the
+  //    same serializer the mood CLI uses, so this document has the exact
+  //    shape scripts downstream would consume.
   const core::MoodEngine engine = harness.make_engine();
   const core::ProtectionResult result = engine.protect(pair.test);
-  std::printf("\nMooD outcome: %s\n", core::to_string(result.level).c_str());
-  for (const auto& piece : result.pieces) {
-    std::printf("  piece '%s': lppm=%s records=%zu distortion=%.0f m\n",
-                piece.trace.user().c_str(), piece.lppm.c_str(),
-                piece.trace.size(), piece.distortion);
-  }
-  std::printf("  lost records: %zu / %zu\n", result.lost_records,
-              result.original_records);
-  std::printf("  search cost: %zu LPPM applications, %zu attack calls\n",
-              result.lppm_applications, result.attack_invocations);
+  std::printf("\nMooD outcome:\n");
+  report::to_json(result).write(std::cout);
 
   // 5. Confirm the published pieces defeat every attack.
   bool all_safe = true;

@@ -1,5 +1,6 @@
 #include "core/experiment.h"
 
+#include <chrono>
 #include <numeric>
 
 #include "lppm/geo_ind.h"
@@ -11,6 +12,21 @@
 namespace mood::core {
 
 namespace {
+
+/// Started at evaluator entry; read once into result.wall_seconds so every
+/// strategy reports how long it took (surfaced by src/report).
+class WallTimer {
+ public:
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
+};
 
 std::array<std::size_t, 4> bands_from(
     const std::vector<std::pair<bool, double>>& protected_distortions) {
@@ -68,6 +84,18 @@ double MoodResult::data_loss() const {
     acc.add_protected(u.records - u.lost_records);
   }
   return acc.ratio();
+}
+
+std::size_t MoodResult::total_lppm_applications() const {
+  std::size_t n = 0;
+  for (const auto& u : users) n += u.lppm_applications;
+  return n;
+}
+
+std::size_t MoodResult::total_attack_invocations() const {
+  std::size_t n = 0;
+  for (const auto& u : users) n += u.attack_invocations;
+  return n;
 }
 
 std::array<std::size_t, 4> MoodResult::distortion_bands() const {
@@ -154,6 +182,7 @@ std::size_t ExperimentHarness::ap_attack_index() const {
 
 StrategyResult ExperimentHarness::evaluate_no_lppm(
     std::vector<std::size_t> attack_subset) const {
+  const WallTimer timer;
   const auto views = attack_views(attack_subset);
   StrategyResult result;
   result.strategy = "no-LPPM";
@@ -170,12 +199,14 @@ StrategyResult ExperimentHarness::evaluate_no_lppm(
     result.users[i] = UserOutcome{pair.test.user(), !caught, 0.0,
                                   pair.test.size(), ""};
   });
+  result.wall_seconds = timer.seconds();
   return result;
 }
 
 StrategyResult ExperimentHarness::evaluate_single(
     const std::string& lppm_name,
     std::vector<std::size_t> attack_subset) const {
+  const WallTimer timer;
   const lppm::Lppm* mechanism = registry_.find(lppm_name);
   support::expects(mechanism != nullptr,
                    "evaluate_single: unknown LPPM " + lppm_name);
@@ -201,11 +232,13 @@ StrategyResult ExperimentHarness::evaluate_single(
     result.users[i] = UserOutcome{pair.test.user(), !caught, distortion,
                                   pair.test.size(), lppm_name};
   });
+  result.wall_seconds = timer.seconds();
   return result;
 }
 
 StrategyResult ExperimentHarness::evaluate_hybrid(
     std::vector<std::size_t> attack_subset) const {
+  const WallTimer timer;
   const auto views = attack_views(attack_subset);
   const HybridLppm hybrid(registry_.singles(), views, &metric_, seed_);
   StrategyResult result;
@@ -223,6 +256,7 @@ StrategyResult ExperimentHarness::evaluate_hybrid(
           UserOutcome{pair.test.user(), false, 0.0, pair.test.size(), ""};
     }
   });
+  result.wall_seconds = timer.seconds();
   return result;
 }
 
@@ -236,6 +270,7 @@ MoodEngine ExperimentHarness::make_engine(
 
 StrategyResult ExperimentHarness::evaluate_mood_search(
     std::vector<std::size_t> attack_subset) const {
+  const WallTimer timer;
   const MoodEngine engine = make_engine(std::move(attack_subset));
   StrategyResult result;
   result.strategy = "MooD";
@@ -252,11 +287,13 @@ StrategyResult ExperimentHarness::evaluate_mood_search(
           UserOutcome{pair.test.user(), false, 0.0, pair.test.size(), ""};
     }
   });
+  result.wall_seconds = timer.seconds();
   return result;
 }
 
 MoodResult ExperimentHarness::evaluate_mood_full(
     std::vector<std::size_t> attack_subset) const {
+  const WallTimer timer;
   const MoodEngine engine = make_engine(std::move(attack_subset));
   MoodResult result;
   result.users.resize(pairs_.size());
@@ -307,6 +344,7 @@ MoodResult ExperimentHarness::evaluate_mood_full(
     }
     result.users[i] = std::move(outcome);
   });
+  result.wall_seconds = timer.seconds();
   return result;
 }
 

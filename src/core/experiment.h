@@ -59,6 +59,7 @@ struct UserOutcome {
 struct StrategyResult {
   std::string strategy;
   std::vector<UserOutcome> users;
+  double wall_seconds = 0.0;  ///< evaluator wall-clock time (set by harness)
 
   [[nodiscard]] std::size_t user_count() const { return users.size(); }
   [[nodiscard]] std::size_t non_protected_users() const;
@@ -90,10 +91,14 @@ struct MoodUserOutcome {
 /// Aggregate view of the full-MooD outcomes.
 struct MoodResult {
   std::vector<MoodUserOutcome> users;
+  double wall_seconds = 0.0;  ///< evaluator wall-clock time (set by harness)
 
   [[nodiscard]] std::size_t non_protected_users() const;  ///< any loss
   [[nodiscard]] double data_loss() const;                 ///< Eq. 7, records
   [[nodiscard]] std::array<std::size_t, 4> distortion_bands() const;
+  /// Aggregate search cost across users (for deployment-cost reporting).
+  [[nodiscard]] std::size_t total_lppm_applications() const;
+  [[nodiscard]] std::size_t total_attack_invocations() const;
 };
 
 class ExperimentHarness {

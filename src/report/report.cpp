@@ -1,0 +1,285 @@
+#include "report/report.h"
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <sstream>
+
+#include "report/table.h"
+#include "support/error.h"
+
+namespace mood::report {
+
+namespace {
+
+/// Distortions can be +infinity (empty output); numbers stored as doubles
+/// already serialize non-finite values to null, so no clamping needed here.
+Json bands_json(const std::array<std::size_t, 4>& bands) {
+  Json object = Json::object();
+  object["low"] = bands[0];
+  object["medium"] = bands[1];
+  object["high"] = bands[2];
+  object["extremely_high"] = bands[3];
+  return object;
+}
+
+}  // namespace
+
+Json to_json(const core::ExperimentConfig& config) {
+  Json object = Json::object();
+  object["train_fraction"] = config.train_fraction;
+  object["min_records"] = config.min_records;
+  object["poi_max_diameter_m"] = config.attack_params.poi.max_diameter_m;
+  object["poi_min_dwell_s"] =
+      static_cast<std::int64_t>(config.attack_params.poi.min_dwell);
+  object["poi_min_points"] = config.attack_params.poi.min_points;
+  object["heatmap_cell_m"] = config.attack_params.heatmap_cell_m;
+  object["pit_proximity_scale_m"] = config.attack_params.pit_proximity_scale_m;
+  object["geoi_epsilon"] = config.geoi_epsilon;
+  object["trl_radius_m"] = config.trl_radius_m;
+  object["hmc_hot_coverage"] = config.hmc_hot_coverage;
+  object["hmc_max_cells"] = config.hmc_max_cells;
+  object["hmc_budget_m"] = config.hmc_budget_m;
+  object["mood_delta_s"] = static_cast<std::int64_t>(config.mood.delta);
+  object["mood_preslice_s"] = static_cast<std::int64_t>(config.mood.preslice);
+  object["mood_first_hit"] = config.mood.first_hit;
+  return object;
+}
+
+Json to_json(const RunMetadata& meta) {
+  Json object = Json::object();
+  object["tool"] = meta.tool;
+  object["dataset"] = meta.dataset;
+  object["seed"] = static_cast<std::int64_t>(meta.seed);
+  object["wall_seconds"] = meta.wall_seconds;
+  Json timings = Json::object();
+  for (const auto& [phase, seconds] : meta.timings) {
+    timings[phase] = seconds;
+  }
+  object["timings"] = std::move(timings);
+  return object;
+}
+
+Json to_json(const core::UserOutcome& outcome) {
+  Json object = Json::object();
+  object["user"] = outcome.user;
+  object["protected"] = outcome.is_protected;
+  object["distortion_m"] = outcome.distortion;
+  object["records"] = outcome.records;
+  object["winner"] = outcome.winner;
+  return object;
+}
+
+Json to_json(const core::StrategyResult& result, bool include_users) {
+  Json object = Json::object();
+  object["strategy"] = result.strategy;
+  object["users"] = result.user_count();
+  object["non_protected_users"] = result.non_protected_users();
+  object["non_protected_ratio"] = result.non_protected_ratio();
+  object["data_loss"] = result.data_loss();
+  object["distortion_bands"] = bands_json(result.distortion_bands());
+  object["wall_seconds"] = result.wall_seconds;
+  if (include_users) {
+    Json users = Json::array();
+    for (const auto& user : result.users) users.push_back(to_json(user));
+    object["per_user"] = std::move(users);
+  }
+  return object;
+}
+
+Json to_json(const core::MoodUserOutcome& outcome) {
+  Json object = Json::object();
+  object["user"] = outcome.user;
+  object["level"] = core::to_string(outcome.level);
+  object["protected"] = outcome.fully_protected();
+  object["records"] = outcome.records;
+  object["lost_records"] = outcome.lost_records;
+  object["subtraces"] = outcome.subtraces;
+  object["protected_subtraces"] = outcome.protected_subtraces;
+  object["distortion_m"] = outcome.distortion;
+  object["winner"] = outcome.winner;
+  object["lppm_applications"] = outcome.lppm_applications;
+  object["attack_invocations"] = outcome.attack_invocations;
+  return object;
+}
+
+Json to_json(const core::MoodResult& result, bool include_users) {
+  Json object = Json::object();
+  object["strategy"] = "MooD-full";
+  object["users"] = result.users.size();
+  object["non_protected_users"] = result.non_protected_users();
+  object["non_protected_ratio"] =
+      result.users.empty()
+          ? 0.0
+          : static_cast<double>(result.non_protected_users()) /
+                static_cast<double>(result.users.size());
+  object["data_loss"] = result.data_loss();
+  object["distortion_bands"] = bands_json(result.distortion_bands());
+  object["wall_seconds"] = result.wall_seconds;
+  Json cost = Json::object();
+  cost["lppm_applications"] = result.total_lppm_applications();
+  cost["attack_invocations"] = result.total_attack_invocations();
+  object["search_cost"] = std::move(cost);
+  if (include_users) {
+    Json users = Json::array();
+    for (const auto& user : result.users) users.push_back(to_json(user));
+    object["per_user"] = std::move(users);
+  }
+  return object;
+}
+
+Json to_json(const core::ProtectionResult& result) {
+  Json object = Json::object();
+  object["level"] = core::to_string(result.level);
+  object["original_records"] = result.original_records;
+  object["lost_records"] = result.lost_records;
+  object["protected_records"] = result.protected_records();
+  object["fully_protected"] = result.fully_protected();
+  object["mean_distortion_m"] = result.mean_distortion();
+  Json cost = Json::object();
+  cost["lppm_applications"] = result.lppm_applications;
+  cost["attack_invocations"] = result.attack_invocations;
+  object["search_cost"] = std::move(cost);
+  Json pieces = Json::array();
+  for (const auto& piece : result.pieces) {
+    Json entry = Json::object();
+    entry["user"] = piece.trace.user();
+    entry["lppm"] = piece.lppm;
+    entry["level"] = core::to_string(piece.level);
+    entry["records"] = piece.trace.size();
+    entry["original_records"] = piece.original_records;
+    entry["distortion_m"] = piece.distortion;
+    pieces.push_back(std::move(entry));
+  }
+  object["pieces"] = std::move(pieces);
+  return object;
+}
+
+Json dataset_summary(const mobility::Dataset& dataset) {
+  Json object = Json::object();
+  object["name"] = dataset.name();
+  object["users"] = dataset.user_count();
+  object["records"] = dataset.record_count();
+
+  mobility::Timestamp first = std::numeric_limits<mobility::Timestamp>::max();
+  mobility::Timestamp last = std::numeric_limits<mobility::Timestamp>::min();
+  bool any = false;
+  for (const auto& trace : dataset.traces()) {
+    if (trace.empty()) continue;
+    any = true;
+    first = std::min(first, trace.front().time);
+    last = std::max(last, trace.back().time);
+  }
+  if (any) {
+    object["first_time"] = static_cast<std::int64_t>(first);
+    object["last_time"] = static_cast<std::int64_t>(last);
+    object["span_days"] =
+        static_cast<double>(last - first) / (24.0 * 3600.0);
+  }
+  object["mean_records_per_user"] =
+      dataset.user_count() == 0
+          ? 0.0
+          : static_cast<double>(dataset.record_count()) /
+                static_cast<double>(dataset.user_count());
+  return object;
+}
+
+Json make_report(const RunMetadata& meta, const core::ExperimentConfig& config,
+                 Json dataset, std::vector<Json> strategies) {
+  Json document = Json::object();
+  document["schema"] = kResultSchema;
+  Json meta_json = to_json(meta);
+  meta_json["config"] = to_json(config);
+  document["meta"] = std::move(meta_json);
+  document["dataset"] = std::move(dataset);
+  Json list = Json::array();
+  for (auto& strategy : strategies) list.push_back(std::move(strategy));
+  document["strategies"] = std::move(list);
+  return document;
+}
+
+std::vector<std::vector<std::string>> user_outcome_rows(
+    const core::StrategyResult& result) {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"user", "protected", "distortion_m", "records", "winner"});
+  for (const auto& user : result.users) {
+    rows.push_back({user.user, user.is_protected ? "1" : "0",
+                    format_double(user.distortion, 1),
+                    std::to_string(user.records), user.winner});
+  }
+  return rows;
+}
+
+std::vector<std::vector<std::string>> mood_outcome_rows(
+    const core::MoodResult& result) {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"user", "level", "records", "lost_records", "subtraces",
+                  "protected_subtraces", "distortion_m", "winner",
+                  "lppm_applications", "attack_invocations"});
+  for (const auto& user : result.users) {
+    rows.push_back({user.user, core::to_string(user.level),
+                    std::to_string(user.records),
+                    std::to_string(user.lost_records),
+                    std::to_string(user.subtraces),
+                    std::to_string(user.protected_subtraces),
+                    format_double(user.distortion, 1), user.winner,
+                    std::to_string(user.lppm_applications),
+                    std::to_string(user.attack_invocations)});
+  }
+  return rows;
+}
+
+std::vector<std::vector<std::string>> strategy_summary_rows(
+    const Json& report_document) {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"dataset", "strategy", "users", "non_protected", "data_loss",
+                  "bands(l/m/h/x)", "seconds"});
+  const Json* meta = report_document.find("meta");
+  const std::string dataset =
+      meta != nullptr ? meta->string_or("dataset", "?") : "?";
+  const Json* strategies = report_document.find("strategies");
+  if (strategies == nullptr || !strategies->is_array()) return rows;
+  for (const Json& strategy : strategies->items()) {
+    std::array<std::size_t, 4> bands{0, 0, 0, 0};
+    if (const Json* b = strategy.find("distortion_bands")) {
+      bands[0] = static_cast<std::size_t>(b->int_or("low", 0));
+      bands[1] = static_cast<std::size_t>(b->int_or("medium", 0));
+      bands[2] = static_cast<std::size_t>(b->int_or("high", 0));
+      bands[3] = static_cast<std::size_t>(b->int_or("extremely_high", 0));
+    }
+    rows.push_back({dataset, strategy.string_or("strategy", "?"),
+                    std::to_string(strategy.int_or("users", 0)),
+                    std::to_string(strategy.int_or("non_protected_users", 0)),
+                    format_percent(strategy.number_or("data_loss", 0.0)),
+                    format_bands(bands),
+                    format_double(strategy.number_or("wall_seconds", 0.0), 2)});
+  }
+  return rows;
+}
+
+void write_json_file(const std::string& path, const Json& document) {
+  if (path == "-") {
+    document.write(std::cout);
+    return;
+  }
+  std::ofstream out(path);
+  if (!out) throw support::IoError("cannot open for writing: " + path);
+  document.write(out);
+  out.flush();
+  if (!out) throw support::IoError("failed writing: " + path);
+}
+
+Json read_json_file(const std::string& path) {
+  std::ostringstream buffer;
+  if (path == "-") {
+    buffer << std::cin.rdbuf();
+  } else {
+    std::ifstream in(path);
+    if (!in) throw support::IoError("cannot open for reading: " + path);
+    buffer << in.rdbuf();
+  }
+  return Json::parse(buffer.str());
+}
+
+}  // namespace mood::report

@@ -1,0 +1,143 @@
+#pragma once
+
+/// \file report.h
+/// Structured result reporting: the one place where experiment outcomes
+/// become JSON documents and CSV tables.
+///
+/// Every front end — the `mood` CLI, the figure benches, the examples —
+/// serializes through these functions, so a result produced anywhere can be
+/// consumed anywhere (`mood report` aggregates and compares the emitted
+/// files). The JSON document layout is versioned through the top-level
+/// `schema` member, currently `"mood-result/1"`:
+///
+/// \verbatim
+/// {
+///   "schema": "mood-result/1",
+///   "meta": {            // RunMetadata: provenance of the run
+///     "tool": "mood evaluate", "dataset": "PrivaMov", "seed": 7,
+///     "wall_seconds": 12.3, "timings": {"harness": 1.9, "GeoI": 2.2},
+///     "config": { ... every ExperimentConfig knob ... }
+///   },
+///   "dataset": {         // summary statistics of the evaluated dataset
+///     "name": "PrivaMov", "users": 41, "records": 102345,
+///     "first_time": 1546300800, "last_time": 1548892800,
+///     "span_days": 30.0, "mean_records_per_user": 2496.2
+///   },
+///   "strategies": [      // one uniform object per evaluated strategy
+///     {
+///       "strategy": "GeoI", "users": 41,
+///       "non_protected_users": 12, "non_protected_ratio": 0.2926,
+///       "data_loss": 0.3105,
+///       "distortion_bands": {"low": 10, "medium": 9, "high": 8,
+///                             "extremely_high": 2},
+///       "wall_seconds": 2.2,
+///       "per_user": [ {"user": "u01", "protected": true, ...}, ... ]
+///     },
+///     {
+///       "strategy": "MooD-full", ...,  // same members as above, plus:
+///       "search_cost": {"lppm_applications": 410,
+///                        "attack_invocations": 1290}
+///     }
+///   ]
+/// }
+/// \endverbatim
+///
+/// `data_loss` and the ratios are fractions in [0, 1]; distortions are
+/// metres; timestamps are Unix seconds. `per_user` is optional (large) and
+/// `search_cost` appears only on the full-pipeline strategy ("MooD-full",
+/// serialized from MoodResult — the other evaluators don't count search
+/// effort).
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/mood_engine.h"
+#include "mobility/dataset.h"
+#include "report/json.h"
+
+namespace mood::report {
+
+/// Identifier of the result-document layout produced by make_report().
+inline constexpr const char* kResultSchema = "mood-result/1";
+
+/// Provenance of one run: which tool produced it, on what data, with which
+/// seed, and where the wall-clock time went. Timings are (phase, seconds)
+/// pairs in execution order.
+struct RunMetadata {
+  std::string tool;
+  std::string dataset;
+  std::uint64_t seed = 0;
+  double wall_seconds = 0.0;
+  std::vector<std::pair<std::string, double>> timings;
+};
+
+// ---- Domain -> JSON --------------------------------------------------
+
+/// Every ExperimentConfig knob, flat, using the CLI flag spellings
+/// (geoi_epsilon, trl_radius_m, ...) so a result file documents exactly
+/// how to re-run it.
+Json to_json(const core::ExperimentConfig& config);
+
+Json to_json(const RunMetadata& meta);
+
+/// {"user", "protected", "distortion", "records", "winner"}.
+Json to_json(const core::UserOutcome& outcome);
+
+/// Uniform strategy object (see file comment). `include_users` controls
+/// the potentially large "per_user" array.
+Json to_json(const core::StrategyResult& result, bool include_users = true);
+
+/// Full per-user MooD pipeline outcome, including slicing and search-cost
+/// counters.
+Json to_json(const core::MoodUserOutcome& outcome);
+
+/// Uniform strategy object for the full pipeline, reported under the
+/// strategy name "MooD-full" with aggregate "search_cost".
+Json to_json(const core::MoodResult& result, bool include_users = true);
+
+/// Single-trace Algorithm 1 outcome (engine-level; used by examples that
+/// drive MoodEngine::protect directly), including the published pieces.
+Json to_json(const core::ProtectionResult& result);
+
+/// Summary statistics of a dataset: user/record counts, covered time span,
+/// record volume per user. Callers may add context-specific members (e.g.
+/// the harness's active-user count) to the returned object.
+Json dataset_summary(const mobility::Dataset& dataset);
+
+/// Assembles the versioned result document from its parts.
+Json make_report(const RunMetadata& meta, const core::ExperimentConfig& config,
+                 Json dataset, std::vector<Json> strategies);
+
+// ---- Domain -> CSV ---------------------------------------------------
+
+/// Per-user rows (header first): user, protected, distortion_m, records,
+/// winner.
+std::vector<std::vector<std::string>> user_outcome_rows(
+    const core::StrategyResult& result);
+
+/// Per-user rows (header first) for the full pipeline: user, level,
+/// records, lost_records, subtraces, protected_subtraces, distortion_m,
+/// winner, lppm_applications, attack_invocations.
+std::vector<std::vector<std::string>> mood_outcome_rows(
+    const core::MoodResult& result);
+
+/// One summary row per strategy object of a result document (header
+/// first): strategy, users, non_protected, data_loss, bands, seconds.
+/// Accepts any JSON produced by make_report().
+std::vector<std::vector<std::string>> strategy_summary_rows(
+    const Json& report_document);
+
+// ---- Files -----------------------------------------------------------
+
+/// Pretty-prints `document` to `path` ("-" writes to stdout). Throws
+/// support::IoError on failure.
+void write_json_file(const std::string& path, const Json& document);
+
+/// Parses a JSON document from `path` ("-" reads stdin). Throws
+/// support::IoError on failure.
+Json read_json_file(const std::string& path);
+
+}  // namespace mood::report

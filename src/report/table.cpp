@@ -1,0 +1,66 @@
+#include "report/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "support/error.h"
+
+namespace mood::report {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  support::expects(!headers_.empty(), "Table: at least one column required");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  support::expects(cells.size() == headers_.size(),
+                   "Table::add_row: cell count != header count");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) out << "  ";
+      const std::size_t pad = widths[c] - cells[c].size();
+      // First column left-aligned (names), the rest right-aligned (values).
+      if (c == 0) {
+        out << cells[c] << std::string(pad, ' ');
+      } else {
+        out << std::string(pad, ' ') << cells[c];
+      }
+    }
+    out << '\n';
+  };
+
+  print_row(headers_);
+  std::size_t total = 0;
+  for (const std::size_t w : widths) total += w;
+  out << std::string(total + 2 * (widths.size() - 1), '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string format_double(double value, int decimals) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", decimals, value);
+  return buffer;
+}
+
+std::string format_percent(double ratio, int decimals) {
+  return format_double(100.0 * ratio, decimals) + "%";
+}
+
+std::string format_bands(const std::array<std::size_t, 4>& bands) {
+  return std::to_string(bands[0]) + "/" + std::to_string(bands[1]) + "/" +
+         std::to_string(bands[2]) + "/" + std::to_string(bands[3]);
+}
+
+}  // namespace mood::report

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file table.h
+/// Aligned plain-text tables for human-facing result output.
+///
+/// Shared by the figure benches and `mood report` so every tool renders the
+/// same way: left-aligned first column (names), right-aligned value columns,
+/// widths computed from content. Cells are plain strings — format numbers
+/// with the helpers below so precision stays consistent across tools.
+
+#include <array>
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mood::report {
+
+/// Column-aligned text table with a header row.
+class Table {
+ public:
+  /// Creates a table with fixed column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row. Precondition: `cells.size()` equals the header count.
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Renders with two-space column gaps and a dashed rule under the header.
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision decimal, e.g. format_double(3.14159, 2) == "3.14".
+std::string format_double(double value, int decimals);
+
+/// Ratio in [0,1] rendered as a percentage, e.g. "42.3%".
+std::string format_percent(double ratio, int decimals = 1);
+
+/// Distortion-band counters rendered "low/med/high/extreme".
+std::string format_bands(const std::array<std::size_t, 4>& bands);
+
+}  // namespace mood::report

@@ -3,13 +3,26 @@
 /// \file presets.h
 /// Per-dataset generator presets mirroring Table 1 of the paper.
 ///
-/// User counts are the paper's (141 / 41 / 41 / 531); record volumes follow
-/// the paper's per-user averages, multiplied by `scale` so experiments fit
-/// the host (scale = 1.0 approximates the paper's record counts; benches
-/// default to a smaller scale via --scale / MOOD_SCALE). Population
-/// structure parameters (POI privacy, relocation, fleet homogeneity) are
-/// tuned so the *no-LPPM vulnerability* of each synthetic city matches the
-/// paper's Fig. 6/7 ballpark — see EXPERIMENTS.md for measured values.
+/// The paper evaluates on four real datasets (MDC/Geneva,
+/// PrivaMov/Lyon, Geolife/Beijing, Cabspotting/San Francisco) that are
+/// access-restricted or unavailable offline, so each preset configures the
+/// synthetic generator (generator.h) to a population with the same shape:
+///
+///  * user counts are the paper's exactly (141 / 41 / 41 / 531);
+///  * record volumes follow the paper's per-user daily averages, multiplied
+///    by `scale` so experiments fit the host (scale = 1.0 approximates the
+///    paper's record counts; benches default to 0.25 via --scale /
+///    MOOD_SCALE, the CLI exposes it as `mood simulate --scale`);
+///  * population-structure parameters (POI privacy, relocation rate, cab
+///    fleet homogeneity, wanderer share) are tuned so each synthetic
+///    city's *no-LPPM vulnerability* lands in the ballpark of the paper's
+///    Fig. 6/7 bars — e.g. PrivaMov is the most distinctive population,
+///    Cabspotting the most naturally protected.
+///
+/// Presets are plain `GeneratorParams` values: take one, tweak fields, and
+/// call simulation::generate() for controlled what-if populations. Given
+/// equal parameters and seed the generator is byte-identical across runs
+/// and platforms.
 
 #include <string>
 #include <vector>
@@ -20,17 +33,21 @@
 namespace mood::simulation {
 
 /// Generator parameters for one of: "mdc", "privamov", "geolife",
-/// "cabspotting". Throws PreconditionError for unknown names.
+/// "cabspotting" (see preset_names()), at the given record-volume scale.
+/// `seed` drives every random choice of the generator.
+/// Throws PreconditionError for unknown names.
 /// Precondition: 0 < scale <= 4.
 GeneratorParams preset_params(const std::string& name, double scale = 1.0,
                               std::uint64_t seed = 42);
 
-/// Convenience: generate a preset dataset directly.
+/// Convenience: preset_params() + generate() in one call. Deterministic in
+/// (name, scale, seed).
 mobility::Dataset make_preset_dataset(const std::string& name,
                                       double scale = 1.0,
                                       std::uint64_t seed = 42);
 
-/// The four preset names in the paper's Table 1 order.
+/// The four preset names in the paper's Table 1 order:
+/// {"mdc", "privamov", "geolife", "cabspotting"}.
 const std::vector<std::string>& preset_names();
 
 }  // namespace mood::simulation

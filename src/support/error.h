@@ -40,6 +40,14 @@ class IoError : public Error {
   explicit IoError(const std::string& what) : Error(what) {}
 };
 
+/// Bad command-line invocation (unknown flag, malformed value, missing
+/// subcommand). Distinct from PreconditionError so the CLI can map it to
+/// exit code 2 and print usage, while programming errors stay loud.
+class UsageError : public Error {
+ public:
+  explicit UsageError(const std::string& what) : Error(what) {}
+};
+
 /// Precondition check for public entry points.
 inline void expects(bool condition, std::string_view message) {
   if (!condition) throw PreconditionError(std::string(message));

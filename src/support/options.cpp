@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <cstdlib>
 
 #include "support/error.h"
@@ -80,6 +81,158 @@ bool Options::get_bool(const std::string& key, bool fallback) const {
   if (*value == "false" || *value == "0" || *value == "no") return false;
   throw PreconditionError("option --" + key + ": expected boolean, got '" +
                           *value + "'");
+}
+
+std::vector<std::string> Options::keys() const {
+  std::vector<std::string> names;
+  names.reserve(values_.size());
+  for (const auto& [key, value] : values_) names.push_back(key);
+  return names;
+}
+
+FlagSet::FlagSet(std::string program, std::string synopsis)
+    : program_(std::move(program)), synopsis_(std::move(synopsis)) {
+  add_bool("help", false, "print this help and exit");
+}
+
+namespace {
+
+[[noreturn]] void duplicate_flag(const std::string& name) {
+  throw PreconditionError("FlagSet: flag --" + name + " declared twice");
+}
+
+}  // namespace
+
+void FlagSet::add_string(const std::string& name, std::string fallback,
+                         std::string help) {
+  for (const auto& s : specs_) {
+    if (s.name == name) duplicate_flag(name);
+  }
+  specs_.push_back(
+      {name, Type::kString, std::move(fallback), 0.0, std::move(help)});
+}
+
+void FlagSet::add_double(const std::string& name, double fallback,
+                         std::string help) {
+  for (const auto& s : specs_) {
+    if (s.name == name) duplicate_flag(name);
+  }
+  char text[32];
+  std::snprintf(text, sizeof text, "%g", fallback);
+  specs_.push_back({name, Type::kDouble, text, fallback, std::move(help)});
+}
+
+void FlagSet::add_int(const std::string& name, std::int64_t fallback,
+                      std::string help) {
+  for (const auto& s : specs_) {
+    if (s.name == name) duplicate_flag(name);
+  }
+  specs_.push_back(
+      {name, Type::kInt, std::to_string(fallback), 0.0, std::move(help)});
+}
+
+void FlagSet::add_bool(const std::string& name, bool fallback,
+                       std::string help) {
+  for (const auto& s : specs_) {
+    if (s.name == name) duplicate_flag(name);
+  }
+  specs_.push_back({name, Type::kBool, fallback ? "true" : "false", 0.0,
+                    std::move(help)});
+}
+
+void FlagSet::parse(int argc, const char* const* argv) {
+  options_ = Options(argc, argv);
+  for (const auto& key : options_.keys()) {
+    const bool known = std::any_of(
+        specs_.begin(), specs_.end(),
+        [&](const Spec& spec) { return spec.name == key; });
+    if (!known) {
+      throw UsageError(program_ + ": unknown flag --" + key +
+                       " (see --help)");
+    }
+  }
+  // Force every typed conversion now so errors carry the flag name at
+  // parse time rather than at first use.
+  for (const auto& spec : specs_) {
+    try {
+      switch (spec.type) {
+        case Type::kString: break;
+        case Type::kDouble:
+          static_cast<void>(options_.get_double(spec.name, 0.0));
+          break;
+        case Type::kInt:
+          static_cast<void>(options_.get_int(spec.name, 0));
+          break;
+        case Type::kBool:
+          static_cast<void>(options_.get_bool(spec.name, false));
+          break;
+      }
+    } catch (const PreconditionError& error) {
+      throw UsageError(program_ + ": " + error.what() + " (see --help)");
+    }
+  }
+}
+
+void FlagSet::reject_positionals() const {
+  if (options_.positional().empty()) return;
+  throw UsageError(program_ + ": unexpected argument '" +
+                   options_.positional().front() +
+                   "' (flags use --name=value syntax; see --help)");
+}
+
+const FlagSet::Spec& FlagSet::spec(const std::string& name, Type type) const {
+  for (const auto& s : specs_) {
+    if (s.name == name) {
+      expects(s.type == type,
+              "FlagSet: flag --" + name + " accessed with the wrong type");
+      return s;
+    }
+  }
+  throw PreconditionError("FlagSet: flag --" + name + " was never declared");
+}
+
+std::string FlagSet::get_string(const std::string& name) const {
+  return options_.get_string(name, spec(name, Type::kString).fallback);
+}
+
+double FlagSet::get_double(const std::string& name) const {
+  return options_.get_double(name, spec(name, Type::kDouble).double_fallback);
+}
+
+std::int64_t FlagSet::get_int(const std::string& name) const {
+  return options_.get_int(name, std::stoll(spec(name, Type::kInt).fallback));
+}
+
+bool FlagSet::get_bool(const std::string& name) const {
+  return options_.get_bool(name, spec(name, Type::kBool).fallback == "true");
+}
+
+std::string FlagSet::help() const {
+  std::string out = "usage: " + program_ + " [flags]\n\n" + synopsis_ + "\n\n";
+  out += "Flags (values also read from MOOD_<FLAG> environment variables):\n";
+  std::size_t width = 0;
+  std::vector<std::string> heads;
+  heads.reserve(specs_.size());
+  for (const auto& spec : specs_) {
+    std::string head = "  --" + spec.name;
+    switch (spec.type) {
+      case Type::kString: head += "=<string>"; break;
+      case Type::kDouble: head += "=<number>"; break;
+      case Type::kInt: head += "=<int>"; break;
+      case Type::kBool: break;  // bare flag form is enough
+    }
+    width = std::max(width, head.size());
+    heads.push_back(std::move(head));
+  }
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    out += heads[i] + std::string(width - heads[i].size() + 2, ' ') +
+           specs_[i].help;
+    if (specs_[i].name != "help") {
+      out += " (default: " + specs_[i].fallback + ")";
+    }
+    out += "\n";
+  }
+  return out;
 }
 
 }  // namespace mood::support

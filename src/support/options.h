@@ -1,12 +1,19 @@
 #pragma once
 
 /// \file options.h
-/// Tiny command-line / environment option reader for benches and examples.
+/// Command-line parsing, in two layers.
 ///
-/// Syntax: `--key=value` or `--flag` (boolean true). Unknown arguments are
-/// kept in positional(). Every lookup also consults the environment variable
-/// `MOOD_<KEY>` (upper-cased, '-' -> '_') so experiment scale can be tuned
-/// without editing command lines, e.g. `MOOD_SCALE=0.5 ./fig7_multi_attack`.
+/// `Options` is the low-level reader used by benches and examples:
+/// `--key=value` / `--flag` syntax, no declared schema, environment
+/// fallback. `FlagSet` builds on it for the `mood` CLI: flags are declared
+/// up front with a type, default and help line, unknown flags are rejected
+/// with UsageError, and `--help` text is generated — so every subcommand
+/// documents itself and typos fail loudly instead of being ignored.
+///
+/// Environment fallback: every lookup that misses on the command line also
+/// consults `MOOD_<KEY>` (upper-cased, '-' -> '_'), so experiment scale can
+/// be tuned without editing command lines, e.g.
+/// `MOOD_SCALE=0.5 ./fig7_multi_attack`.
 
 #include <cstdint>
 #include <map>
@@ -17,6 +24,9 @@
 namespace mood::support {
 
 /// Parsed option set with typed getters and defaults.
+///
+/// Syntax: `--key=value` or `--flag` (boolean true). Arguments that do not
+/// start with `--` are kept, in order, in positional().
 class Options {
  public:
   Options() = default;
@@ -24,7 +34,7 @@ class Options {
   /// Parses argv (excluding argv[0]).
   Options(int argc, const char* const* argv);
 
-  /// Raw lookup: CLI first, then MOOD_<KEY> environment variable.
+  /// Raw lookup: CLI first, then `MOOD_<KEY>` environment variable.
   [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
 
   /// Typed getters with defaults. Throw PreconditionError on unparsable
@@ -37,6 +47,10 @@ class Options {
                                      std::int64_t fallback) const;
   [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
 
+  /// Keys that were provided on the command line (not via environment),
+  /// in sorted order — lets schema-aware layers (FlagSet) reject unknowns.
+  [[nodiscard]] std::vector<std::string> keys() const;
+
   /// Arguments that did not look like --options, in order.
   [[nodiscard]] const std::vector<std::string>& positional() const {
     return positional_;
@@ -45,6 +59,81 @@ class Options {
  private:
   std::map<std::string, std::string> values_;
   std::vector<std::string> positional_;
+};
+
+/// Declared, typed command-line schema for one (sub)command.
+///
+/// Usage:
+/// \code
+///   FlagSet flags("mood simulate", "Generate a synthetic dataset preset.");
+///   flags.add_string("preset", "privamov", "dataset preset name");
+///   flags.add_double("scale", 0.25, "record-volume scale in (0, 4]");
+///   flags.parse(argc, argv);            // throws UsageError on bad input
+///   if (flags.get_bool("help")) { out << flags.help(); return 0; }
+///   const double scale = flags.get_double("scale");
+/// \endcode
+///
+/// A boolean `--help` flag is always registered. Values fall back to the
+/// `MOOD_<KEY>` environment (through Options), then to the declared
+/// default. parse() throws UsageError for undeclared `--flags` and for
+/// values that do not parse as the declared type.
+class FlagSet {
+ public:
+  /// `program` and `synopsis` head the generated help text.
+  FlagSet(std::string program, std::string synopsis);
+
+  /// Declares a flag of the given type. Call before parse(). The
+  /// registration order is the help-text order.
+  void add_string(const std::string& name, std::string fallback,
+                  std::string help);
+  void add_double(const std::string& name, double fallback, std::string help);
+  void add_int(const std::string& name, std::int64_t fallback,
+               std::string help);
+  void add_bool(const std::string& name, bool fallback, std::string help);
+
+  /// Parses argv (excluding argv[0]). Throws UsageError naming the first
+  /// offending flag when an undeclared option or a value of the wrong type
+  /// is found. May be called once per FlagSet.
+  void parse(int argc, const char* const* argv);
+
+  /// Typed access after parse(). Throws PreconditionError for names that
+  /// were never declared (a programming error, not a user error).
+  [[nodiscard]] std::string get_string(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+
+  /// Non-flag arguments, in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return options_.positional();
+  }
+
+  /// For commands that take no positional arguments: throws UsageError
+  /// naming the first stray one. Catches the `--flag value` space syntax,
+  /// which would otherwise read as flag=true plus an ignored positional.
+  void reject_positionals() const;
+
+  /// Generated usage text: synopsis plus one line per declared flag with
+  /// its type and default.
+  [[nodiscard]] std::string help() const;
+
+ private:
+  enum class Type { kString, kDouble, kInt, kBool };
+  struct Spec {
+    std::string name;
+    Type type;
+    std::string fallback;      ///< default, rendered as text for help()
+    double double_fallback;    ///< exact default for kDouble (the text
+                               ///< rendering may lose precision)
+    std::string help;
+  };
+
+  [[nodiscard]] const Spec& spec(const std::string& name, Type type) const;
+
+  std::string program_;
+  std::string synopsis_;
+  std::vector<Spec> specs_;
+  Options options_;
 };
 
 }  // namespace mood::support

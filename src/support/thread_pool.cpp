@@ -13,6 +13,12 @@ namespace {
 // detect it and degrade to serial execution instead of deadlocking on the
 // shared pool.
 thread_local bool t_inside_pool_worker = false;
+
+// configure_shared() / shared() handshake: the requested size, and whether
+// the lazily-built shared pool already exists (after which reconfiguration
+// must fail instead of silently doing nothing).
+std::atomic<std::size_t> g_shared_pool_size{0};
+std::atomic<bool> g_shared_pool_built{false};
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -68,8 +74,15 @@ void ThreadPool::worker_loop() {
 }
 
 ThreadPool& ThreadPool::shared() {
-  static ThreadPool pool;
+  g_shared_pool_built.store(true);
+  static ThreadPool pool(g_shared_pool_size.load());
   return pool;
+}
+
+void ThreadPool::configure_shared(std::size_t threads) {
+  expects(!g_shared_pool_built.load(),
+          "ThreadPool::configure_shared: shared pool already built");
+  g_shared_pool_size.store(threads);
 }
 
 void parallel_for(std::size_t count,

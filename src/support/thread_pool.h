@@ -39,6 +39,12 @@ class ThreadPool {
   /// constructing nested pools inside library code.
   static ThreadPool& shared();
 
+  /// Sets the worker count of the shared pool (0 = hardware concurrency).
+  /// Must be called before the first shared() use — the pool is built
+  /// lazily exactly once — and throws PreconditionError afterwards. This
+  /// backs the CLI's --jobs flag; call it from main(), not library code.
+  static void configure_shared(std::size_t threads);
+
  private:
   void worker_loop();
 

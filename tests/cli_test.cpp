@@ -1,0 +1,201 @@
+// Tests for the `mood` CLI: subcommand dispatch, typed-flag parsing and
+// exit codes (0 ok / 1 runtime failure / 2 usage error), plus a small
+// end-to-end simulate -> evaluate -> report pipeline exercised in-process
+// through mood::cli::run.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <initializer_list>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mood_cli/cli.h"
+#include "report/json.h"
+#include "support/error.h"
+#include "support/options.h"
+
+namespace mood::cli {
+namespace {
+
+struct CliResult {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+/// Runs the CLI in-process with "mood" prepended as argv[0].
+CliResult run_cli(std::initializer_list<std::string> args) {
+  std::vector<std::string> storage{"mood"};
+  storage.insert(storage.end(), args.begin(), args.end());
+  std::vector<const char*> argv;
+  argv.reserve(storage.size());
+  for (const auto& arg : storage) argv.push_back(arg.c_str());
+
+  std::ostringstream out, err;
+  const int code =
+      run(static_cast<int>(argv.size()), argv.data(), out, err);
+  return {code, out.str(), err.str()};
+}
+
+// ----------------------------------------------------------- dispatch --
+
+TEST(CliDispatch, NoArgumentsIsUsageError) {
+  const auto result = run_cli({});
+  EXPECT_EQ(result.code, kExitUsage);
+  EXPECT_NE(result.err.find("usage: mood"), std::string::npos);
+}
+
+TEST(CliDispatch, TopLevelHelpExitsZero) {
+  for (const auto* flag : {"--help", "-h", "help"}) {
+    const auto result = run_cli({flag});
+    EXPECT_EQ(result.code, kExitOk) << flag;
+    EXPECT_NE(result.out.find("simulate"), std::string::npos);
+    EXPECT_NE(result.out.find("evaluate"), std::string::npos);
+    EXPECT_NE(result.out.find("report"), std::string::npos);
+  }
+}
+
+TEST(CliDispatch, UnknownSubcommandIsUsageError) {
+  const auto result = run_cli({"frobnicate"});
+  EXPECT_EQ(result.code, kExitUsage);
+  EXPECT_NE(result.err.find("unknown command 'frobnicate'"),
+            std::string::npos);
+}
+
+TEST(CliDispatch, SubcommandHelpExitsZero) {
+  for (const auto* command : {"simulate", "evaluate", "report"}) {
+    const auto result = run_cli({command, "--help"});
+    EXPECT_EQ(result.code, kExitOk) << command;
+    EXPECT_NE(result.out.find("--help"), std::string::npos);
+  }
+  // And the help text documents the interesting flags.
+  EXPECT_NE(run_cli({"evaluate", "--help"}).out.find("--strategies"),
+            std::string::npos);
+  EXPECT_NE(run_cli({"evaluate", "--help"}).out.find("--geoi-epsilon"),
+            std::string::npos);
+}
+
+// -------------------------------------------------------------- flags --
+
+TEST(CliFlags, UnknownFlagIsUsageError) {
+  const auto result = run_cli({"simulate", "--no-such-flag=1"});
+  EXPECT_EQ(result.code, kExitUsage);
+  EXPECT_NE(result.err.find("--no-such-flag"), std::string::npos);
+}
+
+TEST(CliFlags, MistypedValueIsUsageError) {
+  const auto result = run_cli({"simulate", "--scale=abc"});
+  EXPECT_EQ(result.code, kExitUsage);
+  EXPECT_NE(result.err.find("scale"), std::string::npos);
+}
+
+TEST(CliFlags, SpaceSeparatedFlagValueIsUsageError) {
+  // `--out city.csv` parses as out=true plus a stray positional; it must
+  // be rejected, not silently write a file named "true".
+  for (const auto& args : {std::vector<std::string>{"simulate", "--out",
+                                                    "city.csv"},
+                           std::vector<std::string>{"evaluate", "--input",
+                                                    "data.csv"}}) {
+    std::vector<std::string> with_prog{"mood"};
+    with_prog.insert(with_prog.end(), args.begin(), args.end());
+    std::vector<const char*> argv;
+    for (const auto& arg : with_prog) argv.push_back(arg.c_str());
+    std::ostringstream out, err;
+    const int code =
+        run(static_cast<int>(argv.size()), argv.data(), out, err);
+    EXPECT_EQ(code, kExitUsage) << args[0];
+    EXPECT_NE(err.str().find("--name=value"), std::string::npos) << args[0];
+  }
+}
+
+TEST(CliFlags, UnknownStrategyIsUsageError) {
+  const auto result = run_cli({"evaluate", "--strategies=warp-drive"});
+  EXPECT_EQ(result.code, kExitUsage);
+  EXPECT_NE(result.err.find("warp-drive"), std::string::npos);
+}
+
+TEST(CliFlags, UnknownAttackIsUsageError) {
+  // The dataset must exist before attacks are resolved, so keep it tiny.
+  const auto result = run_cli({"evaluate", "--preset=privamov",
+                               "--scale=0.01", "--min-records=2",
+                               "--attacks=quantum"});
+  EXPECT_EQ(result.code, kExitUsage);
+  EXPECT_NE(result.err.find("quantum"), std::string::npos);
+}
+
+TEST(CliFlags, UnknownPresetIsRuntimeFailure) {
+  const auto result = run_cli({"simulate", "--preset=atlantis", "--out=-"});
+  EXPECT_EQ(result.code, kExitFailure);
+  EXPECT_NE(result.err.find("atlantis"), std::string::npos);
+}
+
+TEST(CliReport, NoInputsIsUsageError) {
+  EXPECT_EQ(run_cli({"report"}).code, kExitUsage);
+}
+
+TEST(CliReport, MissingFileIsRuntimeFailure) {
+  const auto result = run_cli({"report", "/no/such/file.json"});
+  EXPECT_EQ(result.code, kExitFailure);
+}
+
+TEST(CliReport, BadFormatIsUsageError) {
+  EXPECT_EQ(run_cli({"report", "x.json", "--format=xml"}).code, kExitUsage);
+}
+
+// --------------------------------------------------------- end-to-end --
+
+TEST(CliPipeline, SimulateEvaluateReport) {
+  const std::string dir = ::testing::TempDir();
+  const std::string csv = dir + "mood_cli_test_dataset.csv";
+  const std::string json = dir + "mood_cli_test_result.json";
+
+  // simulate: small city so the whole pipeline stays fast in Debug.
+  auto simulate = run_cli({"simulate", "--preset=privamov", "--scale=0.05",
+                           "--users=8", "--days=6", "--seed=3",
+                           "--out=" + csv});
+  ASSERT_EQ(simulate.code, kExitOk) << simulate.err;
+  // The summary on stdout is valid JSON.
+  const report::Json summary = report::Json::parse(simulate.out);
+  EXPECT_EQ(summary.int_or("users", 0), 8);
+
+  // evaluate: cheap strategies only.
+  auto evaluate = run_cli({"evaluate", "--input=" + csv, "--name=e2e",
+                           "--strategies=no-lppm,geoi", "--min-records=4",
+                           "--seed=3", "--out=" + json});
+  ASSERT_EQ(evaluate.code, kExitOk) << evaluate.err;
+
+  std::ifstream in(json);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const report::Json document = report::Json::parse(buffer.str());
+  EXPECT_EQ(document.string_or("schema", ""), "mood-result/1");
+  const report::Json* strategies = document.find("strategies");
+  ASSERT_NE(strategies, nullptr);
+  ASSERT_EQ(strategies->size(), 2u);
+  for (const auto& strategy : strategies->items()) {
+    EXPECT_NE(strategy.find("data_loss"), nullptr);
+    EXPECT_NE(strategy.find("distortion_bands"), nullptr);
+    EXPECT_NE(strategy.find("per_user"), nullptr);
+  }
+  EXPECT_EQ(strategies->items()[0].string_or("strategy", ""), "no-LPPM");
+
+  // report: the table mentions both strategies and the dataset name.
+  auto report_run = run_cli({"report", json});
+  ASSERT_EQ(report_run.code, kExitOk) << report_run.err;
+  EXPECT_NE(report_run.out.find("no-LPPM"), std::string::npos);
+  EXPECT_NE(report_run.out.find("GeoI"), std::string::npos);
+  EXPECT_NE(report_run.out.find("e2e"), std::string::npos);
+
+  // report --format=json wraps the document unchanged.
+  auto merged = run_cli({"report", json, "--format=json"});
+  ASSERT_EQ(merged.code, kExitOk);
+  const report::Json bundle = report::Json::parse(merged.out);
+  EXPECT_EQ(bundle.string_or("schema", ""), "mood-report/1");
+  ASSERT_EQ(bundle.find("runs")->size(), 1u);
+  EXPECT_EQ(*bundle.find("runs")->items()[0].find("report"), document);
+}
+
+}  // namespace
+}  // namespace mood::cli

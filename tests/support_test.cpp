@@ -264,6 +264,102 @@ TEST(Options, BooleanSpellings) {
   EXPECT_FALSE(options.get_bool("c", true));
 }
 
+TEST(Options, ExposesCommandLineKeys) {
+  const char* argv[] = {"prog", "--beta=1", "--alpha", "pos"};
+  const Options options(4, argv);
+  EXPECT_EQ(options.keys(), (std::vector<std::string>{"alpha", "beta"}));
+}
+
+// --------------------------------------------------------------- FlagSet --
+
+FlagSet make_flags() {
+  FlagSet flags("prog test", "A test command.");
+  flags.add_string("name", "default-name", "a string");
+  flags.add_double("ratio", 0.5, "a number");
+  flags.add_int("count", 4, "an integer");
+  flags.add_bool("fast", false, "a boolean");
+  return flags;
+}
+
+TEST(FlagSet, DefaultsAndOverrides) {
+  FlagSet flags = make_flags();
+  const char* argv[] = {"prog", "--ratio=0.75", "--fast", "input.csv"};
+  flags.parse(4, argv);
+  EXPECT_EQ(flags.get_string("name"), "default-name");
+  EXPECT_DOUBLE_EQ(flags.get_double("ratio"), 0.75);
+  EXPECT_EQ(flags.get_int("count"), 4);
+  EXPECT_TRUE(flags.get_bool("fast"));
+  EXPECT_FALSE(flags.get_bool("help"));  // auto-registered
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "input.csv");
+}
+
+TEST(FlagSet, RejectsUnknownFlag) {
+  FlagSet flags = make_flags();
+  const char* argv[] = {"prog", "--typo=1"};
+  EXPECT_THROW(flags.parse(2, argv), UsageError);
+}
+
+TEST(FlagSet, RejectsMistypedValueAtParseTime) {
+  FlagSet flags = make_flags();
+  const char* argv[] = {"prog", "--count=three"};
+  EXPECT_THROW(flags.parse(2, argv), UsageError);
+}
+
+TEST(FlagSet, RejectsDuplicateDeclaration) {
+  FlagSet flags = make_flags();
+  EXPECT_THROW(flags.add_int("count", 1, "again"), PreconditionError);
+}
+
+TEST(FlagSet, UndeclaredAccessIsLoud) {
+  FlagSet flags = make_flags();
+  flags.parse(0, nullptr);
+  EXPECT_THROW(static_cast<void>(flags.get_int("never-declared")),
+               PreconditionError);
+  // Wrong-type access of a declared flag is also a programming error.
+  EXPECT_THROW(static_cast<void>(flags.get_int("name")), PreconditionError);
+}
+
+TEST(FlagSet, HelpListsEveryFlagWithDefault) {
+  const FlagSet flags = make_flags();
+  const std::string help = flags.help();
+  EXPECT_NE(help.find("usage: prog test"), std::string::npos);
+  EXPECT_NE(help.find("--name=<string>"), std::string::npos);
+  EXPECT_NE(help.find("default: default-name"), std::string::npos);
+  EXPECT_NE(help.find("--ratio=<number>"), std::string::npos);
+  EXPECT_NE(help.find("default: 0.5"), std::string::npos);
+  EXPECT_NE(help.find("--count=<int>"), std::string::npos);
+  EXPECT_NE(help.find("--fast"), std::string::npos);
+  EXPECT_NE(help.find("--help"), std::string::npos);
+}
+
+TEST(FlagSet, EnvironmentFallbackStillApplies) {
+  ::setenv("MOOD_RATIO", "0.25", 1);
+  FlagSet flags = make_flags();
+  flags.parse(0, nullptr);
+  EXPECT_DOUBLE_EQ(flags.get_double("ratio"), 0.25);
+  ::unsetenv("MOOD_RATIO");
+}
+
+TEST(FlagSet, DoubleDefaultKeepsFullPrecision) {
+  // The default must survive exactly, not through a 6-decimal text render.
+  FlagSet flags("prog", "precision");
+  flags.add_double("epsilon", 1e-7, "tiny");
+  flags.parse(0, nullptr);
+  EXPECT_DOUBLE_EQ(flags.get_double("epsilon"), 1e-7);
+  EXPECT_NE(flags.help().find("1e-07"), std::string::npos) << flags.help();
+}
+
+TEST(FlagSet, RejectPositionalsThrowsUsageError) {
+  FlagSet flags = make_flags();
+  const char* argv[] = {"prog", "--fast", "stray.csv"};
+  flags.parse(3, argv);
+  EXPECT_THROW(flags.reject_positionals(), UsageError);
+  FlagSet clean = make_flags();
+  clean.parse(0, nullptr);
+  EXPECT_NO_THROW(clean.reject_positionals());
+}
+
 // --------------------------------------------------------- Thread pool --
 
 TEST(ThreadPool, RunsSubmittedTasks) {

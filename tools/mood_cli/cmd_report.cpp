@@ -1,0 +1,98 @@
+// `mood report`: read one or more mood-result/1 documents and render a
+// cross-run comparison — as an aligned table (default), CSV, or a merged
+// JSON document for further tooling.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "mood_cli/cli.h"
+#include "report/report.h"
+#include "report/table.h"
+#include "support/csv.h"
+#include "support/error.h"
+#include "support/options.h"
+
+namespace mood::cli {
+
+namespace {
+
+/// Last path component without the .json suffix — the "source" column.
+std::string source_label(const std::string& path) {
+  std::string label = path;
+  if (const auto slash = label.find_last_of('/'); slash != std::string::npos) {
+    label.erase(0, slash + 1);
+  }
+  if (label.size() > 5 && label.ends_with(".json")) {
+    label.erase(label.size() - 5);
+  }
+  return label;
+}
+
+}  // namespace
+
+int cmd_report(int argc, const char* const* argv, std::ostream& out,
+               std::ostream& err) {
+  support::FlagSet flags(
+      "mood report <result.json>...",
+      "Aggregate mood-result/1 documents (as written by `mood evaluate`)\n"
+      "into a cross-run comparison, one row per (run, strategy).");
+  flags.add_string("format", "table", "output format: table, csv or json");
+  flags.parse(argc, argv);
+  if (flags.get_bool("help")) {
+    out << flags.help();
+    return kExitOk;
+  }
+  const std::string format = flags.get_string("format");
+  if (format != "table" && format != "csv" && format != "json") {
+    throw support::UsageError("mood report: unknown --format '" + format +
+                              "' (expected table, csv or json)");
+  }
+  if (flags.positional().empty()) {
+    throw support::UsageError(
+        "mood report: no input files (pass one or more result JSON paths)");
+  }
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"source", "dataset", "strategy", "users", "non_protected",
+                  "data_loss", "bands(l/m/h/x)", "seconds"});
+  report::Json merged = report::Json::object();
+  merged["schema"] = "mood-report/1";
+  report::Json runs = report::Json::array();
+
+  for (const auto& path : flags.positional()) {
+    report::Json document = report::read_json_file(path);
+    const std::string schema = document.string_or("schema", "(missing)");
+    if (schema != report::kResultSchema) {
+      err << "warning: " << path << " has schema '" << schema
+          << "', expected '" << report::kResultSchema
+          << "' — fields may be missing\n";
+    }
+    auto file_rows = report::strategy_summary_rows(document);
+    for (std::size_t i = 1; i < file_rows.size(); ++i) {  // skip header
+      std::vector<std::string> row{source_label(path)};
+      row.insert(row.end(), file_rows[i].begin(), file_rows[i].end());
+      rows.push_back(std::move(row));
+    }
+    report::Json entry = report::Json::object();
+    entry["source"] = path;
+    entry["report"] = std::move(document);
+    runs.push_back(std::move(entry));
+  }
+  merged["runs"] = std::move(runs);
+
+  if (format == "json") {
+    merged.write(out);
+    return kExitOk;
+  }
+  if (format == "csv") {
+    support::write_csv(out, rows);
+    return kExitOk;
+  }
+  report::Table table(rows.front());
+  for (std::size_t i = 1; i < rows.size(); ++i) table.add_row(rows[i]);
+  table.print(out);
+  return kExitOk;
+}
+
+}  // namespace mood::cli

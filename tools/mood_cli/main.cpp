@@ -1,0 +1,10 @@
+// The `mood` executable: all behaviour lives in mood::cli::run so the test
+// suite can exercise it in-process (see tools/mood_cli/cli.h).
+
+#include <iostream>
+
+#include "mood_cli/cli.h"
+
+int main(int argc, char** argv) {
+  return mood::cli::run(argc, argv, std::cout, std::cerr);
+}
