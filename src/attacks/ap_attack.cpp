@@ -1,35 +1,55 @@
 #include "attacks/ap_attack.h"
 
-#include <limits>
+#include "attacks/bounded_scan.h"
 
 namespace mood::attacks {
 
 void ApAttack::train(const std::vector<mobility::Trace>& background) {
-  profiles_.clear();
-  profiles_.reserve(background.size());
+  compiled_.clear();
+  reference_.clear();
+  compiled_.reserve(background.size());
+  reference_.reserve(background.size());
   for (const auto& trace : background) {
-    profiles_.emplace_back(trace.user(),
-                           profiles::Heatmap::from_trace(trace, grid_));
+    auto map = profiles::Heatmap::from_trace(trace, grid_);
+    compiled_.emplace_back(trace.user(), profiles::CompiledHeatmap(map));
+    reference_.emplace_back(trace.user(), std::move(map));
   }
 }
 
 std::optional<mobility::UserId> ApAttack::reidentify(
     const mobility::Trace& anonymous_trace) const {
-  const auto anonymous_map =
-      profiles::Heatmap::from_trace(anonymous_trace, grid_);
-  if (anonymous_map.empty()) return std::nullopt;
-
-  double best = std::numeric_limits<double>::infinity();
-  const mobility::UserId* best_user = nullptr;
-  for (const auto& [user, map] : profiles_) {
-    const double d = profiles::topsoe_divergence(anonymous_map, map);
-    if (d < best) {
-      best = d;
-      best_user = &user;
-    }
+  if (reference_mode_) {
+    const auto anonymous_map =
+        profiles::Heatmap::from_trace(anonymous_trace, grid_);
+    if (anonymous_map.empty()) return std::nullopt;
+    return naive_argmin(reference_, [&](const profiles::Heatmap& map) {
+      return profiles::topsoe_divergence(anonymous_map, map);
+    });
   }
-  if (best_user == nullptr) return std::nullopt;
-  return *best_user;
+
+  const auto anonymous_map =
+      profiles::CompiledHeatmap::from_trace(anonymous_trace, grid_);
+  if (anonymous_map.empty()) return std::nullopt;
+  return scan_argmin(
+      compiled_, [&](const profiles::CompiledHeatmap& map, double bound) {
+        return profiles::topsoe_divergence_bounded(anonymous_map, map, bound);
+      });
+}
+
+bool ApAttack::reidentifies_target(const mobility::Trace& anonymous_trace,
+                                   const mobility::UserId& owner) const {
+  if (reference_mode_) return Attack::reidentifies_target(anonymous_trace, owner);
+  const auto anonymous_map =
+      profiles::CompiledHeatmap::from_trace(anonymous_trace, grid_);
+  if (anonymous_map.empty()) return false;
+  return scan_is_first_argmin(
+      compiled_, owner,
+      [&](const profiles::CompiledHeatmap& map) {
+        return profiles::topsoe_divergence(anonymous_map, map);
+      },
+      [&](const profiles::CompiledHeatmap& map, double bound) {
+        return profiles::topsoe_divergence_bounded(anonymous_map, map, bound);
+      });
 }
 
 }  // namespace mood::attacks

@@ -6,8 +6,14 @@
 /// attributed to the known user minimising the Topsoe divergence. The paper
 /// calls it "the most powerful attack currently known" and uses it alone
 /// for the Fig. 6 experiment.
+///
+/// train() compiles every trained heatmap into its flat sorted form once;
+/// queries build the anonymous heatmap run-collapsed (no hash map) and walk
+/// the population with branch-and-bound bounded divergences — see
+/// bounded_scan.h. The raw hash-map profiles are kept for reference mode.
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "attacks/attack.h"
@@ -29,15 +35,27 @@ class ApAttack final : public Attack {
   [[nodiscard]] std::optional<mobility::UserId> reidentify(
       const mobility::Trace& anonymous_trace) const override;
 
+  [[nodiscard]] bool reidentifies_target(
+      const mobility::Trace& anonymous_trace,
+      const mobility::UserId& owner) const override;
+
   [[nodiscard]] std::size_t trained_users() const override {
-    return profiles_.size();
+    return compiled_.size();
   }
+
+  void set_reference_mode(bool on) override { reference_mode_ = on; }
 
   [[nodiscard]] const geo::CellGrid& grid() const { return grid_; }
 
  private:
   geo::CellGrid grid_;
-  std::vector<std::pair<mobility::UserId, profiles::Heatmap>> profiles_;
+  std::vector<std::pair<mobility::UserId, profiles::CompiledHeatmap>>
+      compiled_;
+  /// Uncompiled profiles, same order — the reference-mode oracle. Kept
+  /// unconditionally: profile maps are a rounding error next to the
+  /// training traces the surrounding harness already holds in memory.
+  std::vector<std::pair<mobility::UserId, profiles::Heatmap>> reference_;
+  bool reference_mode_ = false;
 };
 
 }  // namespace mood::attacks

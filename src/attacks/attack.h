@@ -37,16 +37,37 @@ class Attack {
   [[nodiscard]] virtual std::optional<mobility::UserId> reidentify(
       const mobility::Trace& anonymous_trace) const = 0;
 
+  /// Targeted query: would reidentify() answer exactly `owner`? Must be
+  /// decision-equivalent to `reidentify(trace) == owner` — this default is
+  /// literally that — but concrete attacks override it with a
+  /// branch-and-bound scan that prices the owner first and prunes the rest
+  /// of the population against that distance, which is what makes
+  /// Algorithm 1's attack-in-the-loop search fast (the engine only ever
+  /// needs this predicate, never the full argmin).
+  [[nodiscard]] virtual bool reidentifies_target(
+      const mobility::Trace& anonymous_trace,
+      const mobility::UserId& owner) const {
+    const auto answer = reidentify(anonymous_trace);
+    return answer.has_value() && *answer == owner;
+  }
+
   /// Number of trained profiles.
   [[nodiscard]] virtual std::size_t trained_users() const = 0;
+
+  /// Reference mode: route every query through the pre-optimization
+  /// hash-map scans (the oracle the optimized path is validated against).
+  /// Default no-op for attacks without a legacy path (e.g. test mocks).
+  /// Not thread-safe — flip only outside parallel sections.
+  virtual void set_reference_mode(bool /*on*/) {}
 };
 
 /// True iff the attack's answer equals the true owner — the success
-/// predicate A_k(T') = U used throughout Algorithm 1.
+/// predicate A_k(T') = U used throughout Algorithm 1. Routed through the
+/// targeted reidentifies_target query so trained attacks can prune their
+/// population scan instead of pricing every user.
 inline bool reidentifies(const Attack& attack, const mobility::Trace& trace,
                          const mobility::UserId& owner) {
-  const auto answer = attack.reidentify(trace);
-  return answer.has_value() && *answer == owner;
+  return attack.reidentifies_target(trace, owner);
 }
 
 using AttackPtr = std::unique_ptr<Attack>;

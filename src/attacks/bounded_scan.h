@@ -1,0 +1,108 @@
+#pragma once
+
+/// \file bounded_scan.h
+/// Branch-and-bound population scans shared by the three attacks.
+///
+/// Every attack re-identifies by an argmin over per-user profile distances
+/// whose accumulation is non-negative, so a *bounded* distance — one that
+/// bails out and returns infinity as soon as its partial sum proves the
+/// final value exceeds a bound — lets the scan skip most of the population
+/// without changing any decision:
+///
+///  * scan_argmin keeps the running best as the bound (classic
+///    branch-and-bound argmin);
+///  * scan_is_first_argmin answers the targeted "would this trace be
+///    re-identified as `owner`?" query: it prices the owner first and walks
+///    the rest of the population with that price as the bound.
+///
+/// Both preserve the naive scan's first-strict-min tie-breaking exactly.
+/// The bounded distance callable must satisfy the contract documented on
+/// the profiles' *_bounded functions: bounded(profile, bound) returns the
+/// exact distance whenever it is <= bound, and some value > bound (usually
+/// infinity) otherwise.
+
+#include <limits>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "mobility/trace.h"
+
+namespace mood::attacks {
+
+/// The naive first-strict-min argmin scan — the reference-mode oracle the
+/// bounded scans are validated against, single-sourced so every attack's
+/// legacy path shares one implementation. `distance` is called as
+/// distance(profile). Returns the first user attaining the minimum finite
+/// distance, or nullopt when every distance is infinite.
+template <typename Profile, typename Distance>
+std::optional<mobility::UserId> naive_argmin(
+    const std::vector<std::pair<mobility::UserId, Profile>>& profiles,
+    const Distance& distance) {
+  double best = std::numeric_limits<double>::infinity();
+  const mobility::UserId* best_user = nullptr;
+  for (const auto& [user, profile] : profiles) {
+    const double d = distance(profile);
+    if (d < best) {
+      best = d;
+      best_user = &user;
+    }
+  }
+  if (best_user == nullptr) return std::nullopt;
+  return *best_user;
+}
+
+/// Argmin over trained profiles with branch-and-bound pruning. `bounded`
+/// is called as bounded(profile, current_best). Returns the first user
+/// attaining the minimum finite distance, or nullopt when every distance
+/// is infinite — exactly naive_argmin's answer.
+template <typename Profile, typename BoundedDistance>
+std::optional<mobility::UserId> scan_argmin(
+    const std::vector<std::pair<mobility::UserId, Profile>>& profiles,
+    const BoundedDistance& bounded) {
+  double best = std::numeric_limits<double>::infinity();
+  const mobility::UserId* best_user = nullptr;
+  for (const auto& [user, profile] : profiles) {
+    const double d = bounded(profile, best);
+    if (d < best) {
+      best = d;
+      best_user = &user;
+    }
+  }
+  if (best_user == nullptr) return std::nullopt;
+  return *best_user;
+}
+
+/// True iff the naive argmin scan would answer `owner`: the owner's
+/// distance is finite, every earlier user is strictly farther (an earlier
+/// tie would win the first-strict-min scan) and no later user is strictly
+/// closer. Prices the owner once with `exact`, then walks the rest of the
+/// population with the owner's distance as the pruning bound.
+template <typename Profile, typename ExactDistance, typename BoundedDistance>
+bool scan_is_first_argmin(
+    const std::vector<std::pair<mobility::UserId, Profile>>& profiles,
+    const mobility::UserId& owner, const ExactDistance& exact,
+    const BoundedDistance& bounded) {
+  std::size_t owner_index = profiles.size();
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    if (profiles[i].first == owner) {
+      owner_index = i;
+      break;
+    }
+  }
+  // Unknown owner: the scan can only ever answer trained users.
+  if (owner_index == profiles.size()) return false;
+
+  const double target = exact(profiles[owner_index].second);
+  if (target == std::numeric_limits<double>::infinity()) return false;
+
+  for (std::size_t i = 0; i < owner_index; ++i) {
+    if (bounded(profiles[i].second, target) <= target) return false;
+  }
+  for (std::size_t i = owner_index + 1; i < profiles.size(); ++i) {
+    if (bounded(profiles[i].second, target) < target) return false;
+  }
+  return true;
+}
+
+}  // namespace mood::attacks

@@ -1,36 +1,62 @@
 #include "attacks/pit_attack.h"
 
-#include <limits>
+#include "attacks/bounded_scan.h"
 
 namespace mood::attacks {
 
 void PitAttack::train(const std::vector<mobility::Trace>& background) {
-  profiles_.clear();
-  profiles_.reserve(background.size());
+  compiled_.clear();
+  reference_.clear();
+  compiled_.reserve(background.size());
+  reference_.reserve(background.size());
   for (const auto& trace : background) {
-    profiles_.emplace_back(trace.user(),
-                           profiles::MarkovProfile::from_trace(trace, params_));
+    auto profile = profiles::MarkovProfile::from_trace(trace, params_);
+    compiled_.emplace_back(trace.user(),
+                           profiles::CompiledMarkovProfile(profile));
+    reference_.emplace_back(trace.user(), std::move(profile));
   }
 }
 
 std::optional<mobility::UserId> PitAttack::reidentify(
     const mobility::Trace& anonymous_trace) const {
-  const auto anonymous_profile =
-      profiles::MarkovProfile::from_trace(anonymous_trace, params_);
-  if (anonymous_profile.empty()) return std::nullopt;
-
-  double best = std::numeric_limits<double>::infinity();
-  const mobility::UserId* best_user = nullptr;
-  for (const auto& [user, profile] : profiles_) {
-    const double d = profiles::stats_prox_distance(anonymous_profile, profile,
-                                                   proximity_scale_m_);
-    if (d < best) {
-      best = d;
-      best_user = &user;
-    }
+  if (reference_mode_) {
+    const auto anonymous_profile =
+        profiles::MarkovProfile::from_trace(anonymous_trace, params_);
+    if (anonymous_profile.empty()) return std::nullopt;
+    return naive_argmin(
+        reference_, [&](const profiles::MarkovProfile& profile) {
+          return profiles::stats_prox_distance(anonymous_profile, profile,
+                                               proximity_scale_m_);
+        });
   }
-  if (best_user == nullptr) return std::nullopt;
-  return *best_user;
+
+  const profiles::CompiledMarkovProfile anonymous_profile(
+      profiles::MarkovProfile::from_trace(anonymous_trace, params_));
+  if (anonymous_profile.empty()) return std::nullopt;
+  return scan_argmin(
+      compiled_,
+      [&](const profiles::CompiledMarkovProfile& profile, double bound) {
+        return profiles::stats_prox_distance_bounded(
+            anonymous_profile, profile, proximity_scale_m_, bound);
+      });
+}
+
+bool PitAttack::reidentifies_target(const mobility::Trace& anonymous_trace,
+                                    const mobility::UserId& owner) const {
+  if (reference_mode_) return Attack::reidentifies_target(anonymous_trace, owner);
+  const profiles::CompiledMarkovProfile anonymous_profile(
+      profiles::MarkovProfile::from_trace(anonymous_trace, params_));
+  if (anonymous_profile.empty()) return false;
+  return scan_is_first_argmin(
+      compiled_, owner,
+      [&](const profiles::CompiledMarkovProfile& profile) {
+        return profiles::stats_prox_distance(anonymous_profile, profile,
+                                             proximity_scale_m_);
+      },
+      [&](const profiles::CompiledMarkovProfile& profile, double bound) {
+        return profiles::stats_prox_distance_bounded(
+            anonymous_profile, profile, proximity_scale_m_, bound);
+      });
 }
 
 }  // namespace mood::attacks

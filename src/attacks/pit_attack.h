@@ -7,8 +7,14 @@
 /// combined with geographic proximity of matched states — the variant the
 /// original paper reports as most effective; exact formula documented at
 /// profiles::stats_prox_distance).
+///
+/// train() compiles every trained chain (precomputed state trigonometry)
+/// once; queries walk the population with branch-and-bound bounded
+/// distances — see bounded_scan.h. The raw profiles are kept for reference
+/// mode.
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "attacks/attack.h"
@@ -32,14 +38,27 @@ class PitAttack final : public Attack {
   [[nodiscard]] std::optional<mobility::UserId> reidentify(
       const mobility::Trace& anonymous_trace) const override;
 
+  [[nodiscard]] bool reidentifies_target(
+      const mobility::Trace& anonymous_trace,
+      const mobility::UserId& owner) const override;
+
   [[nodiscard]] std::size_t trained_users() const override {
-    return profiles_.size();
+    return compiled_.size();
   }
+
+  void set_reference_mode(bool on) override { reference_mode_ = on; }
 
  private:
   clustering::PoiParams params_;
   double proximity_scale_m_;
-  std::vector<std::pair<mobility::UserId, profiles::MarkovProfile>> profiles_;
+  std::vector<std::pair<mobility::UserId, profiles::CompiledMarkovProfile>>
+      compiled_;
+  /// Uncompiled profiles, same order — the reference-mode oracle. Kept
+  /// unconditionally: profile storage is a rounding error next to the
+  /// training traces the surrounding harness already holds in memory.
+  std::vector<std::pair<mobility::UserId, profiles::MarkovProfile>>
+      reference_;
+  bool reference_mode_ = false;
 };
 
 }  // namespace mood::attacks

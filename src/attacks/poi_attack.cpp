@@ -1,38 +1,62 @@
 #include "attacks/poi_attack.h"
 
-#include <limits>
+#include "attacks/bounded_scan.h"
 
 namespace mood::attacks {
 
 void PoiAttack::train(const std::vector<mobility::Trace>& background) {
-  profiles_.clear();
-  profiles_.reserve(background.size());
+  compiled_.clear();
+  reference_.clear();
+  compiled_.reserve(background.size());
+  reference_.reserve(background.size());
   for (const auto& trace : background) {
-    auto profile = profiles::PoiProfile::from_trace(trace, params_);
     // Users with no extractable POIs cannot be matched; training still
     // records them so trained_users() reflects the population, but an
     // empty profile yields infinite distance and never wins.
-    profiles_.emplace_back(trace.user(), std::move(profile));
+    auto profile = profiles::PoiProfile::from_trace(trace, params_);
+    compiled_.emplace_back(trace.user(),
+                           profiles::CompiledPoiProfile(profile));
+    reference_.emplace_back(trace.user(), std::move(profile));
   }
 }
 
 std::optional<mobility::UserId> PoiAttack::reidentify(
     const mobility::Trace& anonymous_trace) const {
-  const auto anonymous_profile =
-      profiles::PoiProfile::from_trace(anonymous_trace, params_);
-  if (anonymous_profile.empty()) return std::nullopt;
-
-  double best = std::numeric_limits<double>::infinity();
-  const mobility::UserId* best_user = nullptr;
-  for (const auto& [user, profile] : profiles_) {
-    const double d = profiles::poi_profile_distance(anonymous_profile, profile);
-    if (d < best) {
-      best = d;
-      best_user = &user;
-    }
+  if (reference_mode_) {
+    const auto anonymous_profile =
+        profiles::PoiProfile::from_trace(anonymous_trace, params_);
+    if (anonymous_profile.empty()) return std::nullopt;
+    return naive_argmin(reference_, [&](const profiles::PoiProfile& profile) {
+      return profiles::poi_profile_distance(anonymous_profile, profile);
+    });
   }
-  if (best_user == nullptr) return std::nullopt;
-  return *best_user;
+
+  const profiles::CompiledPoiProfile anonymous_profile(
+      profiles::PoiProfile::from_trace(anonymous_trace, params_));
+  if (anonymous_profile.empty()) return std::nullopt;
+  return scan_argmin(
+      compiled_,
+      [&](const profiles::CompiledPoiProfile& profile, double bound) {
+        return profiles::poi_profile_distance_bounded(anonymous_profile,
+                                                      profile, bound);
+      });
+}
+
+bool PoiAttack::reidentifies_target(const mobility::Trace& anonymous_trace,
+                                    const mobility::UserId& owner) const {
+  if (reference_mode_) return Attack::reidentifies_target(anonymous_trace, owner);
+  const profiles::CompiledPoiProfile anonymous_profile(
+      profiles::PoiProfile::from_trace(anonymous_trace, params_));
+  if (anonymous_profile.empty()) return false;
+  return scan_is_first_argmin(
+      compiled_, owner,
+      [&](const profiles::CompiledPoiProfile& profile) {
+        return profiles::poi_profile_distance(anonymous_profile, profile);
+      },
+      [&](const profiles::CompiledPoiProfile& profile, double bound) {
+        return profiles::poi_profile_distance_bounded(anonymous_profile,
+                                                      profile, bound);
+      });
 }
 
 }  // namespace mood::attacks

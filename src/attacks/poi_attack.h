@@ -4,8 +4,13 @@
 /// POI-Attack [Primault et al. 2014] (paper §4.1.1): profiles are POI sets;
 /// an anonymous trace is attributed to the known user whose POIs are
 /// geographically closest (mean nearest-POI distance).
+///
+/// train() compiles every trained POI set (precomputed trigonometry) once;
+/// queries walk the population with branch-and-bound bounded distances —
+/// see bounded_scan.h. The raw profiles are kept for reference mode.
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "attacks/attack.h"
@@ -27,13 +32,25 @@ class PoiAttack final : public Attack {
   [[nodiscard]] std::optional<mobility::UserId> reidentify(
       const mobility::Trace& anonymous_trace) const override;
 
+  [[nodiscard]] bool reidentifies_target(
+      const mobility::Trace& anonymous_trace,
+      const mobility::UserId& owner) const override;
+
   [[nodiscard]] std::size_t trained_users() const override {
-    return profiles_.size();
+    return compiled_.size();
   }
+
+  void set_reference_mode(bool on) override { reference_mode_ = on; }
 
  private:
   clustering::PoiParams params_;
-  std::vector<std::pair<mobility::UserId, profiles::PoiProfile>> profiles_;
+  std::vector<std::pair<mobility::UserId, profiles::CompiledPoiProfile>>
+      compiled_;
+  /// Uncompiled profiles, same order — the reference-mode oracle. Kept
+  /// unconditionally: profile storage is a rounding error next to the
+  /// training traces the surrounding harness already holds in memory.
+  std::vector<std::pair<mobility::UserId, profiles::PoiProfile>> reference_;
+  bool reference_mode_ = false;
 };
 
 }  // namespace mood::attacks

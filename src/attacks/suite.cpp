@@ -32,4 +32,8 @@ void train_all(const std::vector<AttackPtr>& suite,
   for (const auto& attack : suite) attack->train(background);
 }
 
+void set_reference_mode(const std::vector<AttackPtr>& suite, bool on) {
+  for (const auto& attack : suite) attack->set_reference_mode(on);
+}
+
 }  // namespace mood::attacks

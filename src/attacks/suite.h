@@ -39,4 +39,9 @@ AttackPtr make_attack(const std::string& name, const geo::GeoPoint& reference,
 void train_all(const std::vector<AttackPtr>& suite,
                const std::vector<mobility::Trace>& background);
 
+/// Flips every attack of a suite between the optimized path and the
+/// pre-optimization reference scans (see Attack::set_reference_mode).
+/// Not thread-safe — call outside parallel sections.
+void set_reference_mode(const std::vector<AttackPtr>& suite, bool on);
+
 }  // namespace mood::attacks

@@ -28,12 +28,29 @@ std::vector<Poi> extract_pois(const Trace& trace, const PoiParams& params) {
   for (const Record& r : records) points.push_back(projection.to_enu(r.position));
 
   const double radius = params.max_diameter_m;  // distance from the anchor
+  // The membership test is the hot loop of attack inference (every profile
+  // build runs it once per record). euclidean_m's hypot call dominates it,
+  // but the loop only needs the *comparison* — so screen with the squared
+  // distance first and keep hypot for the razor-thin band around the
+  // radius where the two roundings could disagree. d2 carries at most a
+  // few ulp of relative error, so outside +-1e-12 the squared comparison
+  // provably decides the same way as hypot's, and the decision — hence
+  // every extracted POI — stays bit-identical.
+  const double r2_inside = radius * radius * (1.0 - 1e-12);
+  const double r2_outside = radius * radius * (1.0 + 1e-12);
+  const auto within_radius = [&](const EnuPoint& a, const EnuPoint& b) {
+    const double dx = a.x - b.x;
+    const double dy = a.y - b.y;
+    const double d2 = dx * dx + dy * dy;
+    if (d2 <= r2_inside) return true;
+    if (d2 >= r2_outside) return false;
+    return geo::euclidean_m(a, b) <= radius;
+  };
   std::size_t i = 0;
   while (i < records.size()) {
     // Extend the stay while records remain within `radius` of the anchor.
     std::size_t j = i;
-    while (j + 1 < records.size() &&
-           geo::euclidean_m(points[i], points[j + 1]) <= radius) {
+    while (j + 1 < records.size() && within_radius(points[i], points[j + 1])) {
       ++j;
     }
     const mobility::Timestamp span = records[j].time - records[i].time;

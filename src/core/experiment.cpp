@@ -173,6 +173,10 @@ std::vector<const attacks::Attack*> ExperimentHarness::attack_views(
   return views;
 }
 
+void ExperimentHarness::set_attack_reference_mode(bool on) const {
+  attacks::set_reference_mode(attacks_, on);
+}
+
 std::size_t ExperimentHarness::ap_attack_index() const {
   for (std::size_t i = 0; i < attacks_.size(); ++i) {
     if (attacks_[i]->name() == "AP-Attack") return i;
@@ -181,7 +185,7 @@ std::size_t ExperimentHarness::ap_attack_index() const {
 }
 
 StrategyResult ExperimentHarness::evaluate_no_lppm(
-    std::vector<std::size_t> attack_subset) const {
+    const std::vector<std::size_t>& attack_subset) const {
   const WallTimer timer;
   const auto views = attack_views(attack_subset);
   StrategyResult result;
@@ -205,7 +209,7 @@ StrategyResult ExperimentHarness::evaluate_no_lppm(
 
 StrategyResult ExperimentHarness::evaluate_single(
     const std::string& lppm_name,
-    std::vector<std::size_t> attack_subset) const {
+    const std::vector<std::size_t>& attack_subset) const {
   const WallTimer timer;
   const lppm::Lppm* mechanism = registry_.find(lppm_name);
   support::expects(mechanism != nullptr,
@@ -237,7 +241,7 @@ StrategyResult ExperimentHarness::evaluate_single(
 }
 
 StrategyResult ExperimentHarness::evaluate_hybrid(
-    std::vector<std::size_t> attack_subset) const {
+    const std::vector<std::size_t>& attack_subset) const {
   const WallTimer timer;
   const auto views = attack_views(attack_subset);
   const HybridLppm hybrid(registry_.singles(), views, &metric_, seed_);
@@ -261,7 +265,7 @@ StrategyResult ExperimentHarness::evaluate_hybrid(
 }
 
 MoodEngine ExperimentHarness::make_engine(
-    std::vector<std::size_t> attack_subset) const {
+    const std::vector<std::size_t>& attack_subset) const {
   MoodConfig mood_config = config_.mood;
   mood_config.seed = seed_;
   return MoodEngine(registry_.singles(), registry_.multi_compositions(),
@@ -269,9 +273,9 @@ MoodEngine ExperimentHarness::make_engine(
 }
 
 StrategyResult ExperimentHarness::evaluate_mood_search(
-    std::vector<std::size_t> attack_subset) const {
+    const std::vector<std::size_t>& attack_subset) const {
   const WallTimer timer;
-  const MoodEngine engine = make_engine(std::move(attack_subset));
+  const MoodEngine engine = make_engine(attack_subset);
   StrategyResult result;
   result.strategy = "MooD";
   result.users.resize(pairs_.size());
@@ -292,9 +296,9 @@ StrategyResult ExperimentHarness::evaluate_mood_search(
 }
 
 MoodResult ExperimentHarness::evaluate_mood_full(
-    std::vector<std::size_t> attack_subset) const {
+    const std::vector<std::size_t>& attack_subset) const {
   const WallTimer timer;
-  const MoodEngine engine = make_engine(std::move(attack_subset));
+  const MoodEngine engine = make_engine(attack_subset);
   MoodResult result;
   result.users.resize(pairs_.size());
   support::parallel_for(pairs_.size(), [&](std::size_t i) {

@@ -126,34 +126,44 @@ class ExperimentHarness {
 
   // ---- Strategy evaluators ------------------------------------------
   // `attack_subset` holds indices into attacks(); empty means "all".
+  // Subsets are read-only views — taken by const reference so callers
+  // reuse one vector across the whole strategy grid without copies.
 
   /// Raw traces, no protection — the "no-LPPM" bar of Fig. 6/7.
   [[nodiscard]] StrategyResult evaluate_no_lppm(
-      std::vector<std::size_t> attack_subset = {}) const;
+      const std::vector<std::size_t>& attack_subset = {}) const;
 
   /// One fixed LPPM for everybody (Fig. 2/3/6/7 single-LPPM bars).
   [[nodiscard]] StrategyResult evaluate_single(
       const std::string& lppm_name,
-      std::vector<std::size_t> attack_subset = {}) const;
+      const std::vector<std::size_t>& attack_subset = {}) const;
 
   /// HybridLPPM baseline: per-user best protective single LPPM.
   [[nodiscard]] StrategyResult evaluate_hybrid(
-      std::vector<std::size_t> attack_subset = {}) const;
+      const std::vector<std::size_t>& attack_subset = {}) const;
 
   /// MooD's multi-LPPM composition search only (no fine-grained stage) —
   /// the "MooD" bars of Fig. 6/7.
   [[nodiscard]] StrategyResult evaluate_mood_search(
-      std::vector<std::size_t> attack_subset = {}) const;
+      const std::vector<std::size_t>& attack_subset = {}) const;
 
   /// Full MooD pipeline (§4.2): whole-trace search; failures go through
   /// 24 h pre-slicing + recursive fine-grained protection — Fig. 8/10.
   [[nodiscard]] MoodResult evaluate_mood_full(
-      std::vector<std::size_t> attack_subset = {}) const;
+      const std::vector<std::size_t>& attack_subset = {}) const;
 
   /// Builds a MooD engine over the given attack subset (exposed so
   /// examples/benches can drive Algorithm 1 directly).
   [[nodiscard]] MoodEngine make_engine(
-      std::vector<std::size_t> attack_subset = {}) const;
+      const std::vector<std::size_t>& attack_subset = {}) const;
+
+  /// Routes every trained attack through the pre-optimization reference
+  /// scans (Attack::set_reference_mode) — the A/B switch the perf bench
+  /// and equivalence smoke checks flip between timed runs. const because
+  /// it does not change the harness's observable results, only which
+  /// (decision-equivalent) implementation answers queries. Not
+  /// thread-safe — call outside parallel sections.
+  void set_attack_reference_mode(bool on) const;
 
   /// Index of the AP attack inside attacks() (the single-attack
   /// experiments of Fig. 6 use it alone).

@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file inference_bench.h
+/// A/B measurement harness for the attack-inference hot path.
+///
+/// Every trained attack keeps its pre-optimization implementation behind
+/// Attack::set_reference_mode (hash-map profiles, full population scans).
+/// The bench times the same workload through both paths and — just as
+/// importantly — verifies the two agree decision for decision, so a perf
+/// regression hunt can never silently trade correctness for speed:
+///
+///  * one re-identification microbench per attack: the targeted
+///    reidentifies_target(test_trace, owner) predicate over every
+///    train/test pair (the exact query Algorithm 1 issues), plus an
+///    untimed argmin agreement sweep;
+///  * optionally the full evaluate_mood_full pipeline, compared field by
+///    field (data_loss, distortion bands, per-user levels/winners/
+///    distortions, search-cost counters).
+///
+/// Results serialize through report::make_bench_report into the versioned
+/// "mood-bench/1" JSON document (`mood bench`, bench/perf_attack_inference).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace mood::core {
+
+/// Outcome of one A/B case.
+struct InferenceBenchCase {
+  std::string name;       ///< "ap-attack-reidentify", "evaluate-mood-full"...
+  std::size_t queries = 0;            ///< workload size per timed pass
+  std::size_t reference_passes = 1;   ///< timed passes actually averaged over
+  std::size_t optimized_passes = 1;   ///< (the fast path repeats more often)
+  double reference_seconds = 0.0;     ///< one pass, pre-optimization path
+  double optimized_seconds = 0.0;     ///< one pass, flat-profile + bounded
+  bool agreement = true;          ///< both paths made identical decisions
+  std::string mismatch;           ///< first disagreement ("" when none)
+
+  [[nodiscard]] double speedup() const {
+    return optimized_seconds > 0.0 ? reference_seconds / optimized_seconds
+                                   : 0.0;
+  }
+};
+
+struct InferenceBenchOptions {
+  /// Minimum timed passes per reidentify microbench. The timer keeps
+  /// repeating beyond this until the section is long enough to resolve
+  /// (tiny smoke presets finish a pass in microseconds), reports seconds
+  /// per pass, and records the pass counts actually used
+  /// (reference_passes / optimized_passes).
+  std::size_t repetitions = 3;
+  bool run_full = true;         ///< include the evaluate_mood_full A/B case
+  std::vector<std::size_t> attack_subset;  ///< indices; empty = all
+};
+
+/// Runs the microbenches (and, if configured, the full-pipeline A/B) on a
+/// built harness. Leaves the harness in optimized mode. Cases appear in
+/// attack order followed by "evaluate-mood-full".
+std::vector<InferenceBenchCase> run_inference_bench(
+    const ExperimentHarness& harness, const InferenceBenchOptions& options);
+
+/// True iff every case agrees.
+bool all_agree(const std::vector<InferenceBenchCase>& cases);
+
+}  // namespace mood::core

@@ -69,6 +69,9 @@ std::optional<std::pair<mobility::Trace, double>> MoodEngine::try_mechanism(
   mobility::Trace output = mechanism.apply(trace, rng_for(trace, mechanism.name()));
   if (cost != nullptr) ++cost->lppm_applications;
   // Algorithm 1 lines 8-10: walk the attacks until one re-identifies.
+  // reidentifies() routes through the targeted reidentifies_target query,
+  // so each attack prices the owner once and prunes the rest of its
+  // population scan against that distance (branch-and-bound).
   for (const auto* attack : attacks_) {
     if (cost != nullptr) ++cost->attack_invocations;
     if (attacks::reidentifies(*attack, output, trace.user())) {

@@ -19,6 +19,24 @@ double haversine_m(const GeoPoint& a, const GeoPoint& b) {
   return 2.0 * kEarthRadiusM * std::asin(std::min(1.0, std::sqrt(h)));
 }
 
+TrigPoint trig_point(const GeoPoint& p) {
+  const double lat_rad = deg_to_rad(p.lat);
+  return TrigPoint{lat_rad, p.lon, std::cos(lat_rad)};
+}
+
+double haversine_m(const TrigPoint& a, const TrigPoint& b) {
+  // Mirrors haversine_m(GeoPoint, GeoPoint) operation for operation; only
+  // deg_to_rad(lat) and cos(lat) come precomputed, which cannot change the
+  // rounding of any intermediate.
+  const double dlat = b.lat_rad - a.lat_rad;
+  const double dlon = deg_to_rad(b.lon_deg - a.lon_deg);
+  const double sin_dlat = std::sin(dlat / 2.0);
+  const double sin_dlon = std::sin(dlon / 2.0);
+  const double h = sin_dlat * sin_dlat +
+                   a.cos_lat * b.cos_lat * sin_dlon * sin_dlon;
+  return 2.0 * kEarthRadiusM * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
 double euclidean_m(const EnuPoint& a, const EnuPoint& b) {
   return std::hypot(a.x - b.x, a.y - b.y);
 }

@@ -45,6 +45,24 @@ struct EnuPoint {
 /// Great-circle (haversine) distance between two points, in metres.
 double haversine_m(const GeoPoint& a, const GeoPoint& b);
 
+/// A geographic point with its trigonometry precomputed for repeated
+/// haversine evaluations (profile scans compare one query point against
+/// whole populations). The longitude stays in degrees: haversine_m converts
+/// the longitude *difference*, so a per-point radian longitude would change
+/// the rounding — keeping degrees makes the cached form bit-identical.
+struct TrigPoint {
+  double lat_rad = 0.0;  ///< deg_to_rad(lat)
+  double lon_deg = 0.0;  ///< longitude, degrees (as in GeoPoint)
+  double cos_lat = 0.0;  ///< cos(lat_rad)
+};
+
+/// Precomputes the trigonometry of `p` for the haversine_m overload below.
+TrigPoint trig_point(const GeoPoint& p);
+
+/// Haversine distance from cached trigonometry. Bit-identical to
+/// haversine_m on the original GeoPoints — hot paths may mix both forms.
+double haversine_m(const TrigPoint& a, const TrigPoint& b);
+
 /// Euclidean distance between two ENU points, in metres.
 double euclidean_m(const EnuPoint& a, const EnuPoint& b);
 

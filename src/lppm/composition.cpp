@@ -20,10 +20,13 @@ Composition::Composition(std::vector<const Lppm*> stages)
 
 mobility::Trace Composition::apply(const mobility::Trace& trace,
                                    support::RngStream rng) const {
-  mobility::Trace current = trace;
-  for (std::size_t i = 0; i < stages_.size(); ++i) {
-    // Each stage gets an independent deterministic stream so that the same
-    // stage at the same position always draws the same noise.
+  // Each stage gets an independent deterministic stream so that the same
+  // stage at the same position always draws the same noise. The first
+  // stage reads the input directly — copying it first would clone the
+  // whole record vector just to throw it away.
+  mobility::Trace current =
+      stages_.front()->apply(trace, rng.fork(stages_.front()->name(), 0));
+  for (std::size_t i = 1; i < stages_.size(); ++i) {
     current = stages_[i]->apply(current, rng.fork(stages_[i]->name(), i));
   }
   return current;

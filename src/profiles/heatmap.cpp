@@ -43,23 +43,158 @@ double topsoe_divergence(const Heatmap& a, const Heatmap& b) {
   if (a.empty() || b.empty()) {
     return std::numeric_limits<double>::infinity();
   }
-  // Terms are non-zero only where p or q is non-zero, so iterating both
-  // support sets covers the whole sum. Cells present in both maps are
-  // visited twice, so take care to add each side's term exactly once.
+  // Terms are non-zero only where p or q is non-zero. One scan of `a` with
+  // a single find into `b` per cell covers every shared and a-only cell;
+  // the b-only cells each contribute q ln 2, and since b's probabilities
+  // sum to one their total is ln 2 times the mass of b NOT shared with a —
+  // no second scan (nor the former contains() + find() double lookup).
   double divergence = 0.0;
+  double shared_q_mass = 0.0;
+  bool any_shared = false;
   auto term = [](double p, double q) {
     if (p <= 0.0) return 0.0;
     return p * std::log(2.0 * p / (p + q));
   };
   for (const auto& [cell, count] : a.counts()) {
     const double p = count / a.total();
-    const double q = b.probability(cell);
+    const auto it = b.counts().find(cell);
+    if (it == b.counts().end()) {
+      divergence += term(p, 0.0);
+      continue;
+    }
+    const double q = it->second / b.total();
     divergence += term(p, q) + term(q, p);
+    shared_q_mass += q;
+    any_shared = true;
   }
-  for (const auto& [cell, count] : b.counts()) {
-    if (a.counts().contains(cell)) continue;  // already handled above
-    const double q = count / b.total();
-    divergence += term(q, 0.0);
+  // Disjoint supports hit the 2 ln 2 ceiling *exactly* (both
+  // distributions carry unit mass), so return the constant instead of an
+  // order-dependent sum of per-cell roundings: whole populations tie at
+  // the ceiling (an anonymous map matching nobody), and re-identification
+  // must break that tie identically in every implementation.
+  if (!any_shared) return 2.0 * std::log(2.0);
+  // max() guards the fully-shared case, where rounding can push the
+  // accumulated mass a hair past one.
+  return divergence + std::max(0.0, 1.0 - shared_q_mass) * std::log(2.0);
+}
+
+namespace {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+/// p ln(2p); 0 for p = 0 (the limit).
+double self_term(double p) { return p <= 0.0 ? 0.0 : p * std::log(2.0 * p); }
+
+std::vector<CompiledHeatmapCell> compile_cells(
+    std::vector<std::pair<geo::CellIndex, double>> counts, double total) {
+  std::sort(counts.begin(), counts.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<CompiledHeatmapCell> cells;
+  cells.reserve(counts.size());
+  for (const auto& [cell, count] : counts) {
+    const double p = count / total;
+    cells.push_back(
+        CompiledHeatmapCell{cell, p, self_term(p), p * std::log(2.0)});
+  }
+  return cells;
+}
+
+}  // namespace
+
+CompiledHeatmap::CompiledHeatmap(const Heatmap& source) {
+  if (source.empty() || source.total() <= 0.0) return;
+  std::vector<std::pair<geo::CellIndex, double>> counts(
+      source.counts().begin(), source.counts().end());
+  cells_ = compile_cells(std::move(counts), source.total());
+}
+
+CompiledHeatmap CompiledHeatmap::from_trace(const mobility::Trace& trace,
+                                            const geo::CellGrid& grid) {
+  CompiledHeatmap compiled;
+  if (trace.empty()) return compiled;
+  // Run-collapse: consecutive records in one cell become one (cell, count)
+  // entry. Counts stay exact small integers, so merging them later sums to
+  // the same doubles the hash-map path produces.
+  std::vector<std::pair<geo::CellIndex, double>> runs;
+  for (const auto& record : trace.records()) {
+    const geo::CellIndex cell = grid.cell_of(record.position);
+    if (!runs.empty() && runs.back().first == cell) {
+      runs.back().second += 1.0;
+    } else {
+      runs.emplace_back(cell, 1.0);
+    }
+  }
+  std::sort(runs.begin(), runs.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  // Merge duplicate cells produced by revisits.
+  std::size_t out = 0;
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    if (runs[i].first == runs[out].first) {
+      runs[out].second += runs[i].second;
+    } else {
+      runs[++out] = runs[i];
+    }
+  }
+  runs.resize(out + 1);
+  compiled.cells_ =
+      compile_cells(std::move(runs), static_cast<double>(trace.size()));
+  return compiled;
+}
+
+double topsoe_divergence(const CompiledHeatmap& a, const CompiledHeatmap& b) {
+  return topsoe_divergence_bounded(a, b, kInfinity);
+}
+
+double topsoe_divergence_bounded(const CompiledHeatmap& a,
+                                 const CompiledHeatmap& b, double bound) {
+  if (a.empty() || b.empty()) return kInfinity;
+  const auto& ca = a.cells();
+  const auto& cb = b.cells();
+  // Disjoint supports return the 2 ln 2 ceiling exactly (see the legacy
+  // overload). Two consequences for the bound logic: a bound at or within
+  // rounding of the ceiling cannot prune soundly (the running sum may
+  // overshoot the constant by an ulp before the merge proves
+  // disjointness), so such bounds finish the merge — they would prune
+  // next to nothing anyway, every divergence lies at or below the
+  // ceiling. Bounds clearly below the ceiling bail as usual: a disjoint
+  // pair's final value is the ceiling, which exceeds them regardless.
+  const double ceiling = 2.0 * std::log(2.0);
+  const bool can_bail = bound < ceiling * (1.0 - 1e-14);
+  double divergence = 0.0;
+  bool any_shared = false;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < ca.size() && j < cb.size()) {
+    if (ca[i].cell == cb[j].cell) {
+      // Shared cell: p ln(2p/(p+q)) + q ln(2q/(p+q))
+      //            = p ln(2p) + q ln(2q) - (p+q) ln(p+q).
+      // Non-negative by the log-sum inequality; the max() enforces that
+      // under rounding too (p ~ q can produce a ~1e-17 negative), so the
+      // running sum is monotone and the bound check below never bails on
+      // a pair whose exact value is still within the bound.
+      const double pq = ca[i].probability + cb[j].probability;
+      divergence += std::max(
+          0.0, ca[i].self_term + cb[j].self_term - pq * std::log(pq));
+      any_shared = true;
+      ++i;
+      ++j;
+    } else if (ca[i].cell < cb[j].cell) {
+      divergence += ca[i].solo_term;
+      ++i;
+    } else {
+      divergence += cb[j].solo_term;
+      ++j;
+    }
+    if (can_bail && divergence > bound) return kInfinity;
+  }
+  if (!any_shared) return ceiling;
+  for (; i < ca.size(); ++i) {
+    divergence += ca[i].solo_term;
+    if (divergence > bound) return kInfinity;
+  }
+  for (; j < cb.size(); ++j) {
+    divergence += cb[j].solo_term;
+    if (divergence > bound) return kInfinity;
   }
   return divergence;
 }

@@ -58,4 +58,57 @@ class Heatmap {
 /// Infinite if either heatmap is empty.
 double topsoe_divergence(const Heatmap& a, const Heatmap& b);
 
+/// One cell of a compiled heatmap: the normalised probability plus the two
+/// precomputed Topsoe ingredients that depend on p alone.
+struct CompiledHeatmapCell {
+  geo::CellIndex cell;
+  double probability = 0.0;  ///< count / total
+  double self_term = 0.0;    ///< p ln(2p) — shared-cell term is
+                             ///<   a.self + b.self - (p+q) ln(p+q)
+  double solo_term = 0.0;    ///< p ln 2 — the cell's term when q = 0
+};
+
+/// Immutable flat form of a Heatmap for the inference hot path: cells
+/// sorted by index with pre-normalised probabilities, so the Topsoe
+/// divergence becomes a cache-friendly two-pointer merge instead of hash
+/// lookups, and partial sums can drive branch-and-bound early exits.
+class CompiledHeatmap {
+ public:
+  CompiledHeatmap() = default;
+
+  /// Compiles an existing heatmap (used once per profile at train time).
+  explicit CompiledHeatmap(const Heatmap& source);
+
+  /// Builds the compiled heatmap of a trace directly, without the
+  /// intermediate hash map: consecutive records in the same cell are
+  /// run-collapsed first (traces dwell, so this shrinks the sort by orders
+  /// of magnitude). Cell probabilities are bit-identical to compiling
+  /// Heatmap::from_trace(trace, grid).
+  static CompiledHeatmap from_trace(const mobility::Trace& trace,
+                                    const geo::CellGrid& grid);
+
+  /// Cells in ascending index order.
+  [[nodiscard]] const std::vector<CompiledHeatmapCell>& cells() const {
+    return cells_;
+  }
+  [[nodiscard]] bool empty() const { return cells_.empty(); }
+  [[nodiscard]] std::size_t cell_count() const { return cells_.size(); }
+
+ private:
+  std::vector<CompiledHeatmapCell> cells_;
+};
+
+/// Topsoe divergence over compiled heatmaps. Symmetric; same decision
+/// behaviour as the legacy overload (values agree to rounding — the merge
+/// sums in cell order, the hash scan in bucket order).
+double topsoe_divergence(const CompiledHeatmap& a, const CompiledHeatmap& b);
+
+/// Bounded Topsoe divergence: every per-cell term is non-negative, so the
+/// running sum only grows — as soon as it exceeds `bound` the scan bails
+/// out and returns infinity. Otherwise returns the exact divergence,
+/// bit-identical to the unbounded overload. The branch-and-bound argmin
+/// scans pass their current best distance as `bound`.
+double topsoe_divergence_bounded(const CompiledHeatmap& a,
+                                 const CompiledHeatmap& b, double bound);
+
 }  // namespace mood::profiles

@@ -110,4 +110,73 @@ double stats_prox_distance(const MarkovProfile& a, const MarkovProfile& b,
   return stationary + proximity;
 }
 
+CompiledMarkovProfile::CompiledMarkovProfile(const MarkovProfile& source) {
+  states_.reserve(source.size());
+  for (const auto& state : source.states()) {
+    states_.push_back(
+        CompiledMarkovState{geo::trig_point(state.center), state.weight});
+  }
+}
+
+double stats_prox_distance(const CompiledMarkovProfile& a,
+                           const CompiledMarkovProfile& b,
+                           double proximity_scale_m) {
+  return stats_prox_distance_bounded(a, b, proximity_scale_m,
+                                     std::numeric_limits<double>::infinity());
+}
+
+double stats_prox_distance_bounded(const CompiledMarkovProfile& a,
+                                   const CompiledMarkovProfile& b,
+                                   double proximity_scale_m, double bound) {
+  support::expects(proximity_scale_m > 0.0,
+                   "stats_prox_distance: scale must be positive");
+  if (a.empty() || b.empty()) {
+    return std::numeric_limits<double>::infinity();
+  }
+
+  // Same greedy matching as the legacy overload, with two differences: the
+  // haversine runs on cached trigonometry, and the accumulated stationary
+  // distance bails out once it alone exceeds `bound` (the proximity part
+  // and every remaining term are non-negative, so the final distance could
+  // only be larger).
+  const bool a_smaller = a.size() <= b.size();
+  const auto& small = a_smaller ? a.states() : b.states();
+  const auto& large = a_smaller ? b.states() : a.states();
+  std::vector<bool> taken(large.size(), false);
+
+  double stationary = 0.0;
+  double proximity = 0.0;
+  double matched_mass = 0.0;
+  for (const auto& s : small) {
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t best_j = large.size();
+    for (std::size_t j = 0; j < large.size(); ++j) {
+      if (taken[j]) continue;
+      const double d = geo::haversine_m(s.center, large[j].center);
+      if (d < best) {
+        best = d;
+        best_j = j;
+      }
+    }
+    taken[best_j] = true;
+    const double pair_mass = (s.weight + large[best_j].weight) / 2.0;
+    stationary += std::abs(s.weight - large[best_j].weight);
+    proximity += pair_mass * (best / proximity_scale_m);
+    matched_mass += pair_mass;
+    if (stationary > bound) {
+      return std::numeric_limits<double>::infinity();
+    }
+  }
+  for (std::size_t j = 0; j < large.size(); ++j) {
+    if (!taken[j]) {
+      stationary += large[j].weight;
+      if (stationary > bound) {
+        return std::numeric_limits<double>::infinity();
+      }
+    }
+  }
+  if (matched_mass > 0.0) proximity /= matched_mass;
+  return stationary + proximity;
+}
+
 }  // namespace mood::profiles

@@ -63,4 +63,45 @@ class MarkovProfile {
 double stats_prox_distance(const MarkovProfile& a, const MarkovProfile& b,
                            double proximity_scale_m = 1000.0);
 
+/// One state of a compiled MMC: stationary weight plus the state centre
+/// with its trigonometry precomputed for haversine evaluations.
+struct CompiledMarkovState {
+  geo::TrigPoint center;
+  double weight = 0.0;
+};
+
+/// Immutable flat form of a MarkovProfile for the inference hot path. Only
+/// what stats_prox_distance reads is kept: ranked states with precomputed
+/// trigonometry (the transition matrix plays no role in the distance).
+class CompiledMarkovProfile {
+ public:
+  CompiledMarkovProfile() = default;
+  explicit CompiledMarkovProfile(const MarkovProfile& source);
+
+  [[nodiscard]] const std::vector<CompiledMarkovState>& states() const {
+    return states_;
+  }
+  [[nodiscard]] bool empty() const { return states_.empty(); }
+  [[nodiscard]] std::size_t size() const { return states_.size(); }
+
+ private:
+  std::vector<CompiledMarkovState> states_;
+};
+
+/// stats-prox over compiled chains. Bit-identical to the legacy overload:
+/// same greedy matching, same accumulation order, and haversine from cached
+/// trigonometry rounds identically (see geo::TrigPoint).
+double stats_prox_distance(const CompiledMarkovProfile& a,
+                           const CompiledMarkovProfile& b,
+                           double proximity_scale_m = 1000.0);
+
+/// Bounded stats-prox: the stationary part accumulates non-negative terms
+/// and the proximity part is non-negative, so once the partial stationary
+/// sum exceeds `bound` the final distance must too — bail out and return
+/// infinity. Otherwise returns the exact distance, bit-identical to the
+/// unbounded overload.
+double stats_prox_distance_bounded(const CompiledMarkovProfile& a,
+                                   const CompiledMarkovProfile& b,
+                                   double proximity_scale_m, double bound);
+
 }  // namespace mood::profiles

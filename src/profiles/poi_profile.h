@@ -38,4 +38,33 @@ class PoiProfile {
 /// empty profile can never be re-identified nor re-identify anyone).
 double poi_profile_distance(const PoiProfile& a, const PoiProfile& b);
 
+/// Immutable flat form of a PoiProfile for the inference hot path: just the
+/// POI centres with precomputed trigonometry — all the distance reads.
+class CompiledPoiProfile {
+ public:
+  CompiledPoiProfile() = default;
+  explicit CompiledPoiProfile(const PoiProfile& source);
+
+  [[nodiscard]] const std::vector<geo::TrigPoint>& centers() const {
+    return centers_;
+  }
+  [[nodiscard]] bool empty() const { return centers_.empty(); }
+  [[nodiscard]] std::size_t size() const { return centers_.size(); }
+
+ private:
+  std::vector<geo::TrigPoint> centers_;
+};
+
+/// POI-set distance over compiled profiles. Bit-identical to the legacy
+/// overload (same loop order; cached trigonometry rounds identically).
+double poi_profile_distance(const CompiledPoiProfile& a,
+                            const CompiledPoiProfile& b);
+
+/// Bounded POI-set distance: nearest-POI terms are non-negative, so once
+/// the running total alone pushes the final mean past `bound` the scan
+/// bails out and returns infinity. Otherwise returns the exact distance,
+/// bit-identical to the unbounded overload.
+double poi_profile_distance_bounded(const CompiledPoiProfile& a,
+                                    const CompiledPoiProfile& b, double bound);
+
 }  // namespace mood::profiles

@@ -199,6 +199,55 @@ Json make_report(const RunMetadata& meta, const core::ExperimentConfig& config,
   return document;
 }
 
+Json to_json(const core::InferenceBenchCase& result) {
+  Json object = Json::object();
+  object["name"] = result.name;
+  object["queries"] = result.queries;
+  object["reference_passes"] = result.reference_passes;
+  object["optimized_passes"] = result.optimized_passes;
+  object["reference_seconds"] = result.reference_seconds;
+  object["optimized_seconds"] = result.optimized_seconds;
+  object["speedup"] = result.speedup();
+  object["agreement"] = result.agreement;
+  object["mismatch"] = result.mismatch;
+  return object;
+}
+
+Json make_bench_report(const RunMetadata& meta, Json dataset,
+                       const std::vector<core::InferenceBenchCase>& cases) {
+  Json document = Json::object();
+  document["schema"] = kBenchSchema;
+  document["meta"] = to_json(meta);
+  document["dataset"] = std::move(dataset);
+  document["agreement"] = core::all_agree(cases);
+  Json list = Json::array();
+  for (const auto& benchmark : cases) list.push_back(to_json(benchmark));
+  document["benchmarks"] = std::move(list);
+  return document;
+}
+
+std::vector<std::vector<std::string>> bench_summary_rows(
+    const std::vector<core::InferenceBenchCase>& cases) {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"benchmark", "queries", "reference_s", "optimized_s",
+                  "speedup", "agreement"});
+  auto fixed = [](double value, int precision) {
+    std::ostringstream out;
+    out.setf(std::ios::fixed);
+    out.precision(precision);
+    out << value;
+    return out.str();
+  };
+  for (const auto& benchmark : cases) {
+    rows.push_back({benchmark.name, std::to_string(benchmark.queries),
+                    fixed(benchmark.reference_seconds, 3),
+                    fixed(benchmark.optimized_seconds, 3),
+                    fixed(benchmark.speedup(), 1) + "x",
+                    benchmark.agreement ? "yes" : "NO"});
+  }
+  return rows;
+}
+
 std::vector<std::vector<std::string>> user_outcome_rows(
     const core::StrategyResult& result) {
   std::vector<std::vector<std::string>> rows;

@@ -54,6 +54,7 @@
 #include <vector>
 
 #include "core/experiment.h"
+#include "core/inference_bench.h"
 #include "core/mood_engine.h"
 #include "mobility/dataset.h"
 #include "report/json.h"
@@ -62,6 +63,30 @@ namespace mood::report {
 
 /// Identifier of the result-document layout produced by make_report().
 inline constexpr const char* kResultSchema = "mood-result/1";
+
+/// Identifier of the perf-benchmark layout produced by
+/// make_bench_report() (`mood bench`, bench/perf_attack_inference):
+///
+/// \verbatim
+/// {
+///   "schema": "mood-bench/1",
+///   "meta": { ... RunMetadata, as in mood-result/1 ... },
+///   "dataset": { ... dataset_summary() ... },
+///   "agreement": true,   // every case decided identically on both paths
+///   "benchmarks": [
+///     {
+///       "name": "ap-attack-reidentify",  // or "evaluate-mood-full"
+///       "queries": 531,
+///       "reference_passes": 3, "optimized_passes": 12,  // passes timed
+///       "reference_seconds": 2.42,   // per pass, pre-optimization scans
+///       "optimized_seconds": 0.19,   // per pass, flat + branch-and-bound
+///       "speedup": 12.7,
+///       "agreement": true, "mismatch": ""
+///     }, ...
+///   ]
+/// }
+/// \endverbatim
+inline constexpr const char* kBenchSchema = "mood-bench/1";
 
 /// Provenance of one run: which tool produced it, on what data, with which
 /// seed, and where the wall-clock time went. Timings are (phase, seconds)
@@ -110,6 +135,18 @@ Json dataset_summary(const mobility::Dataset& dataset);
 /// Assembles the versioned result document from its parts.
 Json make_report(const RunMetadata& meta, const core::ExperimentConfig& config,
                  Json dataset, std::vector<Json> strategies);
+
+/// One A/B benchmark case (see kBenchSchema).
+Json to_json(const core::InferenceBenchCase& result);
+
+/// Assembles the versioned "mood-bench/1" document from its parts.
+Json make_bench_report(const RunMetadata& meta, Json dataset,
+                       const std::vector<core::InferenceBenchCase>& cases);
+
+/// One summary row per benchmark case (header first): name, queries,
+/// reference_s, optimized_s, speedup, agreement.
+std::vector<std::vector<std::string>> bench_summary_rows(
+    const std::vector<core::InferenceBenchCase>& cases);
 
 // ---- Domain -> CSV ---------------------------------------------------
 

@@ -1,0 +1,400 @@
+// Equivalence and property tests for the PR-3 inference hot path: compiled
+// flat profiles, bounded divergences and the branch-and-bound
+// re-identification scans must reproduce the legacy hash-map oracles
+// decision for decision — including ties, empty profiles and the
+// disjoint-support Topsoe ceiling — and the parallel evaluators must be
+// schedule-independent.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "attacks/suite.h"
+#include "core/experiment.h"
+#include "geo/cell_grid.h"
+#include "profiles/heatmap.h"
+#include "profiles/markov_profile.h"
+#include "profiles/poi_profile.h"
+#include "simulation/presets.h"
+#include "support/rng.h"
+#include "test_helpers.h"
+
+namespace mood {
+namespace {
+
+using geo::GeoPoint;
+using mobility::kHour;
+using mobility::Trace;
+using testing::distinct_population;
+using testing::dwell;
+using testing::trace_of;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// ------------------------------------------------ compiled heatmaps ----
+
+class CompiledHeatmapTest : public ::testing::Test {
+ protected:
+  /// Deterministic random heatmap over a small cell universe; `salt`
+  /// varies the draw.
+  profiles::Heatmap random_map(std::uint64_t salt, int cells,
+                               int universe = 12) {
+    auto rng = support::RngStream(0xbeef).fork("map", salt);
+    profiles::Heatmap map;
+    for (int c = 0; c < cells; ++c) {
+      const auto ix = static_cast<std::int32_t>(
+          rng.uniform_index(static_cast<std::uint64_t>(universe)));
+      const auto iy = static_cast<std::int32_t>(
+          rng.uniform_index(static_cast<std::uint64_t>(universe)));
+      map.add(geo::CellIndex{ix, iy},
+              static_cast<double>(1 + rng.uniform_index(50)));
+    }
+    return map;
+  }
+};
+
+TEST_F(CompiledHeatmapTest, PreservesProbabilitiesSorted) {
+  const auto map = random_map(1, 9);
+  const profiles::CompiledHeatmap compiled(map);
+  ASSERT_EQ(compiled.cell_count(), map.cell_count());
+  for (std::size_t i = 0; i < compiled.cells().size(); ++i) {
+    const auto& cell = compiled.cells()[i];
+    EXPECT_DOUBLE_EQ(cell.probability, map.probability(cell.cell));
+    if (i > 0) EXPECT_LT(compiled.cells()[i - 1].cell, cell.cell);
+  }
+}
+
+TEST_F(CompiledHeatmapTest, FromTraceMatchesCompilingLegacyBitwise) {
+  const geo::CellGrid grid(geo::LocalProjection(GeoPoint{45.76, 4.83}),
+                           800.0);
+  const Trace trace = trace_of(
+      "u", {dwell(GeoPoint{45.764, 4.8357}, 0, 30),
+            dwell(GeoPoint{45.78, 4.87}, 4 * kHour, 20),
+            dwell(GeoPoint{45.764, 4.8357}, 8 * kHour, 25)});
+  const profiles::CompiledHeatmap direct =
+      profiles::CompiledHeatmap::from_trace(trace, grid);
+  const profiles::CompiledHeatmap via_legacy(
+      profiles::Heatmap::from_trace(trace, grid));
+  ASSERT_EQ(direct.cell_count(), via_legacy.cell_count());
+  for (std::size_t i = 0; i < direct.cells().size(); ++i) {
+    EXPECT_EQ(direct.cells()[i].cell, via_legacy.cells()[i].cell);
+    EXPECT_EQ(direct.cells()[i].probability,
+              via_legacy.cells()[i].probability);
+  }
+}
+
+TEST_F(CompiledHeatmapTest, TopsoeMatchesLegacyWithinRounding) {
+  for (std::uint64_t salt = 0; salt < 30; ++salt) {
+    const auto a = random_map(2 * salt, 3 + static_cast<int>(salt % 7));
+    const auto b = random_map(2 * salt + 1, 2 + static_cast<int>(salt % 5));
+    const double legacy = profiles::topsoe_divergence(a, b);
+    const double compiled = profiles::topsoe_divergence(
+        profiles::CompiledHeatmap(a), profiles::CompiledHeatmap(b));
+    EXPECT_NEAR(compiled, legacy, 1e-12) << "salt " << salt;
+  }
+}
+
+TEST_F(CompiledHeatmapTest, TopsoeSymmetricAndZeroOnSelf) {
+  const auto map = random_map(7, 8);
+  const profiles::CompiledHeatmap compiled(map);
+  EXPECT_EQ(profiles::topsoe_divergence(compiled, compiled), 0.0);
+  const profiles::CompiledHeatmap other(random_map(8, 5));
+  EXPECT_EQ(profiles::topsoe_divergence(compiled, other),
+            profiles::topsoe_divergence(other, compiled));
+}
+
+TEST_F(CompiledHeatmapTest, TopsoeInfiniteForEmpty) {
+  const profiles::CompiledHeatmap empty;
+  const profiles::CompiledHeatmap some(random_map(3, 4));
+  EXPECT_EQ(profiles::topsoe_divergence(some, empty), kInf);
+  EXPECT_EQ(profiles::topsoe_divergence(empty, some), kInf);
+}
+
+TEST_F(CompiledHeatmapTest, DisjointSupportsHitTheCeilingExactly) {
+  profiles::Heatmap a, b;
+  a.add(geo::CellIndex{0, 0}, 3.0);
+  a.add(geo::CellIndex{1, 0}, 1.0);
+  b.add(geo::CellIndex{5, 5}, 2.0);
+  const double ceiling = 2.0 * std::log(2.0);
+  // Both paths return the exact constant, so whole-population ties at the
+  // ceiling break identically everywhere.
+  EXPECT_EQ(profiles::topsoe_divergence(a, b), ceiling);
+  EXPECT_EQ(profiles::topsoe_divergence(profiles::CompiledHeatmap(a),
+                                        profiles::CompiledHeatmap(b)),
+            ceiling);
+  // A bound at the ceiling must not prune the disjoint case away.
+  EXPECT_EQ(profiles::topsoe_divergence_bounded(
+                profiles::CompiledHeatmap(a), profiles::CompiledHeatmap(b),
+                ceiling),
+            ceiling);
+}
+
+TEST_F(CompiledHeatmapTest, BoundedContract) {
+  for (std::uint64_t salt = 0; salt < 30; ++salt) {
+    const profiles::CompiledHeatmap a(
+        random_map(3 * salt, 4 + static_cast<int>(salt % 6)));
+    const profiles::CompiledHeatmap b(
+        random_map(3 * salt + 1, 3 + static_cast<int>(salt % 4)));
+    const double exact = profiles::topsoe_divergence(a, b);
+    // Bound >= value: exact result, bit for bit.
+    EXPECT_EQ(profiles::topsoe_divergence_bounded(a, b, exact), exact);
+    EXPECT_EQ(profiles::topsoe_divergence_bounded(a, b, kInf), exact);
+    // Bound < value: anything strictly above the bound (infinity here).
+    if (exact > 0.0) {
+      EXPECT_GT(profiles::topsoe_divergence_bounded(a, b, exact * 0.5),
+                exact * 0.5);
+    }
+  }
+}
+
+// ---------------------------------------- compiled Markov / POI forms ----
+
+Trace shifted_three_places(const std::string& user, double north_m) {
+  const GeoPoint home{45.764, 4.8357};
+  const GeoPoint work{45.78, 4.87};
+  const GeoPoint gym{45.75, 4.81};
+  auto at = [&](const GeoPoint& p) {
+    return geo::destination(p, 0.0, north_m);
+  };
+  return trace_of(user, {dwell(at(home), 0, 30), dwell(at(work), 4 * kHour, 20),
+                         dwell(at(gym), 8 * kHour, 14),
+                         dwell(at(home), 12 * kHour, 30)});
+}
+
+TEST(CompiledMarkovProfile, StatsProxBitIdenticalToLegacy) {
+  const auto a = profiles::MarkovProfile::from_trace(
+      shifted_three_places("a", 0.0));
+  for (const double shift : {0.0, 700.0, 3000.0, 12000.0}) {
+    const auto b = profiles::MarkovProfile::from_trace(
+        shifted_three_places("b", shift));
+    const double legacy = profiles::stats_prox_distance(a, b);
+    const double compiled = profiles::stats_prox_distance(
+        profiles::CompiledMarkovProfile(a),
+        profiles::CompiledMarkovProfile(b));
+    // Same matching, same accumulation order, cached trig rounds
+    // identically: the values must be equal to the last bit.
+    EXPECT_EQ(compiled, legacy) << "shift " << shift;
+  }
+}
+
+TEST(CompiledMarkovProfile, BoundedContract) {
+  const profiles::CompiledMarkovProfile a(
+      profiles::MarkovProfile::from_trace(shifted_three_places("a", 0.0)));
+  const profiles::CompiledMarkovProfile b(
+      profiles::MarkovProfile::from_trace(shifted_three_places("b", 5000.0)));
+  const double exact = profiles::stats_prox_distance(a, b);
+  EXPECT_EQ(profiles::stats_prox_distance_bounded(a, b, 1000.0, exact),
+            exact);
+  EXPECT_GT(profiles::stats_prox_distance_bounded(a, b, 1000.0, exact * 0.25),
+            exact * 0.25);
+  const profiles::CompiledMarkovProfile empty;
+  EXPECT_EQ(profiles::stats_prox_distance(a, empty), kInf);
+}
+
+TEST(CompiledPoiProfile, DistanceBitIdenticalToLegacy) {
+  const auto a =
+      profiles::PoiProfile::from_trace(shifted_three_places("a", 0.0));
+  for (const double shift : {0.0, 700.0, 3000.0, 12000.0}) {
+    const auto b =
+        profiles::PoiProfile::from_trace(shifted_three_places("b", shift));
+    EXPECT_EQ(profiles::poi_profile_distance(profiles::CompiledPoiProfile(a),
+                                             profiles::CompiledPoiProfile(b)),
+              profiles::poi_profile_distance(a, b))
+        << "shift " << shift;
+  }
+}
+
+TEST(CompiledPoiProfile, BoundedContract) {
+  const profiles::CompiledPoiProfile a(
+      profiles::PoiProfile::from_trace(shifted_three_places("a", 0.0)));
+  const profiles::CompiledPoiProfile b(
+      profiles::PoiProfile::from_trace(shifted_three_places("b", 8000.0)));
+  const double exact = profiles::poi_profile_distance(a, b);
+  EXPECT_EQ(profiles::poi_profile_distance_bounded(a, b, exact), exact);
+  EXPECT_GT(profiles::poi_profile_distance_bounded(a, b, exact * 0.5),
+            exact * 0.5);
+  const profiles::CompiledPoiProfile empty;
+  EXPECT_EQ(profiles::poi_profile_distance(empty, b), kInf);
+  EXPECT_EQ(profiles::poi_profile_distance(a, empty), kInf);
+}
+
+// ------------------------------------- attack decision equivalence ----
+
+/// Trains the standard suite on a population and checks, for every test
+/// trace and several owner hypotheses, that the optimized path and the
+/// reference path agree on reidentify() and reidentifies_target().
+void expect_decision_equivalence(const mobility::Dataset& dataset,
+                                 std::size_t min_records = 16) {
+  core::ExperimentConfig config;
+  config.min_records = min_records;
+  const core::ExperimentHarness harness(dataset, config, 7);
+  for (const auto& attack : harness.attacks()) {
+    for (const auto& pair : harness.pairs()) {
+      attack->set_reference_mode(false);
+      const auto fast = attack->reidentify(pair.test);
+      attack->set_reference_mode(true);
+      const auto slow = attack->reidentify(pair.test);
+      EXPECT_EQ(fast, slow) << attack->name() << " on " << pair.test.user();
+
+      // Owner hypotheses: the true owner, the argmin answer, a stranger.
+      std::vector<mobility::UserId> owners = {pair.test.user(),
+                                              "nobody-in-training"};
+      if (slow.has_value()) owners.push_back(*slow);
+      for (const auto& owner : owners) {
+        attack->set_reference_mode(false);
+        const bool fast_hit = attack->reidentifies_target(pair.test, owner);
+        attack->set_reference_mode(true);
+        const bool slow_hit = attack->reidentifies_target(pair.test, owner);
+        EXPECT_EQ(fast_hit, slow_hit)
+            << attack->name() << " target " << owner << " on "
+            << pair.test.user();
+        // The targeted query must equal the argmin predicate.
+        EXPECT_EQ(fast_hit, slow.has_value() && *slow == owner)
+            << attack->name() << " target " << owner;
+      }
+    }
+    attack->set_reference_mode(false);
+  }
+}
+
+TEST(BoundedScanEquivalence, DistinctPopulation) {
+  expect_decision_equivalence(distinct_population(8));
+}
+
+TEST(BoundedScanEquivalence, GeneratedPreset) {
+  expect_decision_equivalence(
+      simulation::make_preset_dataset("privamov", 0.05, 11), 8);
+}
+
+TEST(BoundedScanEquivalence, ObfuscatedTraces) {
+  // Decisions must also agree on protected outputs (where near-ties and
+  // no-match cases live), not just raw traces.
+  const auto dataset = distinct_population(6);
+  core::ExperimentConfig config;
+  const core::ExperimentHarness harness(dataset, config, 7);
+  for (const auto* lppm : harness.registry().singles()) {
+    for (const auto& pair : harness.pairs()) {
+      auto rng = support::RngStream(7).fork(pair.test.user()).fork(
+          lppm->name());
+      const Trace output = lppm->apply(pair.test, std::move(rng));
+      for (const auto& attack : harness.attacks()) {
+        attack->set_reference_mode(false);
+        const bool fast =
+            attack->reidentifies_target(output, pair.test.user());
+        attack->set_reference_mode(true);
+        const bool slow =
+            attack->reidentifies_target(output, pair.test.user());
+        attack->set_reference_mode(false);
+        EXPECT_EQ(fast, slow) << attack->name() << "/" << lppm->name()
+                              << " on " << pair.test.user();
+      }
+    }
+  }
+}
+
+TEST(BoundedScanEquivalence, TwinUsersTieBreaksToFirstTrained) {
+  // Two users with byte-identical traces: every distance ties exactly, and
+  // the first trained profile must win in both paths.
+  mobility::Dataset dataset("twins");
+  const auto day = [&](const std::string& user) {
+    std::vector<mobility::Record> records;
+    for (int d = 0; d < 4; ++d) {
+      auto r1 = dwell(GeoPoint{45.0, 5.0},
+                      d * 24 * kHour, 30);
+      auto r2 = dwell(GeoPoint{45.02, 5.03}, d * 24 * kHour + 9 * kHour, 30);
+      records.insert(records.end(), r1.begin(), r1.end());
+      records.insert(records.end(), r2.begin(), r2.end());
+    }
+    return Trace(user, std::move(records));
+  };
+  dataset.add(day("twinA"));
+  dataset.add(day("twinB"));
+  dataset.add(day("loner"));  // so scans have a third profile
+
+  core::ExperimentConfig config;
+  config.min_records = 8;
+  const core::ExperimentHarness harness(dataset, config, 7);
+  for (const auto& attack : harness.attacks()) {
+    for (const bool reference : {false, true}) {
+      attack->set_reference_mode(reference);
+      const auto& twin_b_test = harness.pairs()[1].test;
+      ASSERT_EQ(twin_b_test.user(), "twinB");
+      const auto answer = attack->reidentify(twin_b_test);
+      ASSERT_TRUE(answer.has_value()) << attack->name();
+      EXPECT_EQ(*answer, "twinA")
+          << attack->name() << (reference ? " (reference)" : " (optimized)");
+      EXPECT_FALSE(attack->reidentifies_target(twin_b_test, "twinB"));
+      EXPECT_TRUE(attack->reidentifies_target(twin_b_test, "twinA"));
+    }
+    attack->set_reference_mode(false);
+  }
+}
+
+TEST(BoundedScanEquivalence, EmptyAnonymousProfileNeverReidentifies) {
+  const auto dataset = distinct_population(4);
+  core::ExperimentConfig config;
+  const core::ExperimentHarness harness(dataset, config, 7);
+  // Two records moving fast: no POIs, and (being only two samples) a
+  // heatmap that matches nobody meaningfully; the empty trace exercises
+  // the no-profile path everywhere.
+  const Trace sparse("user0", {testing::rec(44.0, 4.0, 0),
+                               testing::rec(44.5, 4.5, kHour)});
+  const Trace empty("user0", {});
+  for (const auto& attack : harness.attacks()) {
+    for (const bool reference : {false, true}) {
+      attack->set_reference_mode(reference);
+      EXPECT_FALSE(attack->reidentifies_target(empty, "user0"))
+          << attack->name();
+      EXPECT_EQ(attack->reidentify(empty), std::nullopt) << attack->name();
+      if (attack->name() != "AP-Attack") {
+        // POI-based profiles cannot form from a 2-record sprint.
+        EXPECT_EQ(attack->reidentify(sparse), std::nullopt)
+            << attack->name();
+      }
+    }
+    attack->set_reference_mode(false);
+  }
+}
+
+// ------------------------------------------------ determinism ----------
+
+TEST(EvaluatorDeterminism, ParallelMoodFullMatchesSerialReconstruction) {
+  // evaluate_mood_full fans users across the shared pool; its outcome must
+  // equal a serial per-user reconstruction (the engine is pure), which
+  // makes the result independent of worker count and scheduling (--jobs 1
+  // vs --jobs N agree; the CI smoke also checks that across processes).
+  const auto dataset = distinct_population(6);
+  core::ExperimentConfig config;
+  const core::ExperimentHarness harness(dataset, config, 7);
+  const auto parallel = harness.evaluate_mood_full();
+  const auto engine = harness.make_engine();
+  ASSERT_EQ(parallel.users.size(), harness.pairs().size());
+  for (std::size_t i = 0; i < harness.pairs().size(); ++i) {
+    const auto& pair = harness.pairs()[i];
+    const auto& outcome = parallel.users[i];
+    EXPECT_EQ(outcome.user, pair.test.user());
+    core::ProtectionResult cost;
+    if (const auto whole = engine.search(pair.test, &cost)) {
+      EXPECT_EQ(outcome.winner, whole->lppm);
+      EXPECT_EQ(outcome.level, whole->level);
+      EXPECT_EQ(outcome.distortion, whole->distortion);
+      EXPECT_EQ(outcome.lost_records, 0u);
+    } else {
+      EXPECT_EQ(outcome.level, core::ProtectionLevel::kFineGrained);
+    }
+  }
+  // And a second parallel run is bit-identical.
+  const auto again = harness.evaluate_mood_full();
+  for (std::size_t i = 0; i < parallel.users.size(); ++i) {
+    EXPECT_EQ(parallel.users[i].winner, again.users[i].winner);
+    EXPECT_EQ(parallel.users[i].distortion, again.users[i].distortion);
+    EXPECT_EQ(parallel.users[i].lost_records, again.users[i].lost_records);
+    EXPECT_EQ(parallel.users[i].attack_invocations,
+              again.users[i].attack_invocations);
+  }
+}
+
+}  // namespace
+}  // namespace mood

@@ -8,6 +8,7 @@
 ///   mood simulate --preset=privamov --scale=0.1 --out=city.csv
 ///   mood evaluate --input=city.csv --strategies=hybrid --out=result.json
 ///   mood report result.json other-run.json
+///   mood bench --preset=small --out=bench.json
 ///
 /// Everything lives behind run() — a pure function of argv and two output
 /// streams — so the test suite exercises subcommand dispatch, flag errors
@@ -40,5 +41,7 @@ int cmd_evaluate(int argc, const char* const* argv, std::ostream& out,
                  std::ostream& err);
 int cmd_report(int argc, const char* const* argv, std::ostream& out,
                std::ostream& err);
+int cmd_bench(int argc, const char* const* argv, std::ostream& out,
+              std::ostream& err);
 
 }  // namespace mood::cli
