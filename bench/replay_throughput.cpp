@@ -1,0 +1,126 @@
+// Throughput/latency bench for the online gateway (src/stream): replays
+// one preset through the StreamEngine at several shard counts and reports
+// sustained events/sec plus p50/p95/p99 decision latency per run — the
+// scaling story behind the committed BENCH_pr4.json.
+//
+//   ./replay_throughput [--datasets=privamov] [--scale=0.25] [--seed=7]
+//                       [--shards=1,2,4,8] [--batch=256] [--staleness=0]
+//                       [--json=replay.json]
+//
+// Defaults to privamov (the most at-risk population, so the mechanism-
+// selection path is exercised hard) at scale 0.25. --json writes an array
+// of "mood-stream/1" documents, one per shard count. Every run's final
+// decisions are compared across shard counts; exits non-zero if they ever
+// diverge (the determinism gate, cheaper than the full batch verification
+// `mood replay` performs).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "experiment_common.h"
+#include "report/report.h"
+#include "stream/engine.h"
+#include "stream/replay.h"
+
+int main(int argc, char** argv) {
+  using namespace mood;
+  const support::Options options(argc, argv);
+  bench::BenchContext ctx = bench::parse_context(argc, argv);
+  if (options.get_string("datasets", "").empty()) {
+    ctx.datasets = {"privamov"};
+  }
+  std::vector<std::size_t> shard_counts;
+  {
+    const std::string list = options.get_string("shards", "1,2,4,8");
+    std::string current;
+    for (const char c : list + ",") {
+      if (c == ',') {
+        if (!current.empty()) {
+          shard_counts.push_back(
+              static_cast<std::size_t>(std::stoul(current)));
+        }
+        current.clear();
+      } else {
+        current.push_back(c);
+      }
+    }
+  }
+  if (shard_counts.empty()) {
+    std::fprintf(stderr, "--shards list is empty\n");
+    return 2;
+  }
+
+  stream::ReplayOptions replay_options;
+  replay_options.batch_events =
+      static_cast<std::size_t>(options.get_int("batch", 256));
+  const auto staleness =
+      static_cast<std::size_t>(options.get_int("staleness", 0));
+
+  report::Json documents = report::Json::array();
+  int exit_code = 0;
+  for (const auto& name : ctx.datasets) {
+    const mobility::Dataset dataset =
+        simulation::make_preset_dataset(name, ctx.scale, ctx.seed);
+    const core::ExperimentHarness harness(dataset, ctx.config, ctx.seed);
+    const auto events = stream::make_event_stream(harness.pairs());
+    std::printf("%s: %zu users, %zu events\n", name.c_str(),
+                harness.pairs().size(), events.size());
+    std::printf("%8s %12s %10s %10s %10s %10s\n", "shards", "events/s",
+                "p50_ms", "p95_ms", "p99_ms", "searches");
+
+    std::vector<stream::UserDecision> reference;
+    for (const std::size_t shards : shard_counts) {
+      stream::StreamConfig config;
+      config.shards = shards;
+      config.staleness_points = staleness;
+      stream::StreamEngine engine(harness.make_engine(), config);
+      const stream::ReplayResult result =
+          stream::run_replay(engine, events, replay_options);
+      std::printf("%8zu %12.0f %10.3f %10.3f %10.3f %10llu\n", shards,
+                  result.events_per_second, result.latency.p50 * 1e3,
+                  result.latency.p95 * 1e3, result.latency.p99 * 1e3,
+                  static_cast<unsigned long long>(result.stats.searches));
+
+      if (reference.empty()) {
+        reference = result.decisions;
+      } else if (result.decisions.size() != reference.size()) {
+        std::fprintf(stderr,
+                     "DETERMINISM VIOLATION: %zu users decided at %zu "
+                     "shards, %zu at %zu shards\n",
+                     result.decisions.size(), shards, reference.size(),
+                     shard_counts.front());
+        exit_code = 1;
+      } else {
+        for (std::size_t i = 0; i < result.decisions.size(); ++i) {
+          const auto& a = reference[i];
+          const auto& b = result.decisions[i];
+          if (a.user != b.user || a.decision != b.decision ||
+              a.winner != b.winner) {
+            std::fprintf(stderr,
+                         "DETERMINISM VIOLATION: user %s decided "
+                         "differently at %zu shards\n",
+                         b.user.c_str(), shards);
+            exit_code = 1;
+          }
+        }
+      }
+
+      report::RunMetadata meta;
+      meta.tool = "replay_throughput";
+      meta.dataset = dataset.name();
+      meta.seed = ctx.seed;
+      meta.wall_seconds = result.wall_seconds;
+      documents.push_back(report::make_stream_report(
+          meta, report::dataset_summary(dataset), config, replay_options,
+          result, std::nullopt, /*include_users=*/false));
+    }
+  }
+
+  if (const std::string path = options.get_string("json", "");
+      !path.empty()) {
+    report::write_json_file(path, documents);
+    std::printf("wrote %s\n", path.c_str());
+  }
+  return exit_code;
+}

@@ -39,8 +39,12 @@ std::optional<mobility::UserId> ApAttack::reidentify(
 bool ApAttack::reidentifies_target(const mobility::Trace& anonymous_trace,
                                    const mobility::UserId& owner) const {
   if (reference_mode_) return Attack::reidentifies_target(anonymous_trace, owner);
-  const auto anonymous_map =
-      profiles::CompiledHeatmap::from_trace(anonymous_trace, grid_);
+  return reidentifies_compiled(compile_anonymous(anonymous_trace), owner);
+}
+
+bool ApAttack::reidentifies_compiled(
+    const profiles::CompiledHeatmap& anonymous_map,
+    const mobility::UserId& owner) const {
   if (anonymous_map.empty()) return false;
   return scan_is_first_argmin(
       compiled_, owner,

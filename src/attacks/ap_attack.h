@@ -45,6 +45,24 @@ class ApAttack final : public Attack {
 
   void set_reference_mode(bool on) override { reference_mode_ = on; }
 
+  /// Compiles the anonymous-side heatmap exactly as the optimized queries
+  /// do internally. Exposed so the streaming gateway can maintain it
+  /// incrementally (CompiledHeatmap::apply_update) instead of recompiling
+  /// per decision.
+  [[nodiscard]] profiles::CompiledHeatmap compile_anonymous(
+      const mobility::Trace& trace) const {
+    return profiles::CompiledHeatmap::from_trace(trace, grid_);
+  }
+
+  /// Targeted query over a pre-compiled anonymous heatmap. Decision-
+  /// identical to reidentifies_target(trace, owner) whenever
+  /// `anonymous_map` carries the same cells as compile_anonymous(trace).
+  /// Always the optimized path (reference mode only reroutes the
+  /// trace-based entry points).
+  [[nodiscard]] bool reidentifies_compiled(
+      const profiles::CompiledHeatmap& anonymous_map,
+      const mobility::UserId& owner) const;
+
   [[nodiscard]] const geo::CellGrid& grid() const { return grid_; }
 
  private:

@@ -44,8 +44,12 @@ std::optional<mobility::UserId> PitAttack::reidentify(
 bool PitAttack::reidentifies_target(const mobility::Trace& anonymous_trace,
                                     const mobility::UserId& owner) const {
   if (reference_mode_) return Attack::reidentifies_target(anonymous_trace, owner);
-  const profiles::CompiledMarkovProfile anonymous_profile(
-      profiles::MarkovProfile::from_trace(anonymous_trace, params_));
+  return reidentifies_compiled(compile_anonymous(anonymous_trace), owner);
+}
+
+bool PitAttack::reidentifies_compiled(
+    const profiles::CompiledMarkovProfile& anonymous_profile,
+    const mobility::UserId& owner) const {
   if (anonymous_profile.empty()) return false;
   return scan_is_first_argmin(
       compiled_, owner,

@@ -48,6 +48,23 @@ class PitAttack final : public Attack {
 
   void set_reference_mode(bool on) override { reference_mode_ = on; }
 
+  /// Compiles the anonymous-side MMC exactly as the optimized queries do
+  /// internally. Exposed so the streaming gateway can cache it and rebuild
+  /// under a staleness bound (MMC extraction is not incrementally
+  /// maintainable the way heatmap counts are).
+  [[nodiscard]] profiles::CompiledMarkovProfile compile_anonymous(
+      const mobility::Trace& trace) const {
+    return profiles::CompiledMarkovProfile(
+        profiles::MarkovProfile::from_trace(trace, params_));
+  }
+
+  /// Targeted query over a pre-compiled anonymous MMC. Decision-identical
+  /// to reidentifies_target(trace, owner) whenever `anonymous_profile`
+  /// equals compile_anonymous(trace). Always the optimized path.
+  [[nodiscard]] bool reidentifies_compiled(
+      const profiles::CompiledMarkovProfile& anonymous_profile,
+      const mobility::UserId& owner) const;
+
  private:
   clustering::PoiParams params_;
   double proximity_scale_m_;

@@ -45,8 +45,12 @@ std::optional<mobility::UserId> PoiAttack::reidentify(
 bool PoiAttack::reidentifies_target(const mobility::Trace& anonymous_trace,
                                     const mobility::UserId& owner) const {
   if (reference_mode_) return Attack::reidentifies_target(anonymous_trace, owner);
-  const profiles::CompiledPoiProfile anonymous_profile(
-      profiles::PoiProfile::from_trace(anonymous_trace, params_));
+  return reidentifies_compiled(compile_anonymous(anonymous_trace), owner);
+}
+
+bool PoiAttack::reidentifies_compiled(
+    const profiles::CompiledPoiProfile& anonymous_profile,
+    const mobility::UserId& owner) const {
   if (anonymous_profile.empty()) return false;
   return scan_is_first_argmin(
       compiled_, owner,

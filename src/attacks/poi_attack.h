@@ -42,6 +42,24 @@ class PoiAttack final : public Attack {
 
   void set_reference_mode(bool on) override { reference_mode_ = on; }
 
+  /// Compiles the anonymous-side POI set exactly as the optimized queries
+  /// do internally. Exposed so the streaming gateway can cache it and
+  /// rebuild under a staleness bound (POI clustering is not incrementally
+  /// maintainable the way heatmap counts are).
+  [[nodiscard]] profiles::CompiledPoiProfile compile_anonymous(
+      const mobility::Trace& trace) const {
+    return profiles::CompiledPoiProfile(
+        profiles::PoiProfile::from_trace(trace, params_));
+  }
+
+  /// Targeted query over a pre-compiled anonymous POI set. Decision-
+  /// identical to reidentifies_target(trace, owner) whenever
+  /// `anonymous_profile` equals compile_anonymous(trace). Always the
+  /// optimized path.
+  [[nodiscard]] bool reidentifies_compiled(
+      const profiles::CompiledPoiProfile& anonymous_profile,
+      const mobility::UserId& owner) const;
+
  private:
   clustering::PoiParams params_;
   std::vector<std::pair<mobility::UserId, profiles::CompiledPoiProfile>>

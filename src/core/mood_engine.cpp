@@ -111,6 +111,28 @@ std::optional<MoodEngine::Candidate> MoodEngine::search(
   return best;
 }
 
+std::optional<MoodEngine::Candidate> MoodEngine::recheck(
+    const std::string& lppm_name, const mobility::Trace& trace,
+    ProtectionResult* cost) const {
+  if (trace.empty()) return std::nullopt;
+  for (const auto* single : singles_) {
+    if (single->name() != lppm_name) continue;
+    auto outcome = try_mechanism(*single, trace, cost);
+    if (!outcome) return std::nullopt;
+    return Candidate{single->name(), ProtectionLevel::kSingle,
+                     std::move(outcome->first), outcome->second};
+  }
+  for (const auto& composition : compositions_) {
+    if (composition.name() != lppm_name) continue;
+    auto outcome = try_mechanism(composition, trace, cost);
+    if (!outcome) return std::nullopt;
+    return Candidate{composition.name(), ProtectionLevel::kComposition,
+                     std::move(outcome->first), outcome->second};
+  }
+  throw support::PreconditionError("MoodEngine::recheck: unknown mechanism '" +
+                                   lppm_name + "'");
+}
+
 void MoodEngine::protect_recursive(const mobility::Trace& trace,
                                    ProtectionResult& result) const {
   if (trace.empty()) return;

@@ -123,6 +123,25 @@ class MoodEngine {
   [[nodiscard]] ProtectionResult protect_crowdsensing(
       const mobility::Trace& trace) const;
 
+  /// Re-applies a previously selected mechanism (single or composition, by
+  /// name) to `trace` and tests it against every attack — the streaming
+  /// gateway's cheap "does the current choice still protect the grown
+  /// window?" check, one LPPM application instead of a full search().
+  /// The output is identical to what search() would produce for that
+  /// mechanism (same deterministic noise stream). nullopt when the
+  /// mechanism no longer protects; throws PreconditionError for names the
+  /// engine does not know.
+  [[nodiscard]] std::optional<Candidate> recheck(
+      const std::string& lppm_name, const mobility::Trace& trace,
+      ProtectionResult* cost = nullptr) const;
+
+  /// The trained attack set this engine searches against (non-owning; in
+  /// construction order). The streaming gateway derives its typed
+  /// fast-path views from this.
+  [[nodiscard]] const std::vector<const attacks::Attack*>& attacks() const {
+    return attacks_;
+  }
+
   [[nodiscard]] const MoodConfig& config() const { return config_; }
   [[nodiscard]] std::size_t candidate_count() const {
     return singles_.size() + compositions_.size();

@@ -99,6 +99,35 @@ std::vector<CompiledHeatmapCell> compile_cells(
   return cells;
 }
 
+/// Run-collapsed (cell, count) pairs of a record range, sorted by cell with
+/// duplicates merged. Counts stay exact small integers, so merging them in
+/// any grouping sums to the same doubles the hash-map path produces.
+std::vector<std::pair<geo::CellIndex, double>> collapse_cells(
+    const std::vector<mobility::Record>& records, const geo::CellGrid& grid) {
+  std::vector<std::pair<geo::CellIndex, double>> runs;
+  for (const auto& record : records) {
+    const geo::CellIndex cell = grid.cell_of(record.position);
+    if (!runs.empty() && runs.back().first == cell) {
+      runs.back().second += 1.0;
+    } else {
+      runs.emplace_back(cell, 1.0);
+    }
+  }
+  if (runs.empty()) return runs;
+  std::sort(runs.begin(), runs.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::size_t out = 0;
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    if (runs[i].first == runs[out].first) {
+      runs[out].second += runs[i].second;
+    } else {
+      runs[++out] = runs[i];
+    }
+  }
+  runs.resize(out + 1);
+  return runs;
+}
+
 }  // namespace
 
 CompiledHeatmap::CompiledHeatmap(const Heatmap& source) {
@@ -112,33 +141,82 @@ CompiledHeatmap CompiledHeatmap::from_trace(const mobility::Trace& trace,
                                             const geo::CellGrid& grid) {
   CompiledHeatmap compiled;
   if (trace.empty()) return compiled;
-  // Run-collapse: consecutive records in one cell become one (cell, count)
-  // entry. Counts stay exact small integers, so merging them later sums to
-  // the same doubles the hash-map path produces.
-  std::vector<std::pair<geo::CellIndex, double>> runs;
-  for (const auto& record : trace.records()) {
-    const geo::CellIndex cell = grid.cell_of(record.position);
-    if (!runs.empty() && runs.back().first == cell) {
-      runs.back().second += 1.0;
-    } else {
-      runs.emplace_back(cell, 1.0);
-    }
-  }
-  std::sort(runs.begin(), runs.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
-  // Merge duplicate cells produced by revisits.
-  std::size_t out = 0;
-  for (std::size_t i = 1; i < runs.size(); ++i) {
-    if (runs[i].first == runs[out].first) {
-      runs[out].second += runs[i].second;
-    } else {
-      runs[++out] = runs[i];
-    }
-  }
-  runs.resize(out + 1);
-  compiled.cells_ =
-      compile_cells(std::move(runs), static_cast<double>(trace.size()));
+  compiled.cells_ = compile_cells(collapse_cells(trace.records(), grid),
+                                  static_cast<double>(trace.size()));
   return compiled;
+}
+
+CompiledHeatmap CompiledHeatmap::incremental(const mobility::Trace& trace,
+                                             const geo::CellGrid& grid) {
+  CompiledHeatmap compiled;
+  compiled.updatable_ = true;
+  if (trace.empty()) return compiled;
+  compiled.counts_ = collapse_cells(trace.records(), grid);
+  compiled.total_ = static_cast<double>(trace.size());
+  // collapse_cells already sorted and merged, so compile_cells' sort is a
+  // no-op pass; probabilities are bit-identical to from_trace.
+  compiled.cells_ = compile_cells(compiled.counts_, compiled.total_);
+  return compiled;
+}
+
+void CompiledHeatmap::apply_update(const std::vector<mobility::Record>& added,
+                                   const std::vector<mobility::Record>& removed,
+                                   const geo::CellGrid& grid) {
+  support::expects(updatable_,
+                   "CompiledHeatmap::apply_update: heatmap was not built by "
+                   "incremental() (raw counts not retained)");
+  if (added.empty() && removed.empty()) return;
+  auto delta = collapse_cells(added, grid);
+  for (auto& [cell, count] : collapse_cells(removed, grid)) {
+    delta.emplace_back(cell, -count);
+  }
+  std::sort(delta.begin(), delta.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  // Sorted merge of counts_ and delta into a fresh count vector. All
+  // counts are exact integers, so additions and removals are exact and the
+  // merged counts equal what collapse_cells would produce on the updated
+  // window.
+  std::vector<std::pair<geo::CellIndex, double>> merged;
+  merged.reserve(counts_.size() + delta.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  const auto push = [&](const geo::CellIndex& cell, double count) {
+    support::expects(count >= 0.0,
+                     "CompiledHeatmap::apply_update: removal without a "
+                     "matching count");
+    if (count > 0.0) merged.emplace_back(cell, count);
+  };
+  while (i < counts_.size() || j < delta.size()) {
+    if (j == delta.size() ||
+        (i < counts_.size() && counts_[i].first < delta[j].first)) {
+      merged.push_back(counts_[i]);
+      ++i;
+    } else if (i == counts_.size() || delta[j].first < counts_[i].first) {
+      // Duplicate delta cells (one from added, one from removed) merge here.
+      double count = delta[j].second;
+      const geo::CellIndex cell = delta[j].first;
+      while (++j < delta.size() && delta[j].first == cell) {
+        count += delta[j].second;
+      }
+      push(cell, count);
+    } else {
+      double count = counts_[i].second + delta[j].second;
+      const geo::CellIndex cell = delta[j].first;
+      while (++j < delta.size() && delta[j].first == cell) {
+        count += delta[j].second;
+      }
+      push(cell, count);
+      ++i;
+    }
+  }
+  counts_ = std::move(merged);
+  total_ += static_cast<double>(added.size()) -
+            static_cast<double>(removed.size());
+  support::ensures(total_ >= 0.0 && (total_ > 0.0 || counts_.empty()),
+                   "CompiledHeatmap::apply_update: count bookkeeping drifted");
+  cells_ = total_ > 0.0 ? compile_cells(counts_, total_)
+                        : std::vector<CompiledHeatmapCell>{};
 }
 
 double topsoe_divergence(const CompiledHeatmap& a, const CompiledHeatmap& b) {

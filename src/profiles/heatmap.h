@@ -8,9 +8,11 @@
 /// donor's to confuse that matching.
 
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "geo/cell_grid.h"
+#include "mobility/record.h"
 #include "mobility/trace.h"
 
 namespace mood::profiles {
@@ -87,6 +89,31 @@ class CompiledHeatmap {
   static CompiledHeatmap from_trace(const mobility::Trace& trace,
                                     const geo::CellGrid& grid);
 
+  /// Builds an *updatable* compiled heatmap: identical cells to
+  /// from_trace(trace, grid), but the raw integer cell counts are retained
+  /// so apply_update can fold newly arrived (and newly expired) records in
+  /// without recompiling from the whole trace. Start from an empty trace
+  /// for a fresh streaming window.
+  static CompiledHeatmap incremental(const mobility::Trace& trace,
+                                     const geo::CellGrid& grid);
+
+  /// Incremental maintenance for sliding windows: adds one count per
+  /// record of `added`, removes one per record of `removed`, then
+  /// renormalises. O(cells + delta log delta) — independent of the window
+  /// length. Counts are exact small integers, so the updated heatmap is
+  /// bit-identical to from_trace on the updated window (the streaming
+  /// gateway's incremental-vs-full equivalence tests rely on this; callers
+  /// that want a staleness bound instead simply rebuild via incremental()
+  /// every N updates). Preconditions: built by incremental(); every
+  /// removed record was previously added.
+  void apply_update(const std::vector<mobility::Record>& added,
+                    const std::vector<mobility::Record>& removed,
+                    const geo::CellGrid& grid);
+
+  /// True when built by incremental() (raw counts retained, apply_update
+  /// allowed).
+  [[nodiscard]] bool updatable() const { return updatable_; }
+
   /// Cells in ascending index order.
   [[nodiscard]] const std::vector<CompiledHeatmapCell>& cells() const {
     return cells_;
@@ -96,6 +123,11 @@ class CompiledHeatmap {
 
  private:
   std::vector<CompiledHeatmapCell> cells_;
+  /// Raw (cell, count) pairs in ascending cell order; populated only for
+  /// updatable() heatmaps. Counts are exact small integers.
+  std::vector<std::pair<geo::CellIndex, double>> counts_;
+  double total_ = 0.0;
+  bool updatable_ = false;
 };
 
 /// Topsoe divergence over compiled heatmaps. Symmetric; same decision

@@ -248,6 +248,118 @@ std::vector<std::vector<std::string>> bench_summary_rows(
   return rows;
 }
 
+Json to_json(const stream::UserDecision& decision) {
+  Json object = Json::object();
+  object["user"] = decision.user;
+  object["decision"] = stream::to_string(decision.decision);
+  object["winner"] = decision.winner;
+  object["events"] = decision.events;
+  object["risk_transitions"] = decision.risk_transitions;
+  object["searches"] = decision.searches;
+  object["window_points"] = decision.window_points;
+  object["window_slices"] = decision.window_slices;
+  return object;
+}
+
+Json make_stream_report(const RunMetadata& meta, Json dataset,
+                        const stream::StreamConfig& config,
+                        const stream::ReplayOptions& options,
+                        const stream::ReplayResult& result,
+                        std::optional<bool> batch_match, bool include_users) {
+  Json document = Json::object();
+  document["schema"] = kStreamSchema;
+  document["meta"] = to_json(meta);
+  document["dataset"] = std::move(dataset);
+
+  Json stream_doc = Json::object();
+  stream_doc["shards"] = config.shards;
+  stream_doc["window_seconds"] =
+      static_cast<std::int64_t>(config.window_seconds);
+  stream_doc["max_points"] = config.max_points;
+  stream_doc["max_users_per_shard"] = config.max_users_per_shard;
+  stream_doc["staleness_points"] = config.staleness_points;
+  stream_doc["batch_events"] = options.batch_events;
+  stream_doc["target_rate"] = options.target_rate;
+  stream_doc["time_compression"] = options.time_compression;
+  document["stream"] = std::move(stream_doc);
+
+  Json replay = Json::object();
+  replay["events"] = result.events;
+  replay["batches"] = result.batches;
+  replay["users"] = result.decisions.size();
+  replay["wall_seconds"] = result.wall_seconds;
+  replay["events_per_second"] = result.events_per_second;
+  Json latency = Json::object();
+  latency["p50"] = result.latency.p50;
+  latency["p95"] = result.latency.p95;
+  latency["p99"] = result.latency.p99;
+  latency["max"] = result.latency.max;
+  latency["mean"] = result.latency.mean;
+  replay["latency_seconds"] = std::move(latency);
+  std::size_t exposed_users = 0;
+  for (const auto& decision : result.decisions) {
+    exposed_users += decision.decision == stream::Decision::kExpose ? 1 : 0;
+  }
+  Json decisions = Json::object();
+  decisions["exposed_events"] = result.stats.exposed_events;
+  decisions["protected_events"] = result.stats.protected_events;
+  decisions["exposed_users"] = exposed_users;
+  decisions["protected_users"] = result.decisions.size() - exposed_users;
+  replay["decisions"] = std::move(decisions);
+  Json cost = Json::object();
+  cost["searches"] = result.stats.searches;
+  cost["rechecks"] = result.stats.rechecks;
+  cost["profile_rebuilds"] = result.stats.profile_rebuilds;
+  cost["heatmap_updates"] = result.stats.heatmap_updates;
+  cost["evicted_points"] = result.stats.evicted_points;
+  cost["evicted_users"] = result.stats.evicted_users;
+  cost["lppm_applications"] = result.stats.lppm_applications;
+  cost["attack_invocations"] = result.stats.attack_invocations;
+  replay["cost"] = std::move(cost);
+  replay["batch_match"] = batch_match ? Json(*batch_match) : Json();
+  document["replay"] = std::move(replay);
+
+  if (include_users) {
+    Json users = Json::array();
+    for (const auto& decision : result.decisions) {
+      users.push_back(to_json(decision));
+    }
+    document["per_user"] = std::move(users);
+  }
+  return document;
+}
+
+std::vector<std::vector<std::string>> stream_summary_rows(
+    const stream::ReplayResult& result) {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"metric", "value"});
+  auto fixed = [](double value, int precision) {
+    std::ostringstream out;
+    out.setf(std::ios::fixed);
+    out.precision(precision);
+    out << value;
+    return out.str();
+  };
+  std::size_t exposed_users = 0;
+  for (const auto& decision : result.decisions) {
+    exposed_users += decision.decision == stream::Decision::kExpose ? 1 : 0;
+  }
+  rows.push_back({"events", std::to_string(result.events)});
+  rows.push_back({"batches", std::to_string(result.batches)});
+  rows.push_back({"users", std::to_string(result.decisions.size())});
+  rows.push_back({"wall_seconds", fixed(result.wall_seconds, 3)});
+  rows.push_back({"events_per_second", fixed(result.events_per_second, 1)});
+  rows.push_back({"latency_p50_ms", fixed(result.latency.p50 * 1e3, 3)});
+  rows.push_back({"latency_p95_ms", fixed(result.latency.p95 * 1e3, 3)});
+  rows.push_back({"latency_p99_ms", fixed(result.latency.p99 * 1e3, 3)});
+  rows.push_back({"exposed_users", std::to_string(exposed_users)});
+  rows.push_back({"protected_users",
+                  std::to_string(result.decisions.size() - exposed_users)});
+  rows.push_back({"searches", std::to_string(result.stats.searches)});
+  rows.push_back({"rechecks", std::to_string(result.stats.rechecks)});
+  return rows;
+}
+
 std::vector<std::vector<std::string>> user_outcome_rows(
     const core::StrategyResult& result) {
   std::vector<std::vector<std::string>> rows;

@@ -49,6 +49,7 @@
 /// effort).
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -58,6 +59,8 @@
 #include "core/mood_engine.h"
 #include "mobility/dataset.h"
 #include "report/json.h"
+#include "stream/engine.h"
+#include "stream/replay.h"
 
 namespace mood::report {
 
@@ -87,6 +90,47 @@ inline constexpr const char* kResultSchema = "mood-result/1";
 /// }
 /// \endverbatim
 inline constexpr const char* kBenchSchema = "mood-bench/1";
+
+/// Identifier of the online-gateway replay layout produced by
+/// make_stream_report() (`mood replay`, bench/replay_throughput):
+///
+/// \verbatim
+/// {
+///   "schema": "mood-stream/1",
+///   "meta": { ... RunMetadata, as in mood-result/1 ... },
+///   "dataset": { ... dataset_summary() ... },
+///   "stream": {          // gateway + replay configuration
+///     "shards": 8, "window_seconds": 0, "max_points": 0,
+///     "max_users_per_shard": 0, "staleness_points": 0,
+///     "batch_events": 256, "target_rate": 0.0, "time_compression": 0.0
+///   },
+///   "replay": {          // measured outcome
+///     "events": 24576, "batches": 96, "users": 20,
+///     "wall_seconds": 1.84, "events_per_second": 13356.5,
+///     "latency_seconds": {"p50": ..., "p95": ..., "p99": ...,
+///                          "max": ..., "mean": ...},
+///     "decisions": {"exposed_events": ..., "protected_events": ...,
+///                    "exposed_users": ..., "protected_users": ...},
+///     "cost": {"searches": ..., "rechecks": ..., "profile_rebuilds": ...,
+///               "heatmap_updates": ..., "evicted_points": ...,
+///               "evicted_users": ..., "lppm_applications": ...,
+///               "attack_invocations": ...},
+///     "batch_match": true  // replayed final decisions == batch evaluators
+///                          // (null when verification was skipped)
+///   },
+///   "per_user": [        // final gateway state, sorted by user
+///     {"user": "u01", "decision": "protect", "winner": "GeoI",
+///      "events": 640, "risk_transitions": 1, "searches": 2,
+///      "window_points": 640, "window_slices": 12}, ...
+///   ]
+/// }
+/// \endverbatim
+///
+/// Latencies are seconds; `window_slices` counts the 24 h preslice
+/// partitions of the user's final window. Decisions are deterministic in
+/// the event stream and batch size — identical across --jobs and shard
+/// counts; only the timing numbers vary.
+inline constexpr const char* kStreamSchema = "mood-stream/1";
 
 /// Provenance of one run: which tool produced it, on what data, with which
 /// seed, and where the wall-clock time went. Timings are (phase, seconds)
@@ -147,6 +191,26 @@ Json make_bench_report(const RunMetadata& meta, Json dataset,
 /// reference_s, optimized_s, speedup, agreement.
 std::vector<std::vector<std::string>> bench_summary_rows(
     const std::vector<core::InferenceBenchCase>& cases);
+
+/// Final gateway state of one user (see kStreamSchema's "per_user").
+Json to_json(const stream::UserDecision& decision);
+
+/// Assembles the versioned "mood-stream/1" document from its parts.
+/// `batch_match` is the batch-equivalence verification verdict: true /
+/// false when it ran, nullopt (serialized as null) when skipped (e.g.
+/// windowed replays, whose final windows are deliberately partial).
+Json make_stream_report(const RunMetadata& meta, Json dataset,
+                        const stream::StreamConfig& config,
+                        const stream::ReplayOptions& options,
+                        const stream::ReplayResult& result,
+                        std::optional<bool> batch_match,
+                        bool include_users = true);
+
+/// Key-figure rows (header first) for one replay result: events, rate,
+/// latency percentiles, decision split — the human-readable companion of
+/// the mood-stream/1 document.
+std::vector<std::vector<std::string>> stream_summary_rows(
+    const stream::ReplayResult& result);
 
 // ---- Domain -> CSV ---------------------------------------------------
 

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file event.h
+/// The wire unit of the online MooD gateway: one timestamped location fix
+/// attributed to a user, plus the gateway's per-event verdict vocabulary.
+///
+/// The batch harness evaluates whole test traces; the gateway instead
+/// consumes a globally time-ordered stream of these events (see replay.h
+/// for the dataset -> stream conversion) and answers, per micro-batch and
+/// per user, whether the user's current sliding window can be published
+/// raw (expose) or needs a protection mechanism (protect).
+
+#include <cstdint>
+#include <string>
+
+#include "mobility/record.h"
+#include "mobility/trace.h"
+
+namespace mood::stream {
+
+/// One location fix arriving at the gateway.
+struct StreamEvent {
+  mobility::UserId user;
+  mobility::Record record;
+  /// Global arrival index (assigned by make_event_stream; ties in record
+  /// time keep each user's original record order).
+  std::uint64_t seq = 0;
+};
+
+/// Gateway verdict for a user's events in one micro-batch.
+enum class Decision {
+  kExpose,   ///< no trained attack re-identifies the current window
+  kProtect,  ///< at least one attack does; a mechanism must be applied
+};
+
+inline std::string to_string(Decision decision) {
+  return decision == Decision::kExpose ? "expose" : "protect";
+}
+
+}  // namespace mood::stream

@@ -1,0 +1,139 @@
+#include "stream/replay.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "support/error.h"
+
+namespace mood::stream {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+LatencySummary summarize_latencies(std::vector<double> latencies) {
+  LatencySummary summary;
+  if (latencies.empty()) return summary;
+  std::sort(latencies.begin(), latencies.end());
+  const auto rank = [&](double q) {
+    const auto n = static_cast<double>(latencies.size());
+    const auto index =
+        static_cast<std::size_t>(std::ceil(q * n)) - std::size_t{1};
+    return latencies[std::min(index, latencies.size() - 1)];
+  };
+  summary.p50 = rank(0.50);
+  summary.p95 = rank(0.95);
+  summary.p99 = rank(0.99);
+  summary.max = latencies.back();
+  double total = 0.0;
+  for (const double l : latencies) total += l;
+  summary.mean = total / static_cast<double>(latencies.size());
+  return summary;
+}
+
+}  // namespace
+
+std::vector<StreamEvent> make_event_stream(
+    const std::vector<mobility::TrainTestPair>& pairs) {
+  std::vector<StreamEvent> events;
+  std::size_t total = 0;
+  for (const auto& pair : pairs) total += pair.test.size();
+  events.reserve(total);
+  for (const auto& pair : pairs) {
+    for (const auto& record : pair.test.records()) {
+      events.push_back(StreamEvent{pair.test.user(), record, 0});
+    }
+  }
+  // Stable sort on time only: records of one user stay in their original
+  // relative order on ties, so each user's sub-stream equals their test
+  // trace record for record.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const StreamEvent& a, const StreamEvent& b) {
+                     return a.record.time < b.record.time;
+                   });
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    events[i].seq = static_cast<std::uint64_t>(i);
+  }
+  return events;
+}
+
+ReplayResult run_replay(StreamEngine& engine,
+                        const std::vector<StreamEvent>& events,
+                        const ReplayOptions& options) {
+  support::expects(options.batch_events > 0,
+                   "run_replay: batch_events must be > 0");
+  support::expects(options.target_rate >= 0.0 &&
+                       options.time_compression >= 0.0,
+                   "run_replay: pacing knobs must be non-negative");
+
+  ReplayResult result;
+  result.events = events.size();
+  if (events.empty()) {
+    engine.finish();
+    result.decisions = engine.decisions();
+    result.stats = engine.stats();
+    return result;
+  }
+
+  const bool paced = options.target_rate > 0.0 ||
+                     options.time_compression > 0.0;
+  const mobility::Timestamp t0 = events.front().record.time;
+  // Scheduled arrival offset (seconds from replay start) of event i.
+  const auto scheduled = [&](std::size_t i) {
+    if (options.target_rate > 0.0) {
+      return static_cast<double>(i) / options.target_rate;
+    }
+    return static_cast<double>(events[i].record.time - t0) /
+           options.time_compression;
+  };
+
+  std::vector<double> arrivals(events.size(), 0.0);
+  std::vector<double> latencies(events.size(), 0.0);
+  const Clock::time_point start = Clock::now();
+
+  std::size_t next = 0;
+  while (next < events.size()) {
+    const std::size_t batch_end =
+        std::min(next + options.batch_events, events.size());
+    for (std::size_t i = next; i < batch_end; ++i) {
+      if (paced) {
+        const double due = scheduled(i);
+        if (seconds_since(start) < due) {
+          std::this_thread::sleep_until(
+              start + std::chrono::duration_cast<Clock::duration>(
+                          std::chrono::duration<double>(due)));
+        }
+      }
+      engine.ingest(events[i]);
+      arrivals[i] = seconds_since(start);
+    }
+    engine.drain();
+    const double done = seconds_since(start);
+    for (std::size_t i = next; i < batch_end; ++i) {
+      latencies[i] = std::max(0.0, done - arrivals[i]);
+    }
+    ++result.batches;
+    next = batch_end;
+  }
+  result.wall_seconds = seconds_since(start);
+
+  // The flush is not serving work: it runs after the clock stops.
+  engine.finish();
+
+  result.events_per_second =
+      result.wall_seconds > 0.0
+          ? static_cast<double>(result.events) / result.wall_seconds
+          : 0.0;
+  result.latency = summarize_latencies(std::move(latencies));
+  result.decisions = engine.decisions();
+  result.stats = engine.stats();
+  return result;
+}
+
+}  // namespace mood::stream

@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file replay.h
+/// Replay — drive the online gateway from an offline dataset and measure
+/// it.
+///
+/// Converts per-user test traces into one globally time-ordered event
+/// stream and pushes it through a StreamEngine in fixed-size micro-batches,
+/// optionally paced (a target event rate, or dataset-time compression),
+/// measuring sustained throughput and per-event decision latency
+/// (p50/p95/p99). Batch boundaries are event-count based and therefore
+/// deterministic: pacing and thread counts shape the latency numbers, never
+/// the decisions.
+///
+/// Latency accounting: an event's latency runs from its (scheduled)
+/// arrival at the gateway to the completion of the drain() that decided
+/// its micro-batch — ingest queueing plus decision time, which is what a
+/// caller blocked on the gateway would observe. finish() runs after the
+/// clock stops (it is a flush, not serving work).
+
+#include <cstdint>
+#include <vector>
+
+#include "mobility/dataset.h"
+#include "stream/engine.h"
+#include "stream/event.h"
+
+namespace mood::stream {
+
+/// Replay pacing + batching knobs.
+struct ReplayOptions {
+  /// Events per wall-clock second pushed into the gateway; 0 = unpaced
+  /// (maximum sustainable rate — the throughput-bench mode).
+  double target_rate = 0.0;
+  /// Dataset seconds replayed per wall-clock second; 0 = off. Ignored when
+  /// target_rate is set. (A 30-day dataset at 86400 replays in ~30 s.)
+  double time_compression = 0.0;
+  /// Micro-batch size: drain() runs after this many events (and once more
+  /// for the trailing partial batch). Must be > 0.
+  std::size_t batch_events = 256;
+};
+
+/// Nearest-rank latency percentiles over the decided events, in seconds.
+struct LatencySummary {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+};
+
+/// Outcome of one replay run.
+struct ReplayResult {
+  std::size_t events = 0;
+  std::size_t batches = 0;
+  double wall_seconds = 0.0;       ///< first arrival -> last drain done
+  double events_per_second = 0.0;  ///< events / wall_seconds (sustained)
+  LatencySummary latency;
+  std::vector<UserDecision> decisions;  ///< final per-user state (sorted)
+  StreamStats stats;                    ///< engine counters after finish()
+};
+
+/// Flattens the test halves of `pairs` into one event stream sorted by
+/// record time; ties keep each user's original record order, so every
+/// user's sub-stream re-assembles their test trace exactly. `seq` is the
+/// global stream position.
+std::vector<StreamEvent> make_event_stream(
+    const std::vector<mobility::TrainTestPair>& pairs);
+
+/// Ingests `events` in order through `engine`, draining every
+/// options.batch_events, then finish()es and snapshots decisions. The
+/// engine should be freshly constructed (its counters and state are not
+/// reset).
+ReplayResult run_replay(StreamEngine& engine,
+                        const std::vector<StreamEvent>& events,
+                        const ReplayOptions& options = {});
+
+}  // namespace mood::stream

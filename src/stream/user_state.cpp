@@ -1,0 +1,115 @@
+#include "stream/user_state.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/error.h"
+
+namespace mood::stream {
+
+UserStateStore::UserStateStore(StoreConfig config) : config_(config) {
+  support::expects(config_.shards > 0,
+                   "UserStateStore: shard count must be > 0");
+  shards_ = std::vector<Shard>(config_.shards);
+}
+
+std::size_t UserStateStore::shard_of(const mobility::UserId& user) const {
+  return std::hash<mobility::UserId>{}(user) % shards_.size();
+}
+
+void UserStateStore::evict_one(Shard& shard) {
+  auto victim = shard.states.end();
+  bool victim_clean = false;
+  for (auto it = shard.states.begin(); it != shard.states.end(); ++it) {
+    const bool clean = it->second.pending.empty();
+    if (victim == shard.states.end() || (clean && !victim_clean) ||
+        (clean == victim_clean &&
+         it->second.last_touch < victim->second.last_touch)) {
+      victim = it;
+      victim_clean = clean;
+    }
+  }
+  if (victim == shard.states.end()) return;
+  if (!victim_clean) {
+    // A dirty victim's queued points die with it; drop it from the dirty
+    // list so drain_shard does not chase a dangling id.
+    shard.dirty.erase(
+        std::remove(shard.dirty.begin(), shard.dirty.end(), victim->first),
+        shard.dirty.end());
+  }
+  shard.states.erase(victim);
+  ++shard.evictions;
+}
+
+void UserStateStore::enqueue(const StreamEvent& event) {
+  Shard& shard = shards_[shard_of(event.user)];
+  const std::lock_guard lock(shard.mutex);
+  auto it = shard.states.find(event.user);
+  if (it == shard.states.end()) {
+    if (config_.max_users_per_shard > 0 &&
+        shard.states.size() >= config_.max_users_per_shard) {
+      evict_one(shard);
+    }
+    it = shard.states.emplace(event.user, UserState{}).first;
+    it->second.user = event.user;
+    // The window must carry the owner's id: the engine keys its noise
+    // streams and targeted attack queries on trace.user().
+    it->second.window.set_user(event.user);
+  }
+  UserState& state = it->second;
+  if (state.pending.empty()) shard.dirty.push_back(event.user);
+  state.pending.push_back(event.record);
+  state.last_touch = ++shard.clock;
+}
+
+std::size_t UserStateStore::drain_shard(
+    std::size_t shard_index, const std::function<void(UserState&)>& fn) {
+  support::expects(shard_index < shards_.size(),
+                   "UserStateStore::drain_shard: shard out of range");
+  Shard& shard = shards_[shard_index];
+  const std::lock_guard lock(shard.mutex);
+  std::size_t visited = 0;
+  for (const auto& user : shard.dirty) {
+    const auto it = shard.states.find(user);
+    if (it == shard.states.end()) continue;  // evicted while dirty
+    fn(it->second);
+    ++visited;
+  }
+  shard.dirty.clear();
+  return visited;
+}
+
+void UserStateStore::for_each(const std::function<void(UserState&)>& fn) {
+  for (Shard& shard : shards_) {
+    const std::lock_guard lock(shard.mutex);
+    for (auto& [user, state] : shard.states) fn(state);
+  }
+}
+
+void UserStateStore::for_each(
+    const std::function<void(const UserState&)>& fn) const {
+  for (const Shard& shard : shards_) {
+    const std::lock_guard lock(shard.mutex);
+    for (const auto& [user, state] : shard.states) fn(state);
+  }
+}
+
+std::size_t UserStateStore::user_count() const {
+  std::size_t n = 0;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard lock(shard.mutex);
+    n += shard.states.size();
+  }
+  return n;
+}
+
+std::uint64_t UserStateStore::eviction_count() const {
+  std::uint64_t n = 0;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard lock(shard.mutex);
+    n += shard.evictions;
+  }
+  return n;
+}
+
+}  // namespace mood::stream

@@ -1,0 +1,139 @@
+#pragma once
+
+/// \file user_state.h
+/// Sharded in-memory per-user state for the online MooD gateway.
+///
+/// The store is the gateway's only mutable state: N shards, each guarded
+/// by its own mutex, each holding a user-id-keyed map of UserState. Events
+/// enqueue O(1) into the owning user's pending queue (ingest path); the
+/// decision pipeline later drains every shard's dirty users in parallel
+/// (one task per shard on the shared ThreadPool — see engine.h). A user's
+/// state is only ever touched under its shard's lock, and a user maps to
+/// exactly one shard, so per-user processing is race-free by construction
+/// and decisions are independent of the shard count.
+///
+/// Capacity: max_users_per_shard bounds resident states; admission above
+/// the bound evicts the least-recently-updated user (preferring users with
+/// no undecided events). Eviction forgets the window — a re-appearing user
+/// starts cold — so decisions with a cap engaged are an approximation by
+/// design; the unbounded default is exact.
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mobility/record.h"
+#include "mobility/trace.h"
+#include "profiles/heatmap.h"
+#include "profiles/markov_profile.h"
+#include "profiles/poi_profile.h"
+#include "stream/event.h"
+
+namespace mood::stream {
+
+/// Everything the gateway remembers about one user. Mutated only by the
+/// owning shard's drain task, under the shard lock.
+struct UserState {
+  mobility::UserId user;
+
+  /// Sliding window of recent records (tracked-slice bookkeeping enabled
+  /// by the engine so preslice partitions stay O(1) per append).
+  mobility::Trace window;
+
+  /// Points ingested but not yet folded into the window ("dirty" queue).
+  std::vector<mobility::Record> pending;
+
+  // ---- Incremental profile state (see engine.h for the policy) --------
+  /// AP side: maintained exactly via CompiledHeatmap::apply_update.
+  profiles::CompiledHeatmap heatmap;
+  bool heatmap_built = false;
+  /// PIT / POI side: rebuilt from the window under a staleness bound.
+  profiles::CompiledMarkovProfile markov;
+  profiles::CompiledPoiProfile poi;
+  bool profiles_built = false;
+  /// Points folded since the last markov/poi rebuild.
+  std::size_t stale_points = 0;
+
+  // ---- Last decision --------------------------------------------------
+  bool has_decision = false;
+  Decision decision = Decision::kExpose;
+  /// Mechanism currently applied for a protect-decision user ("" when the
+  /// whole-window search found nothing protective).
+  std::string winner;
+  /// Window size at the last *full* search (SIZE_MAX = never searched):
+  /// when it equals the final window size the winner is canonical, i.e.
+  /// exactly what the batch evaluator's search would pick.
+  std::size_t searched_points = static_cast<std::size_t>(-1);
+
+  // ---- Per-user counters ----------------------------------------------
+  std::uint64_t events = 0;            ///< events folded so far
+  std::uint64_t exposed_events = 0;    ///< events decided expose
+  std::uint64_t risk_transitions = 0;  ///< expose<->protect flips
+  std::uint64_t searches = 0;          ///< full mechanism selections
+  std::uint64_t rechecks = 0;          ///< cheap current-winner re-checks
+
+  /// LRU clock value of the last enqueue (store-maintained).
+  std::uint64_t last_touch = 0;
+};
+
+/// Store tuning knobs (a subset of StreamConfig, see engine.h).
+struct StoreConfig {
+  std::size_t shards = 8;              ///< > 0
+  std::size_t max_users_per_shard = 0; ///< 0 = unbounded
+};
+
+/// Sharded user-state map. enqueue() is thread-safe; drain_shard() hands
+/// out states under the shard lock.
+class UserStateStore {
+ public:
+  explicit UserStateStore(StoreConfig config);
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+
+  /// Owning shard of a user id (stable within a run; decisions do not
+  /// depend on the mapping, only load distribution does).
+  [[nodiscard]] std::size_t shard_of(const mobility::UserId& user) const;
+
+  /// Appends the event's record to its user's pending queue, creating the
+  /// state (and LRU-evicting above the capacity bound) as needed.
+  void enqueue(const StreamEvent& event);
+
+  /// Runs fn on every dirty user of `shard` (in first-dirty order) under
+  /// the shard lock, then clears the dirty list. Returns the number of
+  /// users visited.
+  std::size_t drain_shard(std::size_t shard,
+                          const std::function<void(UserState&)>& fn);
+
+  /// Runs fn on every resident state, shard by shard, under each shard's
+  /// lock — the final-flush path.
+  void for_each(const std::function<void(UserState&)>& fn);
+
+  /// Read-only traversal for snapshots (same locking).
+  void for_each(const std::function<void(const UserState&)>& fn) const;
+
+  [[nodiscard]] std::size_t user_count() const;
+  [[nodiscard]] std::uint64_t eviction_count() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<mobility::UserId, UserState> states;
+    /// Users with pending points, in the order they first became dirty.
+    std::vector<mobility::UserId> dirty;
+    std::uint64_t clock = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  /// Evicts one user to make room; prefers the least-recently-touched
+  /// clean (no-pending) state, falling back to the least-recently-touched
+  /// overall. Caller holds the shard lock.
+  void evict_one(Shard& shard);
+
+  StoreConfig config_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace mood::stream

@@ -8,6 +8,11 @@
 namespace mood::support {
 
 std::vector<std::string> parse_csv_line(std::string_view line) {
+  // CRLF tolerance: std::getline splits on '\n' only, so every line of a
+  // Windows-exported file (streamed event logs included) arrives with a
+  // trailing '\r'. Strip exactly that one; a '\r' anywhere else is field
+  // content and is preserved.
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
   std::vector<std::string> fields;
   std::string current;
   bool in_quotes = false;
@@ -29,7 +34,7 @@ std::vector<std::string> parse_csv_line(std::string_view line) {
     } else if (c == ',') {
       fields.push_back(std::move(current));
       current.clear();
-    } else if (c != '\r') {
+    } else {
       current.push_back(c);
     }
   }

@@ -81,7 +81,9 @@ ThreadPool& ThreadPool::shared() {
 
 void ThreadPool::configure_shared(std::size_t threads) {
   expects(!g_shared_pool_built.load(),
-          "ThreadPool::configure_shared: shared pool already built");
+          "ThreadPool::configure_shared: the shared pool was already built "
+          "by an earlier shared()/parallel_for use; configure worker counts "
+          "(e.g. --jobs) before any parallel work runs");
   g_shared_pool_size.store(threads);
 }
 

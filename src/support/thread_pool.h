@@ -40,9 +40,16 @@ class ThreadPool {
   static ThreadPool& shared();
 
   /// Sets the worker count of the shared pool (0 = hardware concurrency).
-  /// Must be called before the first shared() use — the pool is built
-  /// lazily exactly once — and throws PreconditionError afterwards. This
-  /// backs the CLI's --jobs flag; call it from main(), not library code.
+  ///
+  /// Contract (enforced, not advisory): the shared pool is built lazily
+  /// exactly once, on the first shared() call — which parallel_for and
+  /// everything built on it (harness evaluators, the stream gateway's
+  /// drain) performs implicitly. configure_shared must therefore run
+  /// before ANY of those; once the pool exists, reconfiguration throws
+  /// PreconditionError instead of silently keeping the old worker count.
+  /// Calling it several times before the pool is built is fine (the last
+  /// value wins). This backs the CLI's --jobs flag; call it from main()
+  /// before touching the library, never from library code.
   static void configure_shared(std::size_t threads);
 
  private:

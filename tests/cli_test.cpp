@@ -65,7 +65,7 @@ TEST(CliDispatch, UnknownSubcommandIsUsageError) {
 }
 
 TEST(CliDispatch, SubcommandHelpExitsZero) {
-  for (const auto* command : {"simulate", "evaluate", "report"}) {
+  for (const auto* command : {"simulate", "evaluate", "report", "replay"}) {
     const auto result = run_cli({command, "--help"});
     EXPECT_EQ(result.code, kExitOk) << command;
     EXPECT_NE(result.out.find("--help"), std::string::npos);
@@ -74,6 +74,10 @@ TEST(CliDispatch, SubcommandHelpExitsZero) {
   EXPECT_NE(run_cli({"evaluate", "--help"}).out.find("--strategies"),
             std::string::npos);
   EXPECT_NE(run_cli({"evaluate", "--help"}).out.find("--geoi-epsilon"),
+            std::string::npos);
+  EXPECT_NE(run_cli({"replay", "--help"}).out.find("--shards"),
+            std::string::npos);
+  EXPECT_NE(run_cli({"replay", "--help"}).out.find("--window-hours"),
             std::string::npos);
 }
 
@@ -129,6 +133,13 @@ TEST(CliFlags, UnknownPresetIsRuntimeFailure) {
   const auto result = run_cli({"simulate", "--preset=atlantis", "--out=-"});
   EXPECT_EQ(result.code, kExitFailure);
   EXPECT_NE(result.err.find("atlantis"), std::string::npos);
+}
+
+TEST(CliReplay, RejectsBadKnobs) {
+  EXPECT_EQ(run_cli({"replay", "--shards=0"}).code, kExitUsage);
+  EXPECT_EQ(run_cli({"replay", "--batch=0"}).code, kExitUsage);
+  EXPECT_EQ(run_cli({"replay", "--rate=-1"}).code, kExitUsage);
+  EXPECT_EQ(run_cli({"replay", "--no-such-flag"}).code, kExitUsage);
 }
 
 TEST(CliReport, NoInputsIsUsageError) {
@@ -195,6 +206,50 @@ TEST(CliPipeline, SimulateEvaluateReport) {
   EXPECT_EQ(bundle.string_or("schema", ""), "mood-report/1");
   ASSERT_EQ(bundle.find("runs")->size(), 1u);
   EXPECT_EQ(*bundle.find("runs")->items()[0].find("report"), document);
+}
+
+TEST(CliReplay, ReplaysAndVerifiesAgainstBatch) {
+  // End-to-end `mood replay` on a tiny population: the gateway replays the
+  // stream, the built-in verification compares the final decisions to the
+  // batch evaluators (exit 1 on divergence), and the emitted document is a
+  // well-formed mood-stream/1.
+  auto replay = run_cli({"replay", "--preset=small", "--scale=0.05",
+                         "--users=8", "--days=6", "--seed=3", "--shards=3",
+                         "--batch=128"});
+  ASSERT_EQ(replay.code, kExitOk) << replay.err;
+  const report::Json document = report::Json::parse(replay.out);
+  EXPECT_EQ(document.string_or("schema", ""), "mood-stream/1");
+
+  const report::Json* replay_doc = document.find("replay");
+  ASSERT_NE(replay_doc, nullptr);
+  EXPECT_GT(replay_doc->int_or("events", 0), 0);
+  const report::Json* match = replay_doc->find("batch_match");
+  ASSERT_NE(match, nullptr);
+  EXPECT_TRUE(match->is_bool() && match->as_bool());
+  const report::Json* latency = replay_doc->find("latency_seconds");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_GE(latency->number_or("p99", -1.0), latency->number_or("p50", 0.0));
+
+  const report::Json* per_user = document.find("per_user");
+  ASSERT_NE(per_user, nullptr);
+  EXPECT_EQ(static_cast<std::int64_t>(per_user->size()),
+            replay_doc->int_or("users", -1));
+  for (const auto& user : per_user->items()) {
+    const std::string decision = user.string_or("decision", "");
+    EXPECT_TRUE(decision == "expose" || decision == "protect") << decision;
+  }
+
+  // A lossy window configuration skips verification (batch_match: null)
+  // but still succeeds.
+  auto windowed = run_cli({"replay", "--preset=small", "--scale=0.05",
+                           "--users=8", "--days=6", "--seed=3",
+                           "--window-hours=24", "--max-points=64"});
+  ASSERT_EQ(windowed.code, kExitOk) << windowed.err;
+  const report::Json windowed_doc = report::Json::parse(windowed.out);
+  const report::Json* windowed_match =
+      windowed_doc.find("replay")->find("batch_match");
+  ASSERT_NE(windowed_match, nullptr);
+  EXPECT_TRUE(windowed_match->is_null());
 }
 
 }  // namespace

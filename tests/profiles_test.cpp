@@ -252,5 +252,69 @@ TEST_F(HeatmapTest, TopsoeInfiniteForEmptyMap) {
   EXPECT_TRUE(std::isinf(topsoe_divergence(empty, a)));
 }
 
+// ------------------------------------------- CompiledHeatmap updates --
+
+void expect_bit_identical(const CompiledHeatmap& a, const CompiledHeatmap& b) {
+  ASSERT_EQ(a.cell_count(), b.cell_count());
+  for (std::size_t c = 0; c < a.cell_count(); ++c) {
+    EXPECT_EQ(a.cells()[c].cell, b.cells()[c].cell);
+    EXPECT_EQ(a.cells()[c].probability, b.cells()[c].probability);
+    EXPECT_EQ(a.cells()[c].self_term, b.cells()[c].self_term);
+    EXPECT_EQ(a.cells()[c].solo_term, b.cells()[c].solo_term);
+  }
+}
+
+TEST_F(HeatmapTest, IncrementalCompileEqualsFromTrace) {
+  const auto trace = three_place_trace();
+  expect_bit_identical(CompiledHeatmap::incremental(trace, grid_),
+                       CompiledHeatmap::from_trace(trace, grid_));
+  EXPECT_TRUE(CompiledHeatmap::incremental(trace, grid_).updatable());
+  EXPECT_FALSE(CompiledHeatmap::from_trace(trace, grid_).updatable());
+}
+
+TEST_F(HeatmapTest, ApplyUpdateFoldsArrivalsExactly) {
+  const auto trace = three_place_trace();
+  const auto& records = trace.records();
+  auto map = CompiledHeatmap::incremental(Trace("u", {}), grid_);
+  EXPECT_TRUE(map.empty());
+  // Fold in two uneven chunks; compare against one-shot compiles of the
+  // prefixes.
+  const std::size_t cut = 37;
+  map.apply_update({records.begin(), records.begin() + cut}, {}, grid_);
+  expect_bit_identical(
+      map, CompiledHeatmap::from_trace(
+               Trace("u", {records.begin(), records.begin() + cut}), grid_));
+  map.apply_update({records.begin() + cut, records.end()}, {}, grid_);
+  expect_bit_identical(map, CompiledHeatmap::from_trace(trace, grid_));
+}
+
+TEST_F(HeatmapTest, ApplyUpdateRemovesExpirationsExactly) {
+  const auto trace = three_place_trace();
+  const auto& records = trace.records();
+  auto map = CompiledHeatmap::incremental(trace, grid_);
+  // Expire the first 40 records (the whole home dwell plus part of work).
+  const std::vector<mobility::Record> gone(records.begin(),
+                                           records.begin() + 40);
+  map.apply_update({}, gone, grid_);
+  expect_bit_identical(
+      map, CompiledHeatmap::from_trace(
+               Trace("u", {records.begin() + 40, records.end()}), grid_));
+  // Removing everything empties the heatmap cleanly.
+  map.apply_update({}, {records.begin() + 40, records.end()}, grid_);
+  EXPECT_TRUE(map.empty());
+}
+
+TEST_F(HeatmapTest, ApplyUpdateGuardsItsPreconditions) {
+  const auto trace = three_place_trace();
+  auto frozen = CompiledHeatmap::from_trace(trace, grid_);
+  EXPECT_THROW(frozen.apply_update({trace.records().front()}, {}, grid_),
+               support::PreconditionError);
+  auto map = CompiledHeatmap::incremental(Trace("u", {}), grid_);
+  // Removing a record that was never added must fail loudly, not corrupt
+  // the counts.
+  EXPECT_THROW(map.apply_update({}, {trace.records().front()}, grid_),
+               support::PreconditionError);
+}
+
 }  // namespace
 }  // namespace mood::profiles

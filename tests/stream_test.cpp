@@ -1,0 +1,406 @@
+// Tests for the online MooD gateway (src/stream): sharded user-state
+// store semantics, incremental-vs-full profile equivalence (the AP
+// heatmap exactly, PIT/POI under the staleness-rebuild policy), and the
+// StreamEngine/Replay pipeline's headline invariant — final streamed
+// decisions are bit-identical to the batch evaluators, independent of
+// batch size, shard count and drain parallelism.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "attacks/ap_attack.h"
+#include "attacks/pit_attack.h"
+#include "attacks/poi_attack.h"
+#include "core/experiment.h"
+#include "profiles/heatmap.h"
+#include "simulation/generator.h"
+#include "stream/engine.h"
+#include "stream/event.h"
+#include "stream/replay.h"
+#include "stream/user_state.h"
+#include "support/error.h"
+#include "support/logging.h"
+
+namespace mood::stream {
+namespace {
+
+/// Compact population in the integration-test mold: routine users with
+/// mostly-private POIs, so both expose and protect verdicts appear.
+simulation::GeneratorParams population_params() {
+  simulation::GeneratorParams p;
+  p.users = 10;
+  p.days = 6;
+  p.records_per_user_per_day = 120.0;
+  p.p_private_poi = 0.75;
+  p.p_private_leisure = 0.8;
+  p.private_poi_spread_m = 4000.0;
+  p.relocation_prob = 0.1;
+  p.seed = 4321;
+  return p;
+}
+
+class StreamTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    support::set_log_level(support::LogLevel::kWarn);
+    dataset_ = new mobility::Dataset(
+        simulation::generate(population_params()));
+    core::ExperimentConfig config;
+    config.min_records = 8;
+    harness_ = new core::ExperimentHarness(*dataset_, config, /*seed=*/11);
+    events_ = new std::vector<StreamEvent>(
+        make_event_stream(harness_->pairs()));
+  }
+  static void TearDownTestSuite() {
+    delete events_;
+    delete harness_;
+    delete dataset_;
+    events_ = nullptr;
+    harness_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  /// Replays the shared event stream through a fresh gateway and returns
+  /// (decisions, result).
+  static ReplayResult replay_with(StreamConfig config,
+                                  ReplayOptions options = {}) {
+    StreamEngine engine(harness_->make_engine(), config);
+    return run_replay(engine, *events_, options);
+  }
+
+  static mobility::Dataset* dataset_;
+  static core::ExperimentHarness* harness_;
+  static std::vector<StreamEvent>* events_;
+};
+
+mobility::Dataset* StreamTest::dataset_ = nullptr;
+core::ExperimentHarness* StreamTest::harness_ = nullptr;
+std::vector<StreamEvent>* StreamTest::events_ = nullptr;
+
+// ------------------------------------------------------ event stream --
+
+TEST_F(StreamTest, EventStreamIsTimeOrderedAndComplete) {
+  std::size_t expected = 0;
+  for (const auto& pair : harness_->pairs()) expected += pair.test.size();
+  ASSERT_EQ(events_->size(), expected);
+  for (std::size_t i = 1; i < events_->size(); ++i) {
+    EXPECT_LE((*events_)[i - 1].record.time, (*events_)[i].record.time);
+    EXPECT_EQ((*events_)[i].seq, i);
+  }
+}
+
+TEST_F(StreamTest, EventStreamReassemblesEachUsersTestTrace) {
+  std::unordered_map<mobility::UserId, std::vector<mobility::Record>> rebuilt;
+  for (const auto& event : *events_) {
+    rebuilt[event.user].push_back(event.record);
+  }
+  for (const auto& pair : harness_->pairs()) {
+    const auto it = rebuilt.find(pair.test.user());
+    ASSERT_NE(it, rebuilt.end());
+    EXPECT_EQ(it->second, pair.test.records());
+  }
+}
+
+// -------------------------------------------------------------- store --
+
+TEST(UserStateStore, ShardingIsStableAndEnqueueMarksDirty) {
+  UserStateStore store(StoreConfig{4, 0});
+  EXPECT_EQ(store.shard_count(), 4u);
+  EXPECT_EQ(store.shard_of("alice"), store.shard_of("alice"));
+
+  store.enqueue(StreamEvent{"alice", {{45.0, 5.0}, 100}, 0});
+  store.enqueue(StreamEvent{"alice", {{45.0, 5.0}, 200}, 1});
+  store.enqueue(StreamEvent{"bob", {{46.0, 6.0}, 150}, 2});
+  EXPECT_EQ(store.user_count(), 2u);
+
+  std::size_t visited = 0;
+  std::size_t pending = 0;
+  for (std::size_t s = 0; s < store.shard_count(); ++s) {
+    visited += store.drain_shard(s, [&](UserState& state) {
+      pending += state.pending.size();
+      state.pending.clear();
+    });
+  }
+  EXPECT_EQ(visited, 2u);
+  EXPECT_EQ(pending, 3u);
+
+  // Drained users are no longer dirty.
+  visited = 0;
+  for (std::size_t s = 0; s < store.shard_count(); ++s) {
+    visited += store.drain_shard(s, [](UserState&) {});
+  }
+  EXPECT_EQ(visited, 0u);
+}
+
+TEST(UserStateStore, LruEvictionPrefersLeastRecentlyTouchedCleanUser) {
+  // One shard so every user competes for the same capacity.
+  UserStateStore store(StoreConfig{1, 2});
+  store.enqueue(StreamEvent{"a", {{45.0, 5.0}, 100}, 0});
+  store.enqueue(StreamEvent{"b", {{45.0, 5.0}, 200}, 1});
+  store.drain_shard(0, [](UserState& state) { state.pending.clear(); });
+  // Touch "a" again so "b" is the LRU candidate.
+  store.enqueue(StreamEvent{"a", {{45.0, 5.0}, 300}, 2});
+
+  store.enqueue(StreamEvent{"c", {{45.0, 5.0}, 400}, 3});
+  EXPECT_EQ(store.user_count(), 2u);
+  EXPECT_EQ(store.eviction_count(), 1u);
+
+  std::vector<std::string> resident;
+  store.for_each([&](UserState& state) { resident.push_back(state.user); });
+  std::sort(resident.begin(), resident.end());
+  EXPECT_EQ(resident, (std::vector<std::string>{"a", "c"}));
+}
+
+TEST(UserStateStore, RejectsZeroShards) {
+  EXPECT_THROW(UserStateStore(StoreConfig{0, 0}), support::PreconditionError);
+}
+
+// ------------------------------- incremental profile equivalence --------
+
+/// The satellite property test: stream a real test trace point by point;
+/// after every point the incrementally maintained profiles must be
+/// decision-identical to a one-shot compile for all three attacks (and
+/// the AP heatmap bit-identical cell for cell).
+TEST_F(StreamTest, IncrementalProfilesAreDecisionIdenticalPointByPoint) {
+  const attacks::ApAttack* ap = nullptr;
+  const attacks::PitAttack* pit = nullptr;
+  const attacks::PoiAttack* poi = nullptr;
+  for (const auto& attack : harness_->attacks()) {
+    if (ap == nullptr) ap = dynamic_cast<const attacks::ApAttack*>(attack.get());
+    if (pit == nullptr) {
+      pit = dynamic_cast<const attacks::PitAttack*>(attack.get());
+    }
+    if (poi == nullptr) {
+      poi = dynamic_cast<const attacks::PoiAttack*>(attack.get());
+    }
+  }
+  ASSERT_NE(ap, nullptr);
+  ASSERT_NE(pit, nullptr);
+  ASSERT_NE(poi, nullptr);
+
+  const auto& pair = harness_->pairs().front();
+  const mobility::UserId owner = pair.test.user();
+
+  mobility::Trace window;
+  window.set_user(owner);
+  auto heatmap =
+      profiles::CompiledHeatmap::incremental(window, ap->grid());
+  for (const auto& record : pair.test.records()) {
+    window.append(record);
+    heatmap.apply_update({record}, {}, ap->grid());
+
+    // AP: the folded heatmap is bit-identical to a from-scratch compile.
+    const auto fresh =
+        profiles::CompiledHeatmap::from_trace(window, ap->grid());
+    ASSERT_EQ(heatmap.cell_count(), fresh.cell_count());
+    for (std::size_t c = 0; c < fresh.cell_count(); ++c) {
+      ASSERT_EQ(heatmap.cells()[c].cell, fresh.cells()[c].cell);
+      ASSERT_EQ(heatmap.cells()[c].probability,
+                fresh.cells()[c].probability);
+      ASSERT_EQ(heatmap.cells()[c].self_term, fresh.cells()[c].self_term);
+      ASSERT_EQ(heatmap.cells()[c].solo_term, fresh.cells()[c].solo_term);
+    }
+    ASSERT_EQ(ap->reidentifies_compiled(heatmap, owner),
+              ap->reidentifies_target(window, owner));
+
+    // PIT / POI: the compiled-anonymous path equals the trace-based path.
+    ASSERT_EQ(pit->reidentifies_compiled(pit->compile_anonymous(window),
+                                         owner),
+              pit->reidentifies_target(window, owner));
+    ASSERT_EQ(poi->reidentifies_compiled(poi->compile_anonymous(window),
+                                         owner),
+              poi->reidentifies_target(window, owner));
+  }
+}
+
+TEST_F(StreamTest, IncrementalHeatmapSurvivesSlidingWindowEviction) {
+  const auto* ap = dynamic_cast<const attacks::ApAttack*>(
+      harness_->attacks()[harness_->ap_attack_index()].get());
+  ASSERT_NE(ap, nullptr);
+  const auto& pair = harness_->pairs().front();
+  const auto& records = pair.test.records();
+  const std::size_t cap = 40;
+
+  mobility::Trace window;
+  window.set_user(pair.test.user());
+  auto heatmap =
+      profiles::CompiledHeatmap::incremental(window, ap->grid());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    window.append(records[i]);
+    std::vector<mobility::Record> evicted;
+    if (window.size() > cap) {
+      evicted.assign(window.records().begin(),
+                     window.records().begin() +
+                         static_cast<std::ptrdiff_t>(window.size() - cap));
+      window.drop_front(window.size() - cap);
+    }
+    heatmap.apply_update({records[i]}, evicted, ap->grid());
+  }
+  const auto fresh =
+      profiles::CompiledHeatmap::from_trace(window, ap->grid());
+  ASSERT_EQ(heatmap.cell_count(), fresh.cell_count());
+  for (std::size_t c = 0; c < fresh.cell_count(); ++c) {
+    EXPECT_EQ(heatmap.cells()[c].cell, fresh.cells()[c].cell);
+    EXPECT_EQ(heatmap.cells()[c].probability, fresh.cells()[c].probability);
+  }
+}
+
+// ----------------------------------------- gateway vs batch harness ----
+
+/// Shared oracle: the batch evaluators' answers on the same harness.
+struct BatchOracle {
+  std::unordered_map<mobility::UserId, bool> exposed;
+  std::unordered_map<mobility::UserId, std::string> winner;
+};
+
+BatchOracle batch_oracle(const core::ExperimentHarness& harness) {
+  BatchOracle oracle;
+  const auto no_lppm = harness.evaluate_no_lppm();
+  const auto engine = harness.make_engine();
+  for (const auto& user : no_lppm.users) {
+    oracle.exposed[user.user] = user.is_protected;
+  }
+  for (const auto& pair : harness.pairs()) {
+    if (oracle.exposed.at(pair.test.user())) continue;
+    const auto candidate = engine.search(pair.test);
+    oracle.winner[pair.test.user()] = candidate ? candidate->lppm : "";
+  }
+  return oracle;
+}
+
+void expect_matches_batch(const std::vector<UserDecision>& decisions,
+                          const BatchOracle& oracle) {
+  ASSERT_EQ(decisions.size(), oracle.exposed.size());
+  for (const auto& decision : decisions) {
+    const bool exposed = decision.decision == Decision::kExpose;
+    ASSERT_TRUE(oracle.exposed.contains(decision.user)) << decision.user;
+    EXPECT_EQ(exposed, oracle.exposed.at(decision.user)) << decision.user;
+    if (!exposed) {
+      EXPECT_EQ(decision.winner, oracle.winner.at(decision.user))
+          << decision.user;
+    } else {
+      EXPECT_TRUE(decision.winner.empty()) << decision.user;
+    }
+  }
+}
+
+TEST_F(StreamTest, FinalDecisionsMatchBatchEvaluators) {
+  const BatchOracle oracle = batch_oracle(*harness_);
+  StreamConfig config;
+  config.shards = 4;
+  const auto result = replay_with(config);
+  expect_matches_batch(result.decisions, oracle);
+  EXPECT_EQ(result.stats.exposed_events + result.stats.protected_events,
+            result.events);
+}
+
+TEST_F(StreamTest, DecisionsAreIndependentOfShardsBatchAndParallelism) {
+  StreamConfig base;
+  base.shards = 4;
+  ReplayOptions options;
+  options.batch_events = 256;
+  const auto reference = replay_with(base, options);
+
+  StreamConfig one_shard = base;
+  one_shard.shards = 1;
+  StreamConfig serial = base;
+  serial.parallel_drain = false;
+  serial.shards = 7;
+  ReplayOptions tiny_batches;
+  tiny_batches.batch_events = 37;
+  ReplayOptions one_batch;
+  one_batch.batch_events = 1u << 20;
+
+  for (const auto& result :
+       {replay_with(one_shard, options), replay_with(serial, options),
+        replay_with(base, tiny_batches), replay_with(base, one_batch)}) {
+    ASSERT_EQ(result.decisions.size(), reference.decisions.size());
+    for (std::size_t i = 0; i < result.decisions.size(); ++i) {
+      EXPECT_EQ(result.decisions[i].user, reference.decisions[i].user);
+      EXPECT_EQ(result.decisions[i].decision,
+                reference.decisions[i].decision);
+      EXPECT_EQ(result.decisions[i].winner, reference.decisions[i].winner);
+    }
+  }
+}
+
+TEST_F(StreamTest, StalenessBoundIsRepairedByFinish) {
+  const BatchOracle oracle = batch_oracle(*harness_);
+  StreamConfig config;
+  config.shards = 4;
+  config.staleness_points = 150;  // serve stale PIT/POI profiles mid-stream
+  const auto result = replay_with(config);
+  expect_matches_batch(result.decisions, oracle);
+
+  // The bound must actually have saved rebuild work relative to the
+  // always-fresh default.
+  StreamConfig fresh = config;
+  fresh.staleness_points = 0;
+  EXPECT_LT(result.stats.profile_rebuilds,
+            replay_with(fresh).stats.profile_rebuilds);
+}
+
+TEST_F(StreamTest, WindowCapsBoundTheResidentWindow) {
+  StreamConfig config;
+  config.shards = 2;
+  config.max_points = 50;
+  const auto result = replay_with(config);
+  EXPECT_GT(result.stats.evicted_points, 0u);
+  for (const auto& decision : result.decisions) {
+    EXPECT_LE(decision.window_points, 50u);
+  }
+}
+
+TEST_F(StreamTest, LruCapEvictsUsers) {
+  StreamConfig config;
+  config.shards = 1;
+  config.max_users_per_shard = 3;
+  const auto result = replay_with(config);
+  EXPECT_GT(result.stats.evicted_users, 0u);
+  EXPECT_LE(result.decisions.size(), 3u);
+}
+
+// -------------------------------------------------------------- replay --
+
+TEST_F(StreamTest, ReplayMeasuresThroughputAndOrderedLatencies) {
+  StreamConfig config;
+  config.shards = 4;
+  ReplayOptions options;
+  options.batch_events = 128;
+  const auto result = replay_with(config, options);
+
+  EXPECT_EQ(result.events, events_->size());
+  EXPECT_EQ(result.batches,
+            (events_->size() + options.batch_events - 1) /
+                options.batch_events);
+  EXPECT_GT(result.wall_seconds, 0.0);
+  EXPECT_GT(result.events_per_second, 0.0);
+  EXPECT_GE(result.latency.p50, 0.0);
+  EXPECT_LE(result.latency.p50, result.latency.p95);
+  EXPECT_LE(result.latency.p95, result.latency.p99);
+  EXPECT_LE(result.latency.p99, result.latency.max);
+  EXPECT_GT(result.stats.batches, 0u);
+}
+
+TEST_F(StreamTest, ReplayOfEmptyStreamIsWellFormed) {
+  StreamEngine engine(harness_->make_engine(), StreamConfig{});
+  const auto result = run_replay(engine, {});
+  EXPECT_EQ(result.events, 0u);
+  EXPECT_EQ(result.batches, 0u);
+  EXPECT_TRUE(result.decisions.empty());
+}
+
+TEST_F(StreamTest, ReplayRejectsZeroBatch) {
+  StreamEngine engine(harness_->make_engine(), StreamConfig{});
+  ReplayOptions options;
+  options.batch_events = 0;
+  EXPECT_THROW(run_replay(engine, *events_, options),
+               support::PreconditionError);
+}
+
+}  // namespace
+}  // namespace mood::stream

@@ -191,6 +191,34 @@ TEST(Csv, StripsCarriageReturn) {
   EXPECT_EQ(fields[1], "b");
 }
 
+TEST(Csv, ToleratesCrlfLineEndings) {
+  // Windows-exported event files: exactly one trailing \r per line, in
+  // every position a final field can end — bare, empty, and quoted.
+  EXPECT_EQ(parse_csv_line("a,b,c\r"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(parse_csv_line("a,\r"), (std::vector<std::string>{"a", ""}));
+  EXPECT_EQ(parse_csv_line("a,\"b\"\r"),
+            (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Csv, PreservesInteriorCarriageReturns) {
+  // Only the line-terminating \r is CRLF noise; a \r inside a field (or a
+  // quoted one) is data and must survive the round trip.
+  EXPECT_EQ(parse_csv_line("a\rb,c\r"),
+            (std::vector<std::string>{"a\rb", "c"}));
+  EXPECT_EQ(parse_csv_line("\"a\rb\",c"),
+            (std::vector<std::string>{"a\rb", "c"}));
+}
+
+TEST(Csv, ReadsCrlfStreams) {
+  std::stringstream buffer("user,lat\r\nu1,45.5\r\n\r\nu2,46.0\r\n");
+  const auto rows = read_csv(buffer);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"user", "lat"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"u1", "45.5"}));
+  EXPECT_EQ(rows[2], (std::vector<std::string>{"u2", "46.0"}));
+}
+
 TEST(Csv, RejectsUnterminatedQuote) {
   EXPECT_THROW(parse_csv_line("\"unterminated"), IoError);
 }
@@ -414,6 +442,17 @@ TEST(ParallelFor, RespectsGrainParameter) {
   std::atomic<int> counter{0};
   parallel_for(1000, [&](std::size_t) { counter++; }, 128);
   EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPool, ConfigureSharedAfterFirstUseFailsLoudly) {
+  // The shared pool is built lazily on first use and can never be resized
+  // afterwards: late reconfiguration (e.g. a --jobs flag parsed after
+  // parallel work already ran) must throw instead of being silently
+  // ignored. Touch the pool first so this regression test is independent
+  // of suite ordering.
+  ThreadPool::shared();
+  EXPECT_THROW(ThreadPool::configure_shared(2), PreconditionError);
+  EXPECT_THROW(ThreadPool::configure_shared(0), PreconditionError);
 }
 
 // ------------------------------------------------------------- Logging --

@@ -19,6 +19,7 @@ Commands:
   evaluate   run protection strategies over a dataset and emit result JSON
   report     aggregate and compare result JSON files across runs
   bench      benchmark attack inference (reference vs optimized) to JSON
+  replay     replay a dataset through the online gateway, measure it
 
 Run `mood <command> --help` for the command's flags. Every flag can also be
 set through the MOOD_<FLAG> environment (e.g. MOOD_SCALE=0.5).
@@ -46,6 +47,7 @@ int run(int argc, const char* const* argv, std::ostream& out,
     if (command == "evaluate") return cmd_evaluate(sub_argc, sub_argv, out, err);
     if (command == "report") return cmd_report(sub_argc, sub_argv, out, err);
     if (command == "bench") return cmd_bench(sub_argc, sub_argv, out, err);
+    if (command == "replay") return cmd_replay(sub_argc, sub_argv, out, err);
     err << "mood: unknown command '" << command << "'\n\n" << kTopLevelHelp;
     return kExitUsage;
   } catch (const support::UsageError& error) {

@@ -9,6 +9,7 @@
 ///   mood evaluate --input=city.csv --strategies=hybrid --out=result.json
 ///   mood report result.json other-run.json
 ///   mood bench --preset=small --out=bench.json
+///   mood replay --preset=small --shards=8 --out=stream.json
 ///
 /// Everything lives behind run() — a pure function of argv and two output
 /// streams — so the test suite exercises subcommand dispatch, flag errors
@@ -43,5 +44,7 @@ int cmd_report(int argc, const char* const* argv, std::ostream& out,
                std::ostream& err);
 int cmd_bench(int argc, const char* const* argv, std::ostream& out,
               std::ostream& err);
+int cmd_replay(int argc, const char* const* argv, std::ostream& out,
+               std::ostream& err);
 
 }  // namespace mood::cli

@@ -1,0 +1,336 @@
+// `mood replay`: drive the online MooD gateway (src/stream) from an
+// offline dataset. Builds the usual ExperimentHarness (train attacks on
+// the background halves), converts the test halves into one globally
+// time-ordered event stream, replays it through the sharded StreamEngine
+// in micro-batches — optionally paced by a target event rate or a
+// dataset-time compression factor — and emits a versioned "mood-stream/1"
+// JSON document (see src/report/report.h) with sustained throughput and
+// p50/p95/p99 decision latency.
+//
+// Unless the window knobs make the replay lossy, the final per-user
+// decisions are verified against the batch evaluators: the expose/protect
+// set must equal evaluate_no_lppm's protected/unprotected set and every
+// at-risk user's winner must equal the whole-trace mechanism search — the
+// stream-smoke CI gate. Exit 1 on any mismatch.
+
+#include <chrono>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/experiment.h"
+#include "mobility/io.h"
+#include "mood_cli/cli.h"
+#include "report/report.h"
+#include "report/table.h"
+#include "simulation/presets.h"
+#include "stream/engine.h"
+#include "stream/replay.h"
+#include "support/error.h"
+#include "support/logging.h"
+#include "support/options.h"
+#include "support/thread_pool.h"
+
+namespace mood::cli {
+
+namespace {
+
+/// "small" is the same smoke population `mood bench` uses: PrivaMov-shaped,
+/// cut down to CI size, with an 8-record active-user floor.
+mobility::Dataset make_replay_dataset(const std::string& preset, double scale,
+                                      std::int64_t users, std::int64_t days,
+                                      std::uint64_t seed) {
+  simulation::GeneratorParams params;
+  if (preset == "small") {
+    params = simulation::preset_params("privamov", scale, seed);
+    params.users = 20;
+    params.days = 12;
+    params.dataset_name = "small";
+  } else {
+    params = simulation::preset_params(preset, scale, seed);
+  }
+  if (users > 0) params.users = static_cast<std::size_t>(users);
+  if (days > 0) params.days = static_cast<int>(days);
+  return simulation::generate(params);
+}
+
+/// Compares the gateway's final per-user decisions against the batch
+/// evaluators on the same harness. Returns true when they agree exactly;
+/// logs every divergence to `err`.
+bool verify_against_batch(const core::ExperimentHarness& harness,
+                          const std::vector<stream::UserDecision>& decisions,
+                          std::ostream& err) {
+  // Expose set: evaluate_no_lppm's per-user "protected" bit is exactly
+  // "no attack re-identifies the raw test trace".
+  const core::StrategyResult no_lppm = harness.evaluate_no_lppm();
+  std::unordered_map<mobility::UserId, bool> exposed_by_batch;
+  for (const auto& user : no_lppm.users) {
+    exposed_by_batch[user.user] = user.is_protected;
+  }
+
+  bool ok = true;
+  if (decisions.size() != no_lppm.users.size()) {
+    err << "mood replay: VERIFY failed: gateway saw " << decisions.size()
+        << " users, batch harness has " << no_lppm.users.size() << '\n';
+    ok = false;
+  }
+
+  // At-risk users need the whole-trace mechanism search for the winner
+  // comparison — the expensive part, fanned out like the batch evaluators
+  // (the engine is immutable; each iteration touches only its own slot).
+  const core::MoodEngine engine = harness.make_engine();
+  std::unordered_map<mobility::UserId, const mobility::Trace*> tests;
+  for (const auto& pair : harness.pairs()) {
+    tests[pair.test.user()] = &pair.test;
+  }
+  std::vector<const stream::UserDecision*> at_risk;
+  for (const auto& decision : decisions) {
+    const auto batch = exposed_by_batch.find(decision.user);
+    if (batch != exposed_by_batch.end() && !batch->second &&
+        decision.decision == stream::Decision::kProtect) {
+      at_risk.push_back(&decision);
+    }
+  }
+  std::vector<std::string> batch_winners(at_risk.size());
+  support::parallel_for(at_risk.size(), [&](std::size_t i) {
+    const auto candidate = engine.search(*tests.at(at_risk[i]->user));
+    batch_winners[i] = candidate ? candidate->lppm : "";
+  });
+  std::unordered_map<mobility::UserId, const std::string*> winner_of;
+  for (std::size_t i = 0; i < at_risk.size(); ++i) {
+    winner_of[at_risk[i]->user] = &batch_winners[i];
+  }
+
+  for (const auto& decision : decisions) {
+    const auto batch = exposed_by_batch.find(decision.user);
+    if (batch == exposed_by_batch.end()) {
+      err << "mood replay: VERIFY failed: user " << decision.user
+          << " unknown to the batch harness\n";
+      ok = false;
+      continue;
+    }
+    const bool stream_exposed =
+        decision.decision == stream::Decision::kExpose;
+    if (stream_exposed != batch->second) {
+      err << "mood replay: VERIFY failed: user " << decision.user
+          << " decided " << stream::to_string(decision.decision)
+          << " by the gateway but "
+          << (batch->second ? "expose" : "protect")
+          << " by the batch evaluator\n";
+      ok = false;
+      continue;
+    }
+    if (stream_exposed) continue;
+    // Same engine seed => the search's candidate is bit-identical to what
+    // the gateway's finish() computed; only genuine divergence trips this.
+    const std::string& batch_winner = *winner_of.at(decision.user);
+    if (decision.winner != batch_winner) {
+      err << "mood replay: VERIFY failed: user " << decision.user
+          << " winner '" << decision.winner << "' != batch search winner '"
+          << batch_winner << "'\n";
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace
+
+int cmd_replay(int argc, const char* const* argv, std::ostream& out,
+               std::ostream& err) {
+  support::FlagSet flags(
+      "mood replay",
+      "Replay a dataset as a live event stream through the online MooD\n"
+      "gateway: sharded per-user sliding windows, incremental profile\n"
+      "maintenance, micro-batched protect/expose decisions. Writes a\n"
+      "mood-stream/1 JSON document with sustained throughput and decision\n"
+      "latency percentiles; verifies the final decisions against the batch\n"
+      "evaluators (exit 1 on mismatch) unless the window knobs make the\n"
+      "replay deliberately lossy.");
+  flags.add_string("input", "",
+                   "dataset CSV (user,lat,lon,timestamp; '-' = stdin); "
+                   "empty: generate --preset instead");
+  flags.add_string("preset", "small",
+                   "preset to generate when --input is empty (mdc | privamov "
+                   "| geolife | cabspotting | small)");
+  flags.add_double("scale", 0.25, "record-volume scale for --preset");
+  flags.add_string("name", "", "dataset display name (default: input/preset)");
+  flags.add_int("users", 0, "override the preset's user count (0 = keep)");
+  flags.add_int("days", 0, "override the simulated period in days (0 = keep)");
+  flags.add_int("seed", 7, "generator + harness seed");
+  flags.add_int("jobs", 0, "worker threads (0 = hardware concurrency)");
+  flags.add_int("min-records", 0,
+                "active-user floor per half (0 = default; 'small' uses 8)");
+  flags.add_int("shards", 8, "user-state shards (each with its own mutex)");
+  flags.add_double("window-hours", 0.0,
+                   "sliding-window span per user (0 = keep everything)");
+  flags.add_int("max-points", 0, "per-user window point cap (0 = unbounded)");
+  flags.add_int("max-users", 0,
+                "resident users per shard before LRU eviction (0 = "
+                "unbounded)");
+  flags.add_int("batch", 256, "micro-batch size (events per drain)");
+  flags.add_int("staleness", 0,
+                "points before the PIT/POI window profiles are recompiled "
+                "(0 = every batch; the AP heatmap is always exact)");
+  flags.add_double("rate", 0.0,
+                   "target ingest rate in events/second (0 = unpaced)");
+  flags.add_double("compression", 0.0,
+                   "dataset seconds replayed per wall second (0 = off; "
+                   "ignored when --rate is set)");
+  flags.add_bool("verify", true,
+                 "check final decisions against the batch evaluators "
+                 "(skipped automatically for lossy window configurations)");
+  flags.add_bool("serial-drain", false,
+                 "decide shards sequentially instead of on the thread pool");
+  flags.add_bool("per-user", true, "include the per_user array in the JSON");
+  flags.add_string("out", "-", "stream JSON path ('-' = stdout)");
+  flags.add_bool("verbose", false, "log at info level instead of warn");
+  flags.parse(argc, argv);
+  if (flags.get_bool("help")) {
+    out << flags.help();
+    return kExitOk;
+  }
+  flags.reject_positionals();
+  support::set_log_level(flags.get_bool("verbose")
+                             ? support::LogLevel::kInfo
+                             : support::LogLevel::kWarn);
+
+  // Vet cheap flag constraints before dataset generation and training.
+  if (flags.get_int("shards") <= 0) {
+    throw support::UsageError("mood replay: --shards must be positive");
+  }
+  if (flags.get_int("batch") <= 0) {
+    throw support::UsageError("mood replay: --batch must be positive");
+  }
+  if (flags.get_double("window-hours") < 0.0 || flags.get_int("max-points") < 0 ||
+      flags.get_int("max-users") < 0 || flags.get_int("staleness") < 0 ||
+      flags.get_double("rate") < 0.0 || flags.get_double("compression") < 0.0) {
+    throw support::UsageError(
+        "mood replay: window/pacing knobs must be non-negative");
+  }
+  if (const auto jobs = flags.get_int("jobs"); jobs > 0) {
+    support::ThreadPool::configure_shared(static_cast<std::size_t>(jobs));
+  }
+
+  const auto started = std::chrono::steady_clock::now();
+  const auto elapsed = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         started)
+        .count();
+  };
+
+  report::RunMetadata meta;
+  meta.tool = "mood replay";
+  meta.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+
+  // ---- Dataset --------------------------------------------------------
+  const std::string input = flags.get_string("input");
+  const std::string preset = flags.get_string("preset");
+  mobility::Dataset dataset;
+  if (input.empty()) {
+    dataset = make_replay_dataset(preset, flags.get_double("scale"),
+                                  flags.get_int("users"),
+                                  flags.get_int("days"), meta.seed);
+  } else if (input == "-") {
+    dataset = mobility::read_dataset_csv(std::cin, "stdin");
+  } else {
+    dataset = mobility::read_dataset_csv_file(input, input);
+  }
+  if (const std::string name = flags.get_string("name"); !name.empty()) {
+    dataset.set_name(name);
+  }
+  meta.dataset = dataset.name();
+  meta.timings.emplace_back("load", elapsed());
+
+  // ---- Harness (train attacks on the background halves) ---------------
+  core::ExperimentConfig config;
+  if (const auto floor = flags.get_int("min-records"); floor > 0) {
+    config.min_records = static_cast<std::size_t>(floor);
+  } else if (input.empty() && preset == "small") {
+    config.min_records = 8;
+  }
+  const auto harness_started = elapsed();
+  const core::ExperimentHarness harness(dataset, config, meta.seed);
+  meta.timings.emplace_back("harness", elapsed() - harness_started);
+
+  // ---- Gateway + replay ----------------------------------------------
+  stream::StreamConfig stream_config;
+  stream_config.shards = static_cast<std::size_t>(flags.get_int("shards"));
+  stream_config.window_seconds = static_cast<mobility::Timestamp>(
+      flags.get_double("window-hours") * 3600.0);
+  stream_config.max_points =
+      static_cast<std::size_t>(flags.get_int("max-points"));
+  stream_config.max_users_per_shard =
+      static_cast<std::size_t>(flags.get_int("max-users"));
+  stream_config.staleness_points =
+      static_cast<std::size_t>(flags.get_int("staleness"));
+  stream_config.parallel_drain = !flags.get_bool("serial-drain");
+
+  stream::ReplayOptions replay_options;
+  replay_options.batch_events =
+      static_cast<std::size_t>(flags.get_int("batch"));
+  replay_options.target_rate = flags.get_double("rate");
+  replay_options.time_compression = flags.get_double("compression");
+
+  const auto events = stream::make_event_stream(harness.pairs());
+  stream::StreamEngine engine(harness.make_engine(), stream_config);
+  err << "replaying " << events.size() << " events from "
+      << harness.pairs().size() << " users through " << stream_config.shards
+      << " shards (batch " << replay_options.batch_events << ")...\n";
+  const auto replay_started = elapsed();
+  const stream::ReplayResult result =
+      stream::run_replay(engine, events, replay_options);
+  meta.timings.emplace_back("replay", elapsed() - replay_started);
+
+  // ---- Batch-equivalence verification ---------------------------------
+  // A bounded window / point cap / LRU cap deliberately forgets data, so
+  // the final windows no longer equal the batch test traces — verification
+  // would compare different inputs and is skipped.
+  const bool lossy = stream_config.window_seconds > 0 ||
+                     stream_config.max_points > 0 ||
+                     stream_config.max_users_per_shard > 0;
+  std::optional<bool> batch_match;
+  if (flags.get_bool("verify")) {
+    if (lossy) {
+      err << "mood replay: skipping batch verification (bounded window "
+             "configuration is deliberately lossy)\n";
+    } else {
+      const auto verify_started = elapsed();
+      batch_match = verify_against_batch(harness, result.decisions, err);
+      meta.timings.emplace_back("verify", elapsed() - verify_started);
+    }
+  }
+  meta.wall_seconds = elapsed();
+
+  // ---- Emit -----------------------------------------------------------
+  report::Json dataset_doc = report::dataset_summary(dataset);
+  dataset_doc["active_users"] = harness.pairs().size();
+  const report::Json document = report::make_stream_report(
+      meta, std::move(dataset_doc), stream_config, replay_options, result,
+      batch_match, flags.get_bool("per-user"));
+
+  const std::string out_path = flags.get_string("out");
+  if (out_path == "-") {
+    document.write(out);
+  } else {
+    report::write_json_file(out_path, document);
+    err << "wrote " << out_path << '\n';
+    auto rows = report::stream_summary_rows(result);
+    report::Table table(std::move(rows.front()));
+    for (std::size_t i = 1; i < rows.size(); ++i) {
+      table.add_row(std::move(rows[i]));
+    }
+    table.print(out);
+  }
+
+  if (batch_match.has_value() && !*batch_match) {
+    err << "mood replay: replayed decisions DIVERGE from the batch "
+           "evaluators\n";
+    return kExitFailure;
+  }
+  return kExitOk;
+}
+
+}  // namespace mood::cli
