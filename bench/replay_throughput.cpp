@@ -1,20 +1,25 @@
 // Throughput/latency bench for the online gateway (src/stream): replays
-// one preset through the StreamEngine at several shard counts and reports
-// sustained events/sec plus p50/p95/p99 decision latency per run — the
-// scaling story behind the committed BENCH_pr4.json.
+// one preset through the StreamEngine over a (shard count x staleness
+// bound) grid and reports sustained events/sec plus p50/p95/p99 decision
+// latency per run — the scaling story behind the committed BENCH_pr5.json.
 //
 //   ./replay_throughput [--datasets=privamov] [--scale=0.25] [--seed=7]
-//                       [--shards=1,2,4,8] [--batch=256] [--staleness=0]
+//                       [--shards=1,2,4,8] [--staleness=0] [--batch=256]
 //                       [--json=replay.json]
 //
 // Defaults to privamov (the most at-risk population, so the mechanism-
-// selection path is exercised hard) at scale 0.25. --json writes an array
-// of "mood-stream/1" documents, one per shard count. Every run's final
-// decisions are compared across shard counts; exits non-zero if they ever
-// diverge (the determinism gate, cheaper than the full batch verification
-// `mood replay` performs).
+// selection path is exercised hard) at scale 0.25. --staleness accepts a
+// comma list (e.g. 0,64,256) to measure the staleness-vs-throughput
+// tradeoff instead of anecdotes: higher bounds defer the PIT/POI profile
+// refreshes at the cost of mid-stream decisions lagging the window (the
+// final decisions are canonicalised by finish() and must stay identical).
+// --json writes an array of "mood-stream/1" documents, one per grid
+// point. Every run's final decisions are compared across the whole grid;
+// exits non-zero if they ever diverge (the determinism gate, cheaper than
+// the full batch verification `mood replay` performs).
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -23,6 +28,47 @@
 #include "stream/engine.h"
 #include "stream/replay.h"
 
+namespace {
+
+/// Strict comma-list parse: every element must be a bare non-negative
+/// decimal integer (no sign, no trailing junk — "64x" must not silently
+/// measure 64, "-1" must not wrap), or the bench exits 2 with a usage
+/// message like Options::get_int would.
+std::vector<std::size_t> parse_list(const std::string& flag,
+                                    const std::string& list) {
+  std::vector<std::size_t> values;
+  std::string current;
+  for (const char c : list + ",") {
+    if (c != ',') {
+      current.push_back(c);
+      continue;
+    }
+    if (current.empty()) continue;
+    // All-digits check before stoul: stoul would happily wrap "-1" into
+    // 2^64-1 and accept leading whitespace, both violating the contract.
+    bool digits = true;
+    for (const char d : current) digits = digits && d >= '0' && d <= '9';
+    unsigned long value = 0;
+    try {
+      value = digits ? std::stoul(current) : 0;
+    } catch (const std::exception&) {
+      digits = false;
+    }
+    if (!digits) {
+      std::fprintf(stderr,
+                   "--%s: expected a comma list of non-negative integers, "
+                   "got '%s'\n",
+                   flag.c_str(), current.c_str());
+      std::exit(2);
+    }
+    values.push_back(static_cast<std::size_t>(value));
+    current.clear();
+  }
+  return values;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace mood;
   const support::Options options(argc, argv);
@@ -30,32 +76,17 @@ int main(int argc, char** argv) {
   if (options.get_string("datasets", "").empty()) {
     ctx.datasets = {"privamov"};
   }
-  std::vector<std::size_t> shard_counts;
-  {
-    const std::string list = options.get_string("shards", "1,2,4,8");
-    std::string current;
-    for (const char c : list + ",") {
-      if (c == ',') {
-        if (!current.empty()) {
-          shard_counts.push_back(
-              static_cast<std::size_t>(std::stoul(current)));
-        }
-        current.clear();
-      } else {
-        current.push_back(c);
-      }
-    }
-  }
-  if (shard_counts.empty()) {
-    std::fprintf(stderr, "--shards list is empty\n");
+  const auto shard_counts = parse_list("shards", options.get_string("shards", "1,2,4,8"));
+  const auto staleness_bounds =
+      parse_list("staleness", options.get_string("staleness", "0"));
+  if (shard_counts.empty() || staleness_bounds.empty()) {
+    std::fprintf(stderr, "--shards/--staleness lists must be non-empty\n");
     return 2;
   }
 
   stream::ReplayOptions replay_options;
   replay_options.batch_events =
       static_cast<std::size_t>(options.get_int("batch", 256));
-  const auto staleness =
-      static_cast<std::size_t>(options.get_int("staleness", 0));
 
   report::Json documents = report::Json::array();
   int exit_code = 0;
@@ -66,54 +97,62 @@ int main(int argc, char** argv) {
     const auto events = stream::make_event_stream(harness.pairs());
     std::printf("%s: %zu users, %zu events\n", name.c_str(),
                 harness.pairs().size(), events.size());
-    std::printf("%8s %12s %10s %10s %10s %10s\n", "shards", "events/s",
-                "p50_ms", "p95_ms", "p99_ms", "searches");
+    std::printf("%8s %10s %12s %10s %10s %10s %10s %10s\n", "shards",
+                "staleness", "events/s", "p50_ms", "p95_ms", "p99_ms",
+                "searches", "refreshes");
 
+    // Final decisions must agree across the whole grid: shard count and
+    // drain parallelism never affect them, and staleness short-cuts are
+    // repaired by finish()'s canonical re-decision.
     std::vector<stream::UserDecision> reference;
-    for (const std::size_t shards : shard_counts) {
-      stream::StreamConfig config;
-      config.shards = shards;
-      config.staleness_points = staleness;
-      stream::StreamEngine engine(harness.make_engine(), config);
-      const stream::ReplayResult result =
-          stream::run_replay(engine, events, replay_options);
-      std::printf("%8zu %12.0f %10.3f %10.3f %10.3f %10llu\n", shards,
-                  result.events_per_second, result.latency.p50 * 1e3,
-                  result.latency.p95 * 1e3, result.latency.p99 * 1e3,
-                  static_cast<unsigned long long>(result.stats.searches));
+    for (const std::size_t staleness : staleness_bounds) {
+      for (const std::size_t shards : shard_counts) {
+        stream::StreamConfig config;
+        config.shards = shards;
+        config.staleness_points = staleness;
+        stream::StreamEngine engine(harness.make_engine(), config);
+        const stream::ReplayResult result =
+            stream::run_replay(engine, events, replay_options);
+        std::printf(
+            "%8zu %10zu %12.0f %10.3f %10.3f %10.3f %10llu %10llu\n", shards,
+            staleness, result.events_per_second, result.latency.p50 * 1e3,
+            result.latency.p95 * 1e3, result.latency.p99 * 1e3,
+            static_cast<unsigned long long>(result.stats.searches),
+            static_cast<unsigned long long>(result.stats.profile_refreshes));
 
-      if (reference.empty()) {
-        reference = result.decisions;
-      } else if (result.decisions.size() != reference.size()) {
-        std::fprintf(stderr,
-                     "DETERMINISM VIOLATION: %zu users decided at %zu "
-                     "shards, %zu at %zu shards\n",
-                     result.decisions.size(), shards, reference.size(),
-                     shard_counts.front());
-        exit_code = 1;
-      } else {
-        for (std::size_t i = 0; i < result.decisions.size(); ++i) {
-          const auto& a = reference[i];
-          const auto& b = result.decisions[i];
-          if (a.user != b.user || a.decision != b.decision ||
-              a.winner != b.winner) {
-            std::fprintf(stderr,
-                         "DETERMINISM VIOLATION: user %s decided "
-                         "differently at %zu shards\n",
-                         b.user.c_str(), shards);
-            exit_code = 1;
+        if (reference.empty()) {
+          reference = result.decisions;
+        } else if (result.decisions.size() != reference.size()) {
+          std::fprintf(stderr,
+                       "DETERMINISM VIOLATION: %zu users decided at "
+                       "shards=%zu staleness=%zu, %zu in the reference run\n",
+                       result.decisions.size(), shards, staleness,
+                       reference.size());
+          exit_code = 1;
+        } else {
+          for (std::size_t i = 0; i < result.decisions.size(); ++i) {
+            const auto& a = reference[i];
+            const auto& b = result.decisions[i];
+            if (a.user != b.user || a.decision != b.decision ||
+                a.winner != b.winner) {
+              std::fprintf(stderr,
+                           "DETERMINISM VIOLATION: user %s decided "
+                           "differently at shards=%zu staleness=%zu\n",
+                           b.user.c_str(), shards, staleness);
+              exit_code = 1;
+            }
           }
         }
-      }
 
-      report::RunMetadata meta;
-      meta.tool = "replay_throughput";
-      meta.dataset = dataset.name();
-      meta.seed = ctx.seed;
-      meta.wall_seconds = result.wall_seconds;
-      documents.push_back(report::make_stream_report(
-          meta, report::dataset_summary(dataset), config, replay_options,
-          result, std::nullopt, /*include_users=*/false));
+        report::RunMetadata meta;
+        meta.tool = "replay_throughput";
+        meta.dataset = dataset.name();
+        meta.seed = ctx.seed;
+        meta.wall_seconds = result.wall_seconds;
+        documents.push_back(report::make_stream_report(
+            meta, report::dataset_summary(dataset), config, replay_options,
+            result, std::nullopt, /*include_users=*/false));
+      }
     }
   }
 

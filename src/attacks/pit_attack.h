@@ -65,6 +65,10 @@ class PitAttack final : public Attack {
       const profiles::CompiledMarkovProfile& anonymous_profile,
       const mobility::UserId& owner) const;
 
+  /// Stay-clustering parameters of this attack's profiles — the decision
+  /// kernel shares one stay tracker across attacks whose params agree.
+  [[nodiscard]] const clustering::PoiParams& params() const { return params_; }
+
  private:
   clustering::PoiParams params_;
   double proximity_scale_m_;

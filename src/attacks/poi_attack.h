@@ -60,6 +60,10 @@ class PoiAttack final : public Attack {
       const profiles::CompiledPoiProfile& anonymous_profile,
       const mobility::UserId& owner) const;
 
+  /// Stay-clustering parameters of this attack's profiles — the decision
+  /// kernel shares one stay tracker across attacks whose params agree.
+  [[nodiscard]] const clustering::PoiParams& params() const { return params_; }
+
  private:
   clustering::PoiParams params_;
   std::vector<std::pair<mobility::UserId, profiles::CompiledPoiProfile>>

@@ -1,0 +1,252 @@
+#include "clustering/incremental_stays.h"
+
+#include "support/error.h"
+
+namespace mood::clustering {
+
+using geo::EnuPoint;
+using mobility::Trace;
+
+void StayTracker::update(const Trace& window, std::size_t appended,
+                         std::size_t evicted) {
+  support::expects(params_.max_diameter_m > 0.0,
+                   "StayTracker: diameter must be positive");
+  support::expects(params_.min_dwell > 0, "StayTracker: dwell must be > 0");
+  support::expects(size_ + appended >= evicted &&
+                       size_ + appended - evicted == window.size(),
+                   "StayTracker::update: append/evict deltas do not match "
+                   "the window");
+  if (!has_origin_ && !window.empty()) {
+    origin_ = window.front().position;
+    has_origin_ = true;
+  }
+  if (window.empty()) {
+    // Everything gone; nothing to extract. Keep the pinned origin.
+    finals_.clear();
+    run_valid_ = false;
+    base_ += evicted;
+    size_ = 0;
+    if (evicted > 0) ++generation_;
+    return;
+  }
+  ++updates_;
+
+  if (evicted > 0 && evicted >= size_) {
+    // The whole previously tracked region is gone (the eviction even cut
+    // into records the tracker never saw) — nothing to resume from.
+    base_ += evicted;
+    size_ = window.size();
+    rebuild(window);
+    return;
+  }
+
+  if (evicted > 0) {
+    const std::size_t front = base_ + evicted;  // new absolute front index
+    // Clean boundaries are anchors of the original scan: every index not
+    // strictly inside a successful stay (or the open run) restarted the
+    // scan, and the scan from an anchor is a pure function of the records
+    // from there on. A boundary inside a stay re-groups the remainder —
+    // the bounded rebuild fallback.
+    if (run_valid_ && front > run_.anchor) {
+      base_ = front;
+      size_ = window.size();
+      rebuild(window);
+      return;
+    }
+    std::size_t drop = 0;
+    while (drop < finals_.size() && finals_[drop].end < front) ++drop;
+    if (drop < finals_.size() && finals_[drop].start < front) {
+      // The eviction split a finalised stay.
+      base_ = front;
+      size_ = window.size();
+      rebuild(window);
+      return;
+    }
+    if (drop > 0) finals_.erase(finals_.begin(), finals_.begin() + drop);
+    base_ = front;
+    size_ -= evicted;
+    ++generation_;
+  }
+
+  size_ += appended;
+  support::ensures(size_ == window.size(),
+                   "StayTracker::update: size bookkeeping drifted");
+  scan(window);
+}
+
+void StayTracker::rebuild(const Trace& window) {
+  ++rebuilds_;
+  ++generation_;
+  finals_.clear();
+  run_valid_ = false;
+  scan(window);
+}
+
+void StayTracker::scan(const Trace& window) {
+  const auto& records = window.records();
+  const std::size_t n = records.size();
+  if (n == 0) {
+    run_valid_ = false;
+    return;
+  }
+  const geo::LocalProjection projection(origin_);
+  const RadiusScreen within(params_.max_diameter_m);
+  const std::size_t end = base_ + n;  // absolute one-past-the-end
+  const auto rel = [&](std::size_t abs) { return abs - base_; };
+
+  if (!run_valid_) {
+    const EnuPoint p = projection.to_enu(records[0].position);
+    run_ = OpenRun{base_, base_, p.x, p.y, records[0].time, records[0].time};
+    run_valid_ = true;
+  }
+  EnuPoint anchor = projection.to_enu(records[rel(run_.anchor)].position);
+  while (true) {
+    // Extend the open run while records remain within the stay radius of
+    // the anchor, accumulating centroid sums in ascending index order (the
+    // order a one-shot extraction sums in).
+    while (run_.j + 1 < end) {
+      const EnuPoint next =
+          projection.to_enu(records[rel(run_.j + 1)].position);
+      if (!within(anchor, next)) break;
+      ++run_.j;
+      run_.sx += next.x;
+      run_.sy += next.y;
+      run_.t_end = records[rel(run_.j)].time;
+    }
+    if (run_.j + 1 == end) return;  // open run reaches the window end
+
+    // Closed by a radius break: the run is final. Decide it and re-anchor
+    // exactly as the sequential algorithm does (past the stay on success,
+    // one record forward on failure — re-scanning the failed run's tail).
+    const std::size_t i = rel(run_.anchor);
+    const std::size_t j = rel(run_.j);
+    const mobility::Timestamp span = records[j].time - records[i].time;
+    std::size_t next_anchor = run_.anchor + 1;
+    if (span >= params_.min_dwell && j - i + 1 >= params_.min_points) {
+      finals_.push_back(TrackedStay{
+          make_poi(window, run_.anchor, run_.j, run_.sx, run_.sy),
+          run_.anchor, run_.j});
+      next_anchor = run_.j + 1;
+    }
+    anchor = projection.to_enu(records[rel(next_anchor)].position);
+    const mobility::Timestamp t = records[rel(next_anchor)].time;
+    run_ = OpenRun{next_anchor, next_anchor, anchor.x, anchor.y, t, t};
+  }
+}
+
+Poi StayTracker::make_poi(const Trace& window, std::size_t anchor_abs,
+                          std::size_t j_abs, double sx, double sy) const {
+  const auto& records = window.records();
+  const std::size_t i = anchor_abs - base_;
+  const std::size_t j = j_abs - base_;
+  const geo::LocalProjection projection(origin_);
+  Poi poi;
+  const double n = static_cast<double>(j - i + 1);
+  poi.center = projection.to_geo(EnuPoint{sx / n, sy / n});
+  poi.record_count = j - i + 1;
+  poi.dwell = records[j].time - records[i].time;
+  poi.start = records[i].time;
+  poi.end = records[j].time;
+  return poi;
+}
+
+std::optional<Poi> StayTracker::provisional() const {
+  if (!run_valid_ || size_ == 0) return std::nullopt;
+  // The open run [anchor, j] always ends at the last record. It faces the
+  // same thresholds a closed run faces; when it fails, no sub-run of it
+  // can succeed (spans and counts of subintervals only shrink), so the
+  // scan emits nothing past the anchor — exactly the one-shot behaviour.
+  const std::size_t count = run_.j - run_.anchor + 1;
+  const mobility::Timestamp span = run_.t_end - run_.t_start;
+  if (span < params_.min_dwell || count < params_.min_points) {
+    return std::nullopt;
+  }
+  const geo::LocalProjection projection(origin_);
+  Poi poi;
+  const double n = static_cast<double>(count);
+  poi.center = projection.to_geo(EnuPoint{run_.sx / n, run_.sy / n});
+  poi.record_count = count;
+  poi.dwell = span;
+  poi.start = run_.t_start;
+  poi.end = run_.t_end;
+  return poi;
+}
+
+std::vector<Poi> StayTracker::pois() const {
+  std::vector<Poi> out;
+  out.reserve(finals_.size() + 1);
+  for (const auto& stay : finals_) out.push_back(stay.poi);
+  if (const auto open = provisional()) out.push_back(*open);
+  return out;
+}
+
+void VisitAccumulator::rebuild(const std::vector<Poi>& pois) {
+  states_.clear();
+  folded_ = 0;
+  for (const Poi& poi : pois) {
+    fold(states_, poi);
+    ++folded_;
+  }
+}
+
+void VisitAccumulator::append(const Poi& poi) {
+  fold(states_, poi);
+  ++folded_;
+}
+
+std::vector<Poi> VisitAccumulator::states_with(
+    const std::optional<Poi>& provisional) const {
+  std::vector<Poi> states = states_;
+  if (provisional) fold(states, *provisional);
+  return states;
+}
+
+void VisitAccumulator::fold(std::vector<Poi>& states, const Poi& poi) const {
+  // Mirrors build_visit_sequence's merge step operation for operation so
+  // the folded states are bit-identical to a one-shot build over the full
+  // POI list (sequential centroid accumulation is order-dependent).
+  std::size_t state = states.size();
+  for (std::size_t s = 0; s < states.size(); ++s) {
+    if (geo::haversine_m(states[s].center, poi.center) <=
+        merge_distance_m_) {
+      state = s;
+      break;
+    }
+  }
+  if (state == states.size()) {
+    states.push_back(poi);
+    return;
+  }
+  Poi& existing = states[state];
+  const double w_old = static_cast<double>(existing.record_count);
+  const double w_new = static_cast<double>(poi.record_count);
+  const double total = w_old + w_new;
+  existing.center.lat =
+      (existing.center.lat * w_old + poi.center.lat * w_new) / total;
+  existing.center.lon =
+      (existing.center.lon * w_old + poi.center.lon * w_new) / total;
+  existing.record_count += poi.record_count;
+  existing.dwell += poi.dwell;
+  existing.end = poi.end;
+}
+
+void TrackedVisitStates::update(const mobility::Trace& window,
+                                std::size_t appended, std::size_t evicted) {
+  stays_.update(window, appended, evicted);
+  if (stays_.generation() != synced_generation_) {
+    // Previously folded finals are no longer a prefix — replay them all.
+    std::vector<Poi> finals;
+    finals.reserve(stays_.final_count());
+    for (std::size_t i = 0; i < stays_.final_count(); ++i) {
+      finals.push_back(stays_.final_at(i));
+    }
+    visits_.rebuild(finals);
+    synced_generation_ = stays_.generation();
+  } else {
+    for (std::size_t i = visits_.folded(); i < stays_.final_count(); ++i) {
+      visits_.append(stays_.final_at(i));
+    }
+  }
+}
+
+}  // namespace mood::clustering

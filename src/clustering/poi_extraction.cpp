@@ -11,7 +11,38 @@ using geo::GeoPoint;
 using mobility::Record;
 using mobility::Trace;
 
+RadiusScreen::RadiusScreen(double radius_m)
+    : radius_(radius_m),
+      // The membership test is the hot loop of attack inference (every
+      // profile build runs it once per record). euclidean_m's hypot call
+      // dominates it, but the loop only needs the *comparison* — so screen
+      // with the squared distance first and keep hypot for the razor-thin
+      // band around the radius where the two roundings could disagree. d2
+      // carries at most a few ulp of relative error, so outside +-1e-12 the
+      // squared comparison provably decides the same way as hypot's, and
+      // the decision — hence every extracted POI — stays bit-identical.
+      r2_inside_(radius_m * radius_m * (1.0 - 1e-12)),
+      r2_outside_(radius_m * radius_m * (1.0 + 1e-12)) {}
+
+bool RadiusScreen::operator()(const EnuPoint& a, const EnuPoint& b) const {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  const double d2 = dx * dx + dy * dy;
+  if (d2 <= r2_inside_) return true;
+  if (d2 >= r2_outside_) return false;
+  return geo::euclidean_m(a, b) <= radius_;
+}
+
 std::vector<Poi> extract_pois(const Trace& trace, const PoiParams& params) {
+  // Work in a local projection centred on the trace so member distances are
+  // cheap planar distances.
+  const geo::GeoPoint origin =
+      trace.empty() ? geo::GeoPoint{} : trace.front().position;
+  return extract_pois(trace, params, origin);
+}
+
+std::vector<Poi> extract_pois(const Trace& trace, const PoiParams& params,
+                              const geo::GeoPoint& origin) {
   support::expects(params.max_diameter_m > 0.0,
                    "extract_pois: diameter must be positive");
   support::expects(params.min_dwell > 0, "extract_pois: dwell must be > 0");
@@ -19,33 +50,13 @@ std::vector<Poi> extract_pois(const Trace& trace, const PoiParams& params) {
   std::vector<Poi> pois;
   if (trace.empty()) return pois;
 
-  // Work in a local projection centred on the trace so member distances are
-  // cheap planar distances.
-  const geo::LocalProjection projection(trace.front().position);
+  const geo::LocalProjection projection(origin);
   const auto& records = trace.records();
   std::vector<EnuPoint> points;
   points.reserve(records.size());
   for (const Record& r : records) points.push_back(projection.to_enu(r.position));
 
-  const double radius = params.max_diameter_m;  // distance from the anchor
-  // The membership test is the hot loop of attack inference (every profile
-  // build runs it once per record). euclidean_m's hypot call dominates it,
-  // but the loop only needs the *comparison* — so screen with the squared
-  // distance first and keep hypot for the razor-thin band around the
-  // radius where the two roundings could disagree. d2 carries at most a
-  // few ulp of relative error, so outside +-1e-12 the squared comparison
-  // provably decides the same way as hypot's, and the decision — hence
-  // every extracted POI — stays bit-identical.
-  const double r2_inside = radius * radius * (1.0 - 1e-12);
-  const double r2_outside = radius * radius * (1.0 + 1e-12);
-  const auto within_radius = [&](const EnuPoint& a, const EnuPoint& b) {
-    const double dx = a.x - b.x;
-    const double dy = a.y - b.y;
-    const double d2 = dx * dx + dy * dy;
-    if (d2 <= r2_inside) return true;
-    if (d2 >= r2_outside) return false;
-    return geo::euclidean_m(a, b) <= radius;
-  };
+  const RadiusScreen within_radius(params.max_diameter_m);
   std::size_t i = 0;
   while (i < records.size()) {
     // Extend the stay while records remain within `radius` of the anchor.

@@ -71,6 +71,14 @@ std::array<std::size_t, 4> StrategyResult::distortion_bands() const {
   return bands_from(pd);
 }
 
+std::size_t GatewayResult::exposed_users() const {
+  std::size_t n = 0;
+  for (const auto& u : users) {
+    n += u.decision == decision::Decision::kExpose ? 1 : 0;
+  }
+  return n;
+}
+
 std::size_t MoodResult::non_protected_users() const {
   std::size_t n = 0;
   for (const auto& u : users) n += u.fully_protected() ? 0 : 1;
@@ -187,21 +195,36 @@ std::size_t ExperimentHarness::ap_attack_index() const {
 StrategyResult ExperimentHarness::evaluate_no_lppm(
     const std::vector<std::size_t>& attack_subset) const {
   const WallTimer timer;
-  const auto views = attack_views(attack_subset);
+  // The risk half of the shared decision kernel: compile the window
+  // profiles once per user and run every attack's targeted branch-and-
+  // bound query against them — decision-identical to walking
+  // attacks::reidentifies over the raw trace, and the same code path the
+  // online gateway's expose/protect verdicts run through.
+  const decision::DecisionKernel kernel = make_kernel(attack_subset);
   StrategyResult result;
   result.strategy = "no-LPPM";
   result.users.resize(pairs_.size());
   support::parallel_for(pairs_.size(), [&](std::size_t i) {
     const auto& pair = pairs_[i];
-    bool caught = false;
-    for (const auto* attack : views) {
-      if (attacks::reidentifies(*attack, pair.test, pair.test.user())) {
-        caught = true;
-        break;
-      }
-    }
+    const bool caught = kernel.at_risk_trace(pair.test);
     result.users[i] = UserOutcome{pair.test.user(), !caught, 0.0,
                                   pair.test.size(), ""};
+  });
+  result.wall_seconds = timer.seconds();
+  return result;
+}
+
+GatewayResult ExperimentHarness::evaluate_gateway(
+    const std::vector<std::size_t>& attack_subset) const {
+  const WallTimer timer;
+  const decision::DecisionKernel kernel = make_kernel(attack_subset);
+  GatewayResult result;
+  result.users.resize(pairs_.size());
+  support::parallel_for(pairs_.size(), [&](std::size_t i) {
+    const auto& pair = pairs_[i];
+    const decision::Verdict verdict = kernel.decide_trace(pair.test);
+    result.users[i] = GatewayOutcome{pair.test.user(), verdict.decision,
+                                     verdict.winner, pair.test.size()};
   });
   result.wall_seconds = timer.seconds();
   return result;
@@ -270,6 +293,12 @@ MoodEngine ExperimentHarness::make_engine(
   mood_config.seed = seed_;
   return MoodEngine(registry_.singles(), registry_.multi_compositions(),
                     attack_views(attack_subset), &metric_, mood_config);
+}
+
+decision::DecisionKernel ExperimentHarness::make_kernel(
+    const std::vector<std::size_t>& attack_subset,
+    decision::KernelConfig kernel_config) const {
+  return decision::DecisionKernel(make_engine(attack_subset), kernel_config);
 }
 
 StrategyResult ExperimentHarness::evaluate_mood_search(

@@ -24,7 +24,8 @@
 #include "attacks/attack.h"
 #include "attacks/suite.h"
 #include "core/hybrid.h"
-#include "core/mood_engine.h"
+#include "decision/kernel.h"
+#include "decision/mood_engine.h"
 #include "lppm/heatmap_confusion.h"
 #include "lppm/registry.h"
 #include "metrics/data_loss.h"
@@ -32,6 +33,17 @@
 #include "mobility/dataset.h"
 
 namespace mood::core {
+
+// The decision procedure itself lives one layer down (mood::decision, the
+// library shared with the online gateway); the harness's result types are
+// built from its vocabulary, so core re-exports those spellings.
+using decision::MoodConfig;
+using decision::MoodEngine;
+using decision::ProtectedPiece;
+using decision::ProtectionLevel;
+using decision::ProtectionResult;
+using decision::renew_ids;
+using decision::to_string;
 
 /// Full experimental configuration with the paper's defaults.
 struct ExperimentConfig {
@@ -86,6 +98,27 @@ struct MoodUserOutcome {
   std::size_t attack_invocations = 0;
 
   [[nodiscard]] bool fully_protected() const { return lost_records == 0; }
+};
+
+/// Per-user outcome of the gateway decision procedure run in batch mode
+/// (one DecisionKernel pass over the full test trace): expose when no
+/// trained attack re-identifies the raw trace, otherwise protect with the
+/// whole-trace mechanism-search winner. This is exactly what the online
+/// gateway's finish() converges to on a non-lossy window — `mood replay`
+/// verifies the streamed decisions against this evaluator.
+struct GatewayOutcome {
+  mobility::UserId user;
+  decision::Decision decision = decision::Decision::kExpose;
+  std::string winner;          ///< "" when exposed or nothing protects
+  std::size_t records = 0;     ///< user's original (test) records
+};
+
+/// Aggregated result of the batch gateway pass.
+struct GatewayResult {
+  std::vector<GatewayOutcome> users;  ///< in pairs() order
+  double wall_seconds = 0.0;
+
+  [[nodiscard]] std::size_t exposed_users() const;
 };
 
 /// Aggregate view of the full-MooD outcomes.
@@ -152,10 +185,25 @@ class ExperimentHarness {
   [[nodiscard]] MoodResult evaluate_mood_full(
       const std::vector<std::size_t>& attack_subset = {}) const;
 
+  /// The online decision procedure in batch clothing: one DecisionKernel
+  /// pass per full test trace (fold everything, finalise). The expose set
+  /// equals evaluate_no_lppm's protected set and every at-risk user's
+  /// winner equals the whole-trace search — structurally, because all
+  /// three run through the same kernel.
+  [[nodiscard]] GatewayResult evaluate_gateway(
+      const std::vector<std::size_t>& attack_subset = {}) const;
+
   /// Builds a MooD engine over the given attack subset (exposed so
   /// examples/benches can drive Algorithm 1 directly).
   [[nodiscard]] MoodEngine make_engine(
       const std::vector<std::size_t>& attack_subset = {}) const;
+
+  /// Builds the shared batch/stream decision kernel over the given attack
+  /// subset. The default KernelConfig (no window, always fresh) is what
+  /// every batch evaluator uses; the streaming gateway passes its own.
+  [[nodiscard]] decision::DecisionKernel make_kernel(
+      const std::vector<std::size_t>& attack_subset = {},
+      decision::KernelConfig kernel_config = {}) const;
 
   /// Routes every trained attack through the pre-optimization reference
   /// scans (Attack::set_reference_mode) — the A/B switch the perf bench

@@ -1,10 +1,10 @@
-#include "core/mood_engine.h"
+#include "decision/mood_engine.h"
 
 #include <limits>
 
 #include "support/error.h"
 
-namespace mood::core {
+namespace mood::decision {
 
 std::string to_string(ProtectionLevel level) {
   switch (level) {
@@ -211,4 +211,4 @@ void renew_ids(std::vector<ProtectedPiece>& pieces,
   }
 }
 
-}  // namespace mood::core
+}  // namespace mood::decision

@@ -29,7 +29,7 @@
 #include "metrics/distortion.h"
 #include "mobility/trace.h"
 
-namespace mood::core {
+namespace mood::decision {
 
 /// How a piece of data ended up protected.
 enum class ProtectionLevel {
@@ -174,4 +174,4 @@ class MoodEngine {
 void renew_ids(std::vector<ProtectedPiece>& pieces,
                const mobility::UserId& owner);
 
-}  // namespace mood::core
+}  // namespace mood::decision

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <numeric>
 
 #include "geo/geo.h"
@@ -116,6 +117,74 @@ CompiledMarkovProfile::CompiledMarkovProfile(const MarkovProfile& source) {
     states_.push_back(
         CompiledMarkovState{geo::trig_point(state.center), state.weight});
   }
+}
+
+CompiledMarkovProfile CompiledMarkovProfile::from_states(
+    const std::vector<clustering::Poi>& states) {
+  CompiledMarkovProfile profile;
+  if (states.empty()) return profile;
+
+  // Same ranking and weight arithmetic as MarkovProfile::from_trace, so
+  // the compiled states are bit-identical to routing through the full
+  // MarkovProfile (whose transition matrix the compiled form never reads).
+  std::size_t total_records = 0;
+  for (const auto& s : states) total_records += s.record_count;
+
+  std::vector<std::size_t> rank(states.size());
+  std::iota(rank.begin(), rank.end(), 0);
+  std::stable_sort(rank.begin(), rank.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return states[a].record_count > states[b].record_count;
+                   });
+
+  profile.states_.reserve(states.size());
+  for (std::size_t r = 0; r < rank.size(); ++r) {
+    const auto& poi = states[rank[r]];
+    profile.states_.push_back(CompiledMarkovState{
+        geo::trig_point(poi.center),
+        static_cast<double>(poi.record_count) /
+            static_cast<double>(total_records)});
+  }
+  return profile;
+}
+
+CompiledMarkovProfile::CompiledMarkovProfile(
+    const CompiledMarkovProfile& other)
+    : states_(other.states_),
+      stays_(other.stays_ ? std::make_unique<clustering::TrackedVisitStates>(
+                                *other.stays_)
+                          : nullptr) {}
+
+CompiledMarkovProfile& CompiledMarkovProfile::operator=(
+    const CompiledMarkovProfile& other) {
+  if (this != &other) *this = CompiledMarkovProfile(other);
+  return *this;
+}
+
+CompiledMarkovProfile CompiledMarkovProfile::incremental(
+    const mobility::Trace& trace, const clustering::PoiParams& params) {
+  CompiledMarkovProfile profile;
+  profile.stays_ = std::make_unique<clustering::TrackedVisitStates>(params);
+  profile.stays_->update(trace, trace.size(), 0);
+  profile.states_ = from_states(profile.stays_->states()).states_;
+  return profile;
+}
+
+void CompiledMarkovProfile::apply_update(const mobility::Trace& window,
+                                         std::size_t appended,
+                                         std::size_t evicted) {
+  support::expects(updatable(),
+                   "CompiledMarkovProfile::apply_update: profile was not "
+                   "built by incremental() (stay tracker not retained)");
+  stays_->update(window, appended, evicted);
+  states_ = from_states(stays_->states()).states_;
+}
+
+const clustering::StayTracker& CompiledMarkovProfile::tracker() const {
+  support::expects(updatable(),
+                   "CompiledMarkovProfile::tracker: profile was not built "
+                   "by incremental()");
+  return stays_->tracker();
 }
 
 double stats_prox_distance(const CompiledMarkovProfile& a,

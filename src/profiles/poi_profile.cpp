@@ -1,8 +1,10 @@
 #include "profiles/poi_profile.h"
 
 #include <limits>
+#include <memory>
 
 #include "geo/geo.h"
+#include "support/error.h"
 
 namespace mood::profiles {
 
@@ -34,6 +36,54 @@ CompiledPoiProfile::CompiledPoiProfile(const PoiProfile& source) {
   for (const auto& poi : source.pois()) {
     centers_.push_back(geo::trig_point(poi.center));
   }
+}
+
+CompiledPoiProfile CompiledPoiProfile::from_states(
+    const std::vector<clustering::Poi>& states) {
+  CompiledPoiProfile profile;
+  profile.centers_.reserve(states.size());
+  for (const auto& poi : states) {
+    profile.centers_.push_back(geo::trig_point(poi.center));
+  }
+  return profile;
+}
+
+CompiledPoiProfile::CompiledPoiProfile(const CompiledPoiProfile& other)
+    : centers_(other.centers_),
+      stays_(other.stays_ ? std::make_unique<clustering::TrackedVisitStates>(
+                                *other.stays_)
+                          : nullptr) {}
+
+CompiledPoiProfile& CompiledPoiProfile::operator=(
+    const CompiledPoiProfile& other) {
+  if (this != &other) *this = CompiledPoiProfile(other);
+  return *this;
+}
+
+CompiledPoiProfile CompiledPoiProfile::incremental(
+    const mobility::Trace& trace, const clustering::PoiParams& params) {
+  CompiledPoiProfile profile;
+  profile.stays_ = std::make_unique<clustering::TrackedVisitStates>(params);
+  profile.stays_->update(trace, trace.size(), 0);
+  profile.centers_ = from_states(profile.stays_->states()).centers_;
+  return profile;
+}
+
+void CompiledPoiProfile::apply_update(const mobility::Trace& window,
+                                      std::size_t appended,
+                                      std::size_t evicted) {
+  support::expects(updatable(),
+                   "CompiledPoiProfile::apply_update: profile was not built "
+                   "by incremental() (stay tracker not retained)");
+  stays_->update(window, appended, evicted);
+  centers_ = from_states(stays_->states()).centers_;
+}
+
+const clustering::StayTracker& CompiledPoiProfile::tracker() const {
+  support::expects(updatable(),
+                   "CompiledPoiProfile::tracker: profile was not built by "
+                   "incremental()");
+  return stays_->tracker();
 }
 
 double poi_profile_distance(const CompiledPoiProfile& a,

@@ -13,6 +13,15 @@ namespace mood::report {
 
 namespace {
 
+/// Fixed-precision decimal for the human-readable summary tables.
+std::string fixed(double value, int precision) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(precision);
+  out << value;
+  return out.str();
+}
+
 /// Distortions can be +infinity (empty output); numbers stored as doubles
 /// already serialize non-finite values to null, so no clamping needed here.
 Json bands_json(const std::array<std::size_t, 4>& bands) {
@@ -231,13 +240,6 @@ std::vector<std::vector<std::string>> bench_summary_rows(
   std::vector<std::vector<std::string>> rows;
   rows.push_back({"benchmark", "queries", "reference_s", "optimized_s",
                   "speedup", "agreement"});
-  auto fixed = [](double value, int precision) {
-    std::ostringstream out;
-    out.setf(std::ios::fixed);
-    out.precision(precision);
-    out << value;
-    return out.str();
-  };
   for (const auto& benchmark : cases) {
     rows.push_back({benchmark.name, std::to_string(benchmark.queries),
                     fixed(benchmark.reference_seconds, 3),
@@ -309,7 +311,9 @@ Json make_stream_report(const RunMetadata& meta, Json dataset,
   Json cost = Json::object();
   cost["searches"] = result.stats.searches;
   cost["rechecks"] = result.stats.rechecks;
-  cost["profile_rebuilds"] = result.stats.profile_rebuilds;
+  cost["profile_refreshes"] = result.stats.profile_refreshes;
+  cost["stay_updates"] = result.stats.stay_updates;
+  cost["stay_rebuilds"] = result.stats.stay_rebuilds;
   cost["heatmap_updates"] = result.stats.heatmap_updates;
   cost["evicted_points"] = result.stats.evicted_points;
   cost["evicted_users"] = result.stats.evicted_users;
@@ -333,13 +337,6 @@ std::vector<std::vector<std::string>> stream_summary_rows(
     const stream::ReplayResult& result) {
   std::vector<std::vector<std::string>> rows;
   rows.push_back({"metric", "value"});
-  auto fixed = [](double value, int precision) {
-    std::ostringstream out;
-    out.setf(std::ios::fixed);
-    out.precision(precision);
-    out << value;
-    return out.str();
-  };
   std::size_t exposed_users = 0;
   for (const auto& decision : result.decisions) {
     exposed_users += decision.decision == stream::Decision::kExpose ? 1 : 0;
@@ -357,6 +354,70 @@ std::vector<std::vector<std::string>> stream_summary_rows(
                   std::to_string(result.decisions.size() - exposed_users)});
   rows.push_back({"searches", std::to_string(result.stats.searches)});
   rows.push_back({"rechecks", std::to_string(result.stats.rechecks)});
+  rows.push_back({"profile_refreshes",
+                  std::to_string(result.stats.profile_refreshes)});
+  rows.push_back(
+      {"stay_rebuilds", std::to_string(result.stats.stay_rebuilds)});
+  return rows;
+}
+
+std::vector<std::vector<std::string>> stream_summary_rows(
+    const Json& stream_document) {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"metric", "value"});
+  const Json* replay = stream_document.find("replay");
+  if (replay == nullptr) return rows;
+  auto count = [&](const Json& object, const char* key) {
+    return std::to_string(object.int_or(key, 0));
+  };
+  rows.push_back({"events", count(*replay, "events")});
+  rows.push_back({"batches", count(*replay, "batches")});
+  rows.push_back({"users", count(*replay, "users")});
+  rows.push_back(
+      {"wall_seconds", fixed(replay->number_or("wall_seconds", 0.0), 3)});
+  rows.push_back({"events_per_second",
+                  fixed(replay->number_or("events_per_second", 0.0), 1)});
+  if (const Json* latency = replay->find("latency_seconds")) {
+    rows.push_back(
+        {"latency_p50_ms", fixed(latency->number_or("p50", 0.0) * 1e3, 3)});
+    rows.push_back(
+        {"latency_p95_ms", fixed(latency->number_or("p95", 0.0) * 1e3, 3)});
+    rows.push_back(
+        {"latency_p99_ms", fixed(latency->number_or("p99", 0.0) * 1e3, 3)});
+  }
+  if (const Json* decisions = replay->find("decisions")) {
+    rows.push_back({"exposed_users", count(*decisions, "exposed_users")});
+    rows.push_back({"protected_users", count(*decisions, "protected_users")});
+  }
+  if (const Json* cost = replay->find("cost")) {
+    rows.push_back({"searches", count(*cost, "searches")});
+    rows.push_back({"rechecks", count(*cost, "rechecks")});
+    rows.push_back({"profile_refreshes", count(*cost, "profile_refreshes")});
+    rows.push_back({"stay_rebuilds", count(*cost, "stay_rebuilds")});
+  }
+  return rows;
+}
+
+std::vector<std::vector<std::string>> bench_summary_rows(
+    const Json& bench_document) {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"benchmark", "queries", "reference_s", "optimized_s",
+                  "speedup", "agreement"});
+  const Json* benchmarks = bench_document.find("benchmarks");
+  if (benchmarks == nullptr || !benchmarks->is_array()) return rows;
+  for (const Json& benchmark : benchmarks->items()) {
+    rows.push_back(
+        {benchmark.string_or("name", "?"),
+         std::to_string(benchmark.int_or("queries", 0)),
+         fixed(benchmark.number_or("reference_seconds", 0.0), 3),
+         fixed(benchmark.number_or("optimized_seconds", 0.0), 3),
+         fixed(benchmark.number_or("speedup", 0.0), 1) + "x",
+         [&] {
+           const Json* agree = benchmark.find("agreement");
+           return agree != nullptr && agree->is_bool() && agree->as_bool();
+         }() ? "yes"
+             : "NO"});
+  }
   return rows;
 }
 

@@ -56,7 +56,7 @@
 
 #include "core/experiment.h"
 #include "core/inference_bench.h"
-#include "core/mood_engine.h"
+#include "decision/mood_engine.h"
 #include "mobility/dataset.h"
 #include "report/json.h"
 #include "stream/engine.h"
@@ -111,10 +111,11 @@ inline constexpr const char* kBenchSchema = "mood-bench/1";
 ///                          "max": ..., "mean": ...},
 ///     "decisions": {"exposed_events": ..., "protected_events": ...,
 ///                    "exposed_users": ..., "protected_users": ...},
-///     "cost": {"searches": ..., "rechecks": ..., "profile_rebuilds": ...,
-///               "heatmap_updates": ..., "evicted_points": ...,
-///               "evicted_users": ..., "lppm_applications": ...,
-///               "attack_invocations": ...},
+///     "cost": {"searches": ..., "rechecks": ...,
+///               "profile_refreshes": ..., "stay_updates": ...,
+///               "stay_rebuilds": ..., "heatmap_updates": ...,
+///               "evicted_points": ..., "evicted_users": ...,
+///               "lppm_applications": ..., "attack_invocations": ...},
 ///     "batch_match": true  // replayed final decisions == batch evaluators
 ///                          // (null when verification was skipped)
 ///   },
@@ -207,10 +208,21 @@ Json make_stream_report(const RunMetadata& meta, Json dataset,
                         bool include_users = true);
 
 /// Key-figure rows (header first) for one replay result: events, rate,
-/// latency percentiles, decision split — the human-readable companion of
-/// the mood-stream/1 document.
+/// latency percentiles, decision split, profile-maintenance cost — the
+/// human-readable companion of the mood-stream/1 document.
 std::vector<std::vector<std::string>> stream_summary_rows(
     const stream::ReplayResult& result);
+
+/// Same key-figure rows extracted from an already-serialized mood-stream/1
+/// document (`mood report` renders foreign stream files through this).
+std::vector<std::vector<std::string>> stream_summary_rows(
+    const Json& stream_document);
+
+/// One summary row per benchmark case extracted from a mood-bench/1
+/// document (header first): name, queries, reference_s, optimized_s,
+/// speedup, agreement.
+std::vector<std::vector<std::string>> bench_summary_rows(
+    const Json& bench_document);
 
 // ---- Domain -> CSV ---------------------------------------------------
 

@@ -3,35 +3,22 @@
 #include <algorithm>
 #include <utility>
 
-#include "attacks/ap_attack.h"
-#include "attacks/pit_attack.h"
-#include "attacks/poi_attack.h"
 #include "support/error.h"
 #include "support/thread_pool.h"
 
 namespace mood::stream {
 
 namespace {
-constexpr std::size_t kNeverSearched = static_cast<std::size_t>(-1);
 constexpr auto kRelaxed = std::memory_order_relaxed;
 }  // namespace
 
-StreamEngine::StreamEngine(core::MoodEngine engine, StreamConfig config)
-    : engine_(std::move(engine)),
+StreamEngine::StreamEngine(decision::MoodEngine engine, StreamConfig config)
+    : kernel_(std::move(engine),
+              decision::KernelConfig{config.window_seconds, config.max_points,
+                                     config.staleness_points}),
       config_(config),
       store_(StoreConfig{config.shards, config.max_users_per_shard}) {
   support::expects(config_.shards > 0, "StreamEngine: shards must be > 0");
-  for (const auto* attack : engine_.attacks()) {
-    if (ap_ == nullptr) {
-      ap_ = dynamic_cast<const attacks::ApAttack*>(attack);
-      if (ap_ != nullptr) continue;
-    }
-    if (pit_ == nullptr) {
-      pit_ = dynamic_cast<const attacks::PitAttack*>(attack);
-      if (pit_ != nullptr) continue;
-    }
-    if (poi_ == nullptr) poi_ = dynamic_cast<const attacks::PoiAttack*>(attack);
-  }
 }
 
 void StreamEngine::ingest(const StreamEvent& event) {
@@ -39,171 +26,21 @@ void StreamEngine::ingest(const StreamEvent& event) {
   events_.fetch_add(1, kRelaxed);
 }
 
-std::size_t StreamEngine::fold(UserState& state) {
-  if (state.pending.empty()) return 0;
-  if (state.window.empty() && state.window.tracked_slice() == 0) {
-    // Fresh (or LRU-recycled) window: enable O(1) preslice bookkeeping so
-    // window_slices snapshots never re-scan the timestamps.
-    state.window.track_slices(engine_.config().preslice);
-  }
-  std::vector<mobility::Record> added = std::move(state.pending);
+std::size_t StreamEngine::fold_pending(UserState& state) {
+  const std::vector<mobility::Record> pending = std::move(state.pending);
   state.pending.clear();
-  for (const auto& record : added) state.window.append(record);
-
-  // Evict expired / over-cap points from the front. The newest record is
-  // never evicted (its own age is zero), so the window stays non-empty.
-  std::size_t expired = 0;
-  const auto& records = state.window.records();
-  if (config_.window_seconds > 0) {
-    const mobility::Timestamp cutoff =
-        state.window.back().time - config_.window_seconds;
-    while (expired < records.size() && records[expired].time <= cutoff) {
-      ++expired;
-    }
-  }
-  if (config_.max_points > 0 && records.size() - expired > config_.max_points) {
-    expired = records.size() - config_.max_points;
-  }
-  std::vector<mobility::Record> evicted(
-      records.begin(), records.begin() + static_cast<std::ptrdiff_t>(expired));
-  if (expired > 0) {
-    state.window.drop_front(expired);
-    evicted_points_.fetch_add(expired, kRelaxed);
-  }
-
-  if (ap_ != nullptr) {
-    if (!state.heatmap_built) {
-      state.heatmap = profiles::CompiledHeatmap::incremental(state.window,
-                                                             ap_->grid());
-      state.heatmap_built = true;
-    } else {
-      state.heatmap.apply_update(added, evicted, ap_->grid());
-    }
-    heatmap_updates_.fetch_add(1, kRelaxed);
-  }
-  state.stale_points += added.size() + evicted.size();
-  state.events += added.size();
-  return added.size();
-}
-
-void StreamEngine::refresh_profiles(UserState& state, bool force) {
-  if (pit_ == nullptr && poi_ == nullptr) return;
-  const bool stale = !state.profiles_built || state.stale_points > 0;
-  if (!stale) return;
-  if (!force && config_.staleness_points > 0 && state.profiles_built &&
-      state.stale_points < config_.staleness_points) {
-    return;  // within the staleness bound — keep serving the cached forms
-  }
-  if (pit_ != nullptr) state.markov = pit_->compile_anonymous(state.window);
-  if (poi_ != nullptr) state.poi = poi_->compile_anonymous(state.window);
-  state.profiles_built = true;
-  state.stale_points = 0;
-  profile_rebuilds_.fetch_add(1, kRelaxed);
-}
-
-bool StreamEngine::at_risk(const UserState& state) {
-  // Same predicate as the batch no-LPPM evaluator: does any trained attack
-  // re-identify the raw window? Walked in suite order; the OR is
-  // order-independent, the early exit only saves work.
-  for (const auto* attack : engine_.attacks()) {
-    attack_invocations_.fetch_add(1, kRelaxed);
-    bool caught = false;
-    if (attack == ap_) {
-      caught = ap_->reidentifies_compiled(state.heatmap, state.user);
-    } else if (attack == pit_) {
-      caught = pit_->reidentifies_compiled(state.markov, state.user);
-    } else if (attack == poi_) {
-      caught = poi_->reidentifies_compiled(state.poi, state.user);
-    } else {
-      caught = attack->reidentifies_target(state.window, state.user);
-    }
-    if (caught) return true;
-  }
-  return false;
-}
-
-void StreamEngine::select_mechanism(UserState& state, bool force_search) {
-  core::ProtectionResult cost;
-  if (!force_search && !state.winner.empty()) {
-    // Cheap path: does the mechanism selected earlier still defeat every
-    // attack on the grown window?
-    ++state.rechecks;
-    rechecks_.fetch_add(1, kRelaxed);
-    if (engine_.recheck(state.winner, state.window, &cost)) {
-      lppm_applications_.fetch_add(cost.lppm_applications, kRelaxed);
-      attack_invocations_.fetch_add(cost.attack_invocations, kRelaxed);
-      return;
-    }
-  }
-  const auto candidate = engine_.search(state.window, &cost);
-  lppm_applications_.fetch_add(cost.lppm_applications, kRelaxed);
-  attack_invocations_.fetch_add(cost.attack_invocations, kRelaxed);
-  state.winner = candidate ? candidate->lppm : std::string{};
-  state.searched_points = state.window.size();
-  ++state.searches;
-  searches_.fetch_add(1, kRelaxed);
-}
-
-void StreamEngine::decide(UserState& state) {
-  const std::size_t folded = fold(state);
-  if (folded == 0) return;
-  refresh_profiles(state, /*force=*/false);
-
-  const bool risk = at_risk(state);
-  const Decision decision = risk ? Decision::kProtect : Decision::kExpose;
-  if (state.has_decision && decision != state.decision) {
-    ++state.risk_transitions;
-  }
-  state.has_decision = true;
-  state.decision = decision;
-
-  if (risk) {
-    select_mechanism(state, /*force_search=*/state.winner.empty());
-    protected_events_.fetch_add(folded, kRelaxed);
-  } else {
-    state.winner.clear();
-    state.searched_points = kNeverSearched;
-    exposed_events_.fetch_add(folded, kRelaxed);
-  }
-  decisions_.fetch_add(1, kRelaxed);
-}
-
-void StreamEngine::finalize(UserState& state) {
-  // Fold any points that arrived after the last drain (the replay driver
-  // always drains, so this is a safety net for direct engine users).
-  const std::size_t folded = fold(state);
-  if (state.window.empty()) return;
-  refresh_profiles(state, /*force=*/true);
-
-  const bool risk = at_risk(state);
-  const Decision decision = risk ? Decision::kProtect : Decision::kExpose;
-  if (state.has_decision && decision != state.decision) {
-    ++state.risk_transitions;
-  }
-  state.has_decision = true;
-  state.decision = decision;
-
-  if (risk) {
-    // Canonicalise: unless the last full search already saw exactly this
-    // window, re-search so the reported winner is what the batch
-    // evaluator's search would pick on the final window.
-    if (state.searched_points != state.window.size()) {
-      select_mechanism(state, /*force_search=*/true);
-    }
-    protected_events_.fetch_add(folded, kRelaxed);
-  } else {
-    state.winner.clear();
-    state.searched_points = kNeverSearched;
-    exposed_events_.fetch_add(folded, kRelaxed);
-  }
-  if (folded > 0) decisions_.fetch_add(1, kRelaxed);
+  return kernel_.fold(state.kernel, pending);
 }
 
 std::size_t StreamEngine::drain() {
   std::atomic<std::size_t> decided{0};
   const auto drain_one = [&](std::size_t shard) {
     decided.fetch_add(
-        store_.drain_shard(shard, [&](UserState& state) { decide(state); }),
+        store_.drain_shard(shard,
+                           [&](UserState& state) {
+                             kernel_.decide(state.kernel,
+                                            fold_pending(state));
+                           }),
         kRelaxed);
   };
   if (config_.parallel_drain && store_.shard_count() > 1) {
@@ -216,23 +53,28 @@ std::size_t StreamEngine::drain() {
 }
 
 void StreamEngine::finish() {
-  store_.for_each([&](UserState& state) { finalize(state); });
+  store_.for_each([&](UserState& state) {
+    // Fold any points that arrived after the last drain (the replay
+    // driver always drains, so this is a safety net for direct engine
+    // users), then run the kernel's canonical final decision.
+    kernel_.finalize(state.kernel, fold_pending(state));
+  });
 }
 
 std::vector<UserDecision> StreamEngine::decisions() const {
   std::vector<UserDecision> out;
   store_.for_each([&](const UserState& state) {
+    const decision::UserKernelState& k = state.kernel;
     UserDecision d;
     d.user = state.user;
-    d.decision = state.decision;
-    d.winner = state.winner;
-    d.events = state.events;
-    d.risk_transitions = state.risk_transitions;
-    d.searches = state.searches;
-    d.window_points = state.window.size();
-    d.window_slices = state.window.tracked_slice() > 0
-                          ? state.window.slice_count(
-                                state.window.tracked_slice())
+    d.decision = k.decision;
+    d.winner = k.winner;
+    d.events = k.events;
+    d.risk_transitions = k.risk_transitions;
+    d.searches = k.searches;
+    d.window_points = k.window.size();
+    d.window_slices = k.window.tracked_slice() > 0
+                          ? k.window.slice_count(k.window.tracked_slice())
                           : 0;
     out.push_back(std::move(d));
   });
@@ -244,20 +86,23 @@ std::vector<UserDecision> StreamEngine::decisions() const {
 }
 
 StreamStats StreamEngine::stats() const {
+  const decision::KernelStats kernel = kernel_.stats();
   StreamStats s;
   s.events = events_.load();
   s.batches = batches_.load();
-  s.decisions = decisions_.load();
-  s.exposed_events = exposed_events_.load();
-  s.protected_events = protected_events_.load();
-  s.searches = searches_.load();
-  s.rechecks = rechecks_.load();
-  s.profile_rebuilds = profile_rebuilds_.load();
-  s.heatmap_updates = heatmap_updates_.load();
-  s.evicted_points = evicted_points_.load();
+  s.decisions = kernel.decisions;
+  s.exposed_events = kernel.exposed_events;
+  s.protected_events = kernel.protected_events;
+  s.searches = kernel.searches;
+  s.rechecks = kernel.rechecks;
+  s.profile_refreshes = kernel.profile_refreshes;
+  s.stay_updates = kernel.stay_updates;
+  s.stay_rebuilds = kernel.stay_rebuilds;
+  s.heatmap_updates = kernel.heatmap_updates;
+  s.evicted_points = kernel.evicted_points;
   s.evicted_users = store_.eviction_count();
-  s.lppm_applications = lppm_applications_.load();
-  s.attack_invocations = attack_invocations_.load();
+  s.lppm_applications = kernel.lppm_applications;
+  s.attack_invocations = kernel.attack_invocations;
   return s;
 }
 

@@ -1,70 +1,62 @@
 #pragma once
 
 /// \file engine.h
-/// StreamEngine — the online MooD gateway's decision pipeline.
+/// StreamEngine — the online MooD gateway's ingest and scheduling layer.
 ///
 /// The batch harness answers "is this user protected?" once per dataset;
-/// the gateway answers it continuously. Events enqueue O(1) into the
-/// sharded UserStateStore (ingest path, any thread); drain() then decides
-/// every user that received points since the last drain — one task per
-/// shard on the shared ThreadPool — in three steps per user:
+/// the gateway answers it continuously. Since PR 5 the per-user decision
+/// procedure itself — window folding, incremental compiled profiles for
+/// all three attacks, targeted branch-and-bound risk queries, the
+/// keep/recheck/search mechanism-selection policy — lives in
+/// decision::DecisionKernel, shared verbatim with the batch evaluators
+/// (ExperimentHarness::evaluate_gateway). What remains here is the online
+/// plumbing around it:
 ///
-///   1. *Fold*: pending points append to the sliding window (configurable
-///      time span / point cap; expired points evicted from the front) and
-///      the per-user compiled profiles are maintained: the AP heatmap
-///      incrementally and exactly (CompiledHeatmap::apply_update — counts
-///      are integers, so the folded form is bit-identical to a from-
-///      scratch compile), the PIT/POI profiles by full recompile under a
-///      staleness bound (staleness_points; 0 = recompile every fold).
-///   2. *Risk*: every trained attack runs its targeted
-///      "re-identifies this user?" query against the compiled window
-///      profiles (the PR 3 branch-and-bound fast path — no full argmin).
-///   3. *Select*: no attack bites -> expose (publish raw). Otherwise
-///      protect: if the previously selected mechanism still defeats all
-///      attacks on the grown window (one LPPM application — recheck), keep
-///      it; else re-run the full MooD mechanism search. This is the
-///      "re-select only when the decision may have changed" rule: clean
-///      users are never touched, and at-risk users pay a full search only
-///      on expose->protect transitions or when their mechanism breaks.
+///   * ingest(): events enqueue O(1) into the sharded UserStateStore
+///     (any thread);
+///   * drain(): one task per shard on the shared ThreadPool; every user
+///     that received points since the last drain is folded
+///     (kernel.fold — window deltas + incremental profile maintenance)
+///     and decided (kernel.decide — risk + mechanism selection);
+///   * finish(): folds leftovers and kernel.finalize()s every resident
+///     user, so the final per-user decisions and winners are exactly what
+///     the kernel's batch pass computes on the final window — a
+///     structural property now, since both modes execute the same kernel
+///     code, and still CI-verified end to end by `mood replay`.
 ///
 /// Determinism invariants (CI-enforced):
 ///   * A user's decision sequence is a pure function of that user's event
 ///     sequence and the micro-batch boundaries — never of the shard
-///     count, --jobs, or wall-clock timing.
-///   * finish() folds any leftovers, refreshes stale profiles, and re-runs
-///     risk + full search for at-risk users, so the *final* per-user
-///     decisions and winners are exactly the batch evaluators' answers on
-///     the final window (bit-identical when the window is unbounded),
-///     whatever staleness or recheck short-cuts were taken mid-stream.
+///     count, --jobs, or wall-clock timing. The kernel's incremental
+///     profile state is likewise a pure function of the window content
+///     (chunk-independent), so batch size cannot leak into decisions.
+///   * finish() canonicalises winners whatever staleness or recheck
+///     short-cuts were taken mid-stream.
 
 #include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
 
-#include "core/mood_engine.h"
+#include "decision/kernel.h"
 #include "stream/event.h"
 #include "stream/user_state.h"
 
-namespace mood::attacks {
-class ApAttack;
-class PitAttack;
-class PoiAttack;
-}  // namespace mood::attacks
-
 namespace mood::stream {
 
-/// Gateway tuning knobs.
+/// Gateway tuning knobs. The window/staleness subset configures the
+/// embedded DecisionKernel; the rest is scheduling.
 struct StreamConfig {
   std::size_t shards = 8;               ///< user-state shards (> 0)
   mobility::Timestamp window_seconds = 0;  ///< sliding window span; 0 = keep all
   std::size_t max_points = 0;           ///< per-user point cap; 0 = unbounded
   std::size_t max_users_per_shard = 0;  ///< LRU capacity; 0 = unbounded
-  std::size_t staleness_points = 0;     ///< PIT/POI rebuild bound; 0 = every fold
+  std::size_t staleness_points = 0;     ///< PIT/POI refresh bound; 0 = every fold
   bool parallel_drain = true;           ///< shard tasks on the shared pool
 };
 
-/// Aggregate gateway counters (monotonic; snapshot via stats()).
+/// Aggregate gateway counters (monotonic; snapshot via stats()). Mostly a
+/// re-export of the kernel's counters plus the store/scheduler ones.
 struct StreamStats {
   std::uint64_t events = 0;            ///< ingested
   std::uint64_t batches = 0;           ///< drain() calls
@@ -73,7 +65,9 @@ struct StreamStats {
   std::uint64_t protected_events = 0;  ///< events carried by protect verdicts
   std::uint64_t searches = 0;          ///< full mechanism selections
   std::uint64_t rechecks = 0;          ///< cheap current-winner re-checks
-  std::uint64_t profile_rebuilds = 0;  ///< PIT/POI window recompiles
+  std::uint64_t profile_refreshes = 0; ///< PIT/POI compiled-form refreshes
+  std::uint64_t stay_updates = 0;      ///< incremental stay-tracker syncs
+  std::uint64_t stay_rebuilds = 0;     ///< full re-extractions among them
   std::uint64_t heatmap_updates = 0;   ///< incremental AP folds
   std::uint64_t evicted_points = 0;    ///< records expired out of windows
   std::uint64_t evicted_users = 0;     ///< LRU evictions (store)
@@ -96,8 +90,9 @@ struct UserDecision {
 class StreamEngine {
  public:
   /// Takes ownership of a configured MoodEngine (typically
-  /// harness.make_engine()); its attacks must outlive this object.
-  StreamEngine(core::MoodEngine engine, StreamConfig config);
+  /// harness.make_engine()) and wraps it in the shared decision kernel;
+  /// the engine's attacks must outlive this object.
+  StreamEngine(decision::MoodEngine engine, StreamConfig config);
 
   /// Enqueues one event (thread-safe, O(1)).
   void ingest(const StreamEvent& event);
@@ -105,10 +100,11 @@ class StreamEngine {
   /// Decides every user with pending points; returns users decided.
   std::size_t drain();
 
-  /// Final flush: folds leftovers, refreshes stale profiles, re-runs risk
-  /// and canonicalises winners (full search on the final window for every
-  /// at-risk user not already searched there). Call once, after the last
-  /// drain(); excluded from throughput accounting by the replay driver.
+  /// Final flush: folds leftovers and runs the kernel's canonical
+  /// finalize on every resident user (full search on the final window for
+  /// every at-risk user not already searched there). Call once, after the
+  /// last drain(); excluded from throughput accounting by the replay
+  /// driver.
   void finish();
 
   /// Snapshot of every resident user's final state, sorted by user id.
@@ -116,41 +112,24 @@ class StreamEngine {
 
   [[nodiscard]] StreamStats stats() const;
   [[nodiscard]] const StreamConfig& config() const { return config_; }
-  [[nodiscard]] const core::MoodEngine& engine() const { return engine_; }
+  [[nodiscard]] const decision::DecisionKernel& kernel() const {
+    return kernel_;
+  }
+  [[nodiscard]] const decision::MoodEngine& engine() const {
+    return kernel_.engine();
+  }
   [[nodiscard]] std::size_t user_count() const { return store_.user_count(); }
 
  private:
-  /// Folds pending points into the window + profiles, then decides.
-  void decide(UserState& state);
-  /// finish()-path: refresh + canonical re-decision (no new points).
-  void finalize(UserState& state);
-  /// Folds state.pending into window/profiles; returns points folded.
-  std::size_t fold(UserState& state);
-  void refresh_profiles(UserState& state, bool force);
-  [[nodiscard]] bool at_risk(const UserState& state);
-  void select_mechanism(UserState& state, bool force_search);
+  /// Folds state.pending through the kernel; returns points folded.
+  std::size_t fold_pending(UserState& state);
 
-  core::MoodEngine engine_;
+  decision::DecisionKernel kernel_;
   StreamConfig config_;
   UserStateStore store_;
 
-  // Typed fast-path views into engine_.attacks() (null when absent).
-  const attacks::ApAttack* ap_ = nullptr;
-  const attacks::PitAttack* pit_ = nullptr;
-  const attacks::PoiAttack* poi_ = nullptr;
-
   std::atomic<std::uint64_t> events_{0};
   std::atomic<std::uint64_t> batches_{0};
-  std::atomic<std::uint64_t> decisions_{0};
-  std::atomic<std::uint64_t> exposed_events_{0};
-  std::atomic<std::uint64_t> protected_events_{0};
-  std::atomic<std::uint64_t> searches_{0};
-  std::atomic<std::uint64_t> rechecks_{0};
-  std::atomic<std::uint64_t> profile_rebuilds_{0};
-  std::atomic<std::uint64_t> heatmap_updates_{0};
-  std::atomic<std::uint64_t> evicted_points_{0};
-  std::atomic<std::uint64_t> lppm_applications_{0};
-  std::atomic<std::uint64_t> attack_invocations_{0};
 };
 
 }  // namespace mood::stream

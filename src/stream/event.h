@@ -11,8 +11,8 @@
 /// raw (expose) or needs a protection mechanism (protect).
 
 #include <cstdint>
-#include <string>
 
+#include "decision/kernel.h"
 #include "mobility/record.h"
 #include "mobility/trace.h"
 
@@ -27,14 +27,10 @@ struct StreamEvent {
   std::uint64_t seq = 0;
 };
 
-/// Gateway verdict for a user's events in one micro-batch.
-enum class Decision {
-  kExpose,   ///< no trained attack re-identifies the current window
-  kProtect,  ///< at least one attack does; a mechanism must be applied
-};
-
-inline std::string to_string(Decision decision) {
-  return decision == Decision::kExpose ? "expose" : "protect";
-}
+/// The verdict vocabulary now lives with the decision kernel (shared by
+/// the batch gateway evaluator); re-exported here as the gateway's wire
+/// vocabulary.
+using decision::Decision;
+using decision::to_string;
 
 }  // namespace mood::stream

@@ -52,9 +52,9 @@ void UserStateStore::enqueue(const StreamEvent& event) {
     }
     it = shard.states.emplace(event.user, UserState{}).first;
     it->second.user = event.user;
-    // The window must carry the owner's id: the engine keys its noise
-    // streams and targeted attack queries on trace.user().
-    it->second.window.set_user(event.user);
+    // The window must carry the owner's id: the kernel keys its noise
+    // streams and targeted attack queries on window.user().
+    it->second.kernel.window.set_user(event.user);
   }
   UserState& state = it->second;
   if (state.pending.empty()) shard.dirty.push_back(event.user);

@@ -25,55 +25,28 @@
 #include <unordered_map>
 #include <vector>
 
+#include "decision/kernel.h"
 #include "mobility/record.h"
 #include "mobility/trace.h"
-#include "profiles/heatmap.h"
-#include "profiles/markov_profile.h"
-#include "profiles/poi_profile.h"
 #include "stream/event.h"
 
 namespace mood::stream {
 
-/// Everything the gateway remembers about one user. Mutated only by the
-/// owning shard's drain task, under the shard lock.
+/// Everything the gateway remembers about one user: the ingest-side queue
+/// and LRU bookkeeping (owned here) plus the decision kernel's per-user
+/// state — window, incremental compiled profiles, last verdict — which
+/// only DecisionKernel calls mutate. Touched only by the owning shard's
+/// drain task, under the shard lock.
 struct UserState {
   mobility::UserId user;
-
-  /// Sliding window of recent records (tracked-slice bookkeeping enabled
-  /// by the engine so preslice partitions stay O(1) per append).
-  mobility::Trace window;
 
   /// Points ingested but not yet folded into the window ("dirty" queue).
   std::vector<mobility::Record> pending;
 
-  // ---- Incremental profile state (see engine.h for the policy) --------
-  /// AP side: maintained exactly via CompiledHeatmap::apply_update.
-  profiles::CompiledHeatmap heatmap;
-  bool heatmap_built = false;
-  /// PIT / POI side: rebuilt from the window under a staleness bound.
-  profiles::CompiledMarkovProfile markov;
-  profiles::CompiledPoiProfile poi;
-  bool profiles_built = false;
-  /// Points folded since the last markov/poi rebuild.
-  std::size_t stale_points = 0;
-
-  // ---- Last decision --------------------------------------------------
-  bool has_decision = false;
-  Decision decision = Decision::kExpose;
-  /// Mechanism currently applied for a protect-decision user ("" when the
-  /// whole-window search found nothing protective).
-  std::string winner;
-  /// Window size at the last *full* search (SIZE_MAX = never searched):
-  /// when it equals the final window size the winner is canonical, i.e.
-  /// exactly what the batch evaluator's search would pick.
-  std::size_t searched_points = static_cast<std::size_t>(-1);
-
-  // ---- Per-user counters ----------------------------------------------
-  std::uint64_t events = 0;            ///< events folded so far
-  std::uint64_t exposed_events = 0;    ///< events decided expose
-  std::uint64_t risk_transitions = 0;  ///< expose<->protect flips
-  std::uint64_t searches = 0;          ///< full mechanism selections
-  std::uint64_t rechecks = 0;          ///< cheap current-winner re-checks
+  /// Kernel-owned state: sliding window, compiled profiles (AP heatmap
+  /// exactly incremental; PIT/POI through the shared stay tracker),
+  /// decision + per-user counters. kernel.window carries the user id.
+  decision::UserKernelState kernel;
 
   /// LRU clock value of the last enqueue (store-maintained).
   std::uint64_t last_touch = 0;

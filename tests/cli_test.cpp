@@ -13,6 +13,7 @@
 
 #include "mood_cli/cli.h"
 #include "report/json.h"
+#include "report/report.h"
 #include "support/error.h"
 #include "support/options.h"
 
@@ -153,6 +154,75 @@ TEST(CliReport, MissingFileIsRuntimeFailure) {
 
 TEST(CliReport, BadFormatIsUsageError) {
   EXPECT_EQ(run_cli({"report", "x.json", "--format=xml"}).code, kExitUsage);
+}
+
+TEST(CliReport, DispatchesBenchAndStreamSchemas) {
+  const std::string dir = ::testing::TempDir();
+  const std::string bench_path = dir + "mood_cli_test_bench.json";
+  const std::string stream_path = dir + "mood_cli_test_stream.json";
+
+  report::Json bench = report::Json::object();
+  bench["schema"] = "mood-bench/1";
+  report::Json bench_meta = report::Json::object();
+  bench_meta["dataset"] = "smoke";
+  bench["meta"] = std::move(bench_meta);
+  report::Json cases = report::Json::array();
+  report::Json one = report::Json::object();
+  one["name"] = "ap-attack-reidentify";
+  one["queries"] = 42;
+  one["reference_seconds"] = 1.5;
+  one["optimized_seconds"] = 0.1;
+  one["speedup"] = 15.0;
+  one["agreement"] = true;
+  cases.push_back(std::move(one));
+  bench["benchmarks"] = std::move(cases);
+  report::write_json_file(bench_path, bench);
+
+  report::Json stream = report::Json::object();
+  stream["schema"] = "mood-stream/1";
+  report::Json stream_meta = report::Json::object();
+  stream_meta["dataset"] = "smoke";
+  stream["meta"] = std::move(stream_meta);
+  report::Json replay = report::Json::object();
+  replay["events"] = 1000;
+  replay["batches"] = 4;
+  replay["users"] = 7;
+  replay["wall_seconds"] = 0.5;
+  replay["events_per_second"] = 2000.0;
+  stream["replay"] = std::move(replay);
+  report::write_json_file(stream_path, stream);
+
+  // Table format renders one schema-appropriate block per file.
+  const auto table = run_cli({"report", bench_path, stream_path});
+  ASSERT_EQ(table.code, kExitOk) << table.err;
+  EXPECT_NE(table.out.find("ap-attack-reidentify"), std::string::npos);
+  EXPECT_NE(table.out.find("mood-bench/1"), std::string::npos);
+  EXPECT_NE(table.out.find("events_per_second"), std::string::npos);
+  EXPECT_NE(table.out.find("mood-stream/1"), std::string::npos);
+
+  // JSON merging accepts any known schema.
+  const auto merged = run_cli({"report", bench_path, stream_path,
+                               "--format=json"});
+  ASSERT_EQ(merged.code, kExitOk) << merged.err;
+  const report::Json doc = report::Json::parse(merged.out);
+  EXPECT_EQ(doc.string_or("schema", ""), "mood-report/1");
+  EXPECT_EQ(doc.find("runs")->size(), 2u);
+
+  // CSV output stays a uniform row shape: non-result schemas are a typed
+  // usage error, not silently mangled rows.
+  EXPECT_EQ(run_cli({"report", stream_path, "--format=csv"}).code,
+            kExitUsage);
+}
+
+TEST(CliReport, UnknownSchemaIsUsageError) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "mood_cli_test_unknown.json";
+  report::Json doc = report::Json::object();
+  doc["schema"] = "mood-quux/9";
+  report::write_json_file(path, doc);
+  const auto result = run_cli({"report", path});
+  EXPECT_EQ(result.code, kExitUsage);
+  EXPECT_NE(result.err.find("unsupported schema"), std::string::npos);
 }
 
 // --------------------------------------------------------- end-to-end --

@@ -1,0 +1,205 @@
+// Tests for the decision layer's DecisionKernel — the single MooD decision
+// procedure shared by the batch harness and the online gateway. The
+// headline structural property: one-shot decide_trace() and any chunked
+// fold()/decide()/finalize() drive over the same records produce identical
+// final verdicts, because the incremental profile state is a pure function
+// of the window content (chunk-independent), and finalize canonicalises
+// whatever staleness/recheck short-cuts were taken mid-stream.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "attacks/attack.h"
+#include "core/experiment.h"
+#include "decision/kernel.h"
+#include "simulation/generator.h"
+#include "support/logging.h"
+
+namespace mood::decision {
+namespace {
+
+/// Compact population with both expose and protect verdicts (the
+/// stream-test mold, slightly smaller).
+simulation::GeneratorParams population_params() {
+  simulation::GeneratorParams p;
+  p.users = 10;
+  p.days = 6;
+  p.records_per_user_per_day = 120.0;
+  p.p_private_poi = 0.75;
+  p.p_private_leisure = 0.8;
+  p.private_poi_spread_m = 4000.0;
+  p.relocation_prob = 0.1;
+  p.seed = 4321;
+  return p;
+}
+
+class DecisionKernelTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    support::set_log_level(support::LogLevel::kWarn);
+    dataset_ = new mobility::Dataset(
+        simulation::generate(population_params()));
+    core::ExperimentConfig config;
+    config.min_records = 8;
+    harness_ = new core::ExperimentHarness(*dataset_, config, /*seed=*/11);
+  }
+  static void TearDownTestSuite() {
+    delete harness_;
+    delete dataset_;
+    harness_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  /// Drives `trace` through the kernel in fixed-size chunks, mimicking the
+  /// gateway's micro-batch folds, then finalises.
+  static Verdict decide_chunked(const DecisionKernel& kernel,
+                                const mobility::Trace& trace,
+                                std::size_t chunk) {
+    UserKernelState state;
+    state.window.set_user(trace.user());
+    const auto& records = trace.records();
+    std::size_t folded_last = 0;
+    for (std::size_t next = 0; next < records.size(); next += chunk) {
+      const std::size_t end = std::min(next + chunk, records.size());
+      std::vector<mobility::Record> pending(records.begin() + next,
+                                            records.begin() + end);
+      folded_last = kernel.fold(state, std::move(pending));
+      kernel.decide(state, folded_last);
+    }
+    kernel.finalize(state);
+    return Verdict{state.decision, state.winner};
+  }
+
+  static mobility::Dataset* dataset_;
+  static core::ExperimentHarness* harness_;
+};
+
+mobility::Dataset* DecisionKernelTest::dataset_ = nullptr;
+core::ExperimentHarness* DecisionKernelTest::harness_ = nullptr;
+
+TEST(DecisionNames, Stable) {
+  EXPECT_EQ(to_string(Decision::kExpose), "expose");
+  EXPECT_EQ(to_string(Decision::kProtect), "protect");
+}
+
+/// evaluate_gateway is the kernel in batch clothing: its expose set must
+/// equal evaluate_no_lppm's protected set, and every protect verdict must
+/// carry the whole-trace search winner.
+TEST_F(DecisionKernelTest, GatewayMatchesNoLppmAndWholeTraceSearch) {
+  const core::GatewayResult gateway = harness_->evaluate_gateway();
+  const core::StrategyResult no_lppm = harness_->evaluate_no_lppm();
+  const MoodEngine engine = harness_->make_engine();
+  ASSERT_EQ(gateway.users.size(), no_lppm.users.size());
+  ASSERT_EQ(gateway.users.size(), harness_->pairs().size());
+  bool any_exposed = false;
+  bool any_protected = false;
+  for (std::size_t i = 0; i < gateway.users.size(); ++i) {
+    const auto& pair = harness_->pairs()[i];
+    const auto& verdict = gateway.users[i];
+    ASSERT_EQ(verdict.user, pair.test.user());
+    ASSERT_EQ(verdict.user, no_lppm.users[i].user);
+    const bool exposed = verdict.decision == Decision::kExpose;
+    EXPECT_EQ(exposed, no_lppm.users[i].is_protected) << verdict.user;
+    if (exposed) {
+      any_exposed = true;
+      EXPECT_TRUE(verdict.winner.empty()) << verdict.user;
+    } else {
+      any_protected = true;
+      const auto candidate = engine.search(pair.test);
+      EXPECT_EQ(verdict.winner, candidate ? candidate->lppm : "")
+          << verdict.user;
+    }
+  }
+  // The population must exercise both verdicts or the test proves little.
+  EXPECT_TRUE(any_exposed);
+  EXPECT_TRUE(any_protected);
+  EXPECT_EQ(gateway.exposed_users(),
+            no_lppm.user_count() - no_lppm.non_protected_users());
+}
+
+/// at_risk_trace compiles the window profiles once for all attacks; it
+/// must agree with walking the raw-trace targeted queries attack by
+/// attack (the pre-kernel no-LPPM evaluator).
+TEST_F(DecisionKernelTest, AtRiskTraceMatchesRawAttackWalk) {
+  const DecisionKernel kernel = harness_->make_kernel();
+  for (const auto& pair : harness_->pairs()) {
+    bool caught = false;
+    for (const auto& attack : harness_->attacks()) {
+      if (attacks::reidentifies(*attack, pair.test, pair.test.user())) {
+        caught = true;
+        break;
+      }
+    }
+    EXPECT_EQ(kernel.at_risk_trace(pair.test), caught) << pair.test.user();
+  }
+}
+
+/// One-shot vs chunked drives land on identical final verdicts, for
+/// several chunk sizes — the batch/stream unification made structural.
+TEST_F(DecisionKernelTest, DecideTraceIsChunkIndependent) {
+  const DecisionKernel kernel = harness_->make_kernel();
+  for (const auto& pair : harness_->pairs()) {
+    const Verdict reference = kernel.decide_trace(pair.test);
+    for (const std::size_t chunk : {7u, 64u, 1024u}) {
+      const Verdict chunked = decide_chunked(kernel, pair.test, chunk);
+      EXPECT_EQ(chunked.decision, reference.decision)
+          << pair.test.user() << " chunk=" << chunk;
+      EXPECT_EQ(chunked.winner, reference.winner)
+          << pair.test.user() << " chunk=" << chunk;
+    }
+  }
+}
+
+/// Same property on a windowed, staleness-bounded kernel: chunked folds
+/// take different eviction/rebuild/staleness paths than the one-shot
+/// fold, but the final window — hence the canonical verdict — is the
+/// same. This drives the stay tracker's clean-prefix drops and bounded
+/// rebuild fallback inside the kernel.
+TEST_F(DecisionKernelTest, WindowedKernelIsChunkIndependent) {
+  KernelConfig config;
+  config.max_points = 120;
+  config.staleness_points = 50;
+  const DecisionKernel kernel = harness_->make_kernel({}, config);
+  for (const auto& pair : harness_->pairs()) {
+    const Verdict reference = kernel.decide_trace(pair.test);
+    const Verdict chunked = decide_chunked(kernel, pair.test, 33);
+    EXPECT_EQ(chunked.decision, reference.decision) << pair.test.user();
+    EXPECT_EQ(chunked.winner, reference.winner) << pair.test.user();
+  }
+  const KernelStats stats = kernel.stats();
+  EXPECT_GT(stats.evicted_points, 0u);
+  EXPECT_GT(stats.stay_updates, 0u);
+}
+
+TEST_F(DecisionKernelTest, EmptyTraceIsExposedWithoutCounting) {
+  const DecisionKernel kernel = harness_->make_kernel();
+  const mobility::Trace empty("nobody", {});
+  EXPECT_FALSE(kernel.at_risk_trace(empty));
+  const Verdict verdict = kernel.decide_trace(empty);
+  EXPECT_EQ(verdict.decision, Decision::kExpose);
+  EXPECT_TRUE(verdict.winner.empty());
+  EXPECT_EQ(kernel.stats().decisions, 0u);
+}
+
+TEST_F(DecisionKernelTest, StatsAccumulateAcrossDecisions) {
+  const DecisionKernel kernel = harness_->make_kernel();
+  for (const auto& pair : harness_->pairs()) {
+    (void)kernel.decide_trace(pair.test);
+  }
+  const KernelStats stats = kernel.stats();
+  EXPECT_EQ(stats.decisions, harness_->pairs().size());
+  EXPECT_EQ(stats.exposed_events + stats.protected_events,
+            [&] {
+              std::size_t n = 0;
+              for (const auto& pair : harness_->pairs()) n += pair.test.size();
+              return n;
+            }());
+  EXPECT_GT(stats.heatmap_updates, 0u);
+  EXPECT_GT(stats.profile_refreshes, 0u);
+  EXPECT_GT(stats.attack_invocations, 0u);
+}
+
+}  // namespace
+}  // namespace mood::decision

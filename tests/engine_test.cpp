@@ -12,13 +12,13 @@
 #include <cmath>
 #include <set>
 
-#include "core/mood_engine.h"
+#include "decision/mood_engine.h"
 #include "lppm/composition.h"
 #include "metrics/distortion.h"
 #include "support/error.h"
 #include "test_helpers.h"
 
-namespace mood::core {
+namespace mood::decision {
 namespace {
 
 using mobility::kHour;
@@ -314,4 +314,4 @@ TEST(ProtectionLevelNames, Stable) {
 }
 
 }  // namespace
-}  // namespace mood::core
+}  // namespace mood::decision

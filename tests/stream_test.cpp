@@ -15,8 +15,13 @@
 #include "attacks/ap_attack.h"
 #include "attacks/pit_attack.h"
 #include "attacks/poi_attack.h"
+#include "clustering/incremental_stays.h"
+#include "clustering/poi_extraction.h"
 #include "core/experiment.h"
+#include "geo/geo.h"
 #include "profiles/heatmap.h"
+#include "profiles/markov_profile.h"
+#include "profiles/poi_profile.h"
 #include "simulation/generator.h"
 #include "stream/engine.h"
 #include "stream/event.h"
@@ -159,6 +164,41 @@ TEST(UserStateStore, RejectsZeroShards) {
   EXPECT_THROW(UserStateStore(StoreConfig{0, 0}), support::PreconditionError);
 }
 
+/// The exact --max-users boundary with *every* resident state dirty: the
+/// store must still admit the newcomer by evicting the least-recently-
+/// touched dirty user, drop that user's id from the dirty list (no
+/// dangling drains), and lose no pending events of the survivors.
+TEST(UserStateStore, EvictionAtExactCapacityWhenEveryResidentIsDirty) {
+  UserStateStore store(StoreConfig{1, 2});
+  store.enqueue(StreamEvent{"a", {{45.0, 5.0}, 100}, 0});
+  store.enqueue(StreamEvent{"b", {{45.0, 5.0}, 200}, 1});
+  store.enqueue(StreamEvent{"b", {{45.0, 5.0}, 250}, 2});
+  ASSERT_EQ(store.user_count(), 2u);  // at the exact capacity bound
+
+  // Nobody drained: both residents hold undecided events. Admitting "c"
+  // must evict "a" (least-recently-touched; the all-dirty fallback).
+  store.enqueue(StreamEvent{"c", {{45.0, 5.0}, 300}, 3});
+  EXPECT_EQ(store.user_count(), 2u);
+  EXPECT_EQ(store.eviction_count(), 1u);
+
+  // Re-enqueueing a resident at the bound must NOT evict anyone.
+  store.enqueue(StreamEvent{"b", {{45.0, 5.0}, 350}, 4});
+  EXPECT_EQ(store.user_count(), 2u);
+  EXPECT_EQ(store.eviction_count(), 1u);
+
+  // The drain sees exactly the survivors, with their queues intact — and
+  // never chases the evicted user's dangling dirty entry.
+  std::unordered_map<std::string, std::size_t> pending;
+  const std::size_t visited = store.drain_shard(0, [&](UserState& state) {
+    pending[state.user] = state.pending.size();
+    state.pending.clear();
+  });
+  EXPECT_EQ(visited, 2u);
+  ASSERT_EQ(pending.size(), 2u);
+  EXPECT_EQ(pending.at("b"), 3u);
+  EXPECT_EQ(pending.at("c"), 1u);
+}
+
 // ------------------------------- incremental profile equivalence --------
 
 /// The satellite property test: stream a real test trace point by point;
@@ -249,6 +289,146 @@ TEST_F(StreamTest, IncrementalHeatmapSurvivesSlidingWindowEviction) {
   }
 }
 
+void expect_same_markov(const profiles::CompiledMarkovProfile& actual,
+                        const profiles::CompiledMarkovProfile& expected) {
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t s = 0; s < expected.size(); ++s) {
+    ASSERT_EQ(actual.states()[s].weight, expected.states()[s].weight);
+    ASSERT_EQ(actual.states()[s].center.lat_rad,
+              expected.states()[s].center.lat_rad);
+    ASSERT_EQ(actual.states()[s].center.lon_deg,
+              expected.states()[s].center.lon_deg);
+    ASSERT_EQ(actual.states()[s].center.cos_lat,
+              expected.states()[s].center.cos_lat);
+  }
+}
+
+void expect_same_poi(const profiles::CompiledPoiProfile& actual,
+                     const profiles::CompiledPoiProfile& expected) {
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t c = 0; c < expected.size(); ++c) {
+    ASSERT_EQ(actual.centers()[c].lat_rad, expected.centers()[c].lat_rad);
+    ASSERT_EQ(actual.centers()[c].lon_deg, expected.centers()[c].lon_deg);
+    ASSERT_EQ(actual.centers()[c].cos_lat, expected.centers()[c].cos_lat);
+  }
+}
+
+/// from_states (the decision kernel's shared-tracker compile path) must
+/// be bit-identical to routing through the full legacy profile pipeline.
+TEST_F(StreamTest, FromStatesMatchesLegacyCompiledProfiles) {
+  const auto* pit = dynamic_cast<const attacks::PitAttack*>(
+      harness_->attacks()[1].get());
+  const auto* poi = dynamic_cast<const attacks::PoiAttack*>(
+      harness_->attacks()[0].get());
+  ASSERT_NE(pit, nullptr);
+  ASSERT_NE(poi, nullptr);
+  const auto params = pit->params();
+  for (const auto& pair : harness_->pairs()) {
+    const auto seq = clustering::build_visit_sequence(
+        clustering::extract_pois(pair.test, params), params.max_diameter_m);
+    expect_same_markov(profiles::CompiledMarkovProfile::from_states(seq.states),
+                       pit->compile_anonymous(pair.test));
+    expect_same_poi(profiles::CompiledPoiProfile::from_states(seq.states),
+                    poi->compile_anonymous(pair.test));
+  }
+}
+
+/// The PR 5 tentpole property: the incrementally maintained PIT and POI
+/// compiled profiles are bit-identical to a from-scratch compile after
+/// every single appended point (no eviction, so the pinned origin equals
+/// the window front and the oracle is the attacks' own compile path).
+TEST_F(StreamTest, IncrementalMarkovAndPoiMatchFromScratchPointByPoint) {
+  const auto* pit = dynamic_cast<const attacks::PitAttack*>(
+      harness_->attacks()[1].get());
+  const auto* poi = dynamic_cast<const attacks::PoiAttack*>(
+      harness_->attacks()[0].get());
+  ASSERT_NE(pit, nullptr);
+  ASSERT_NE(poi, nullptr);
+  const auto& pair = harness_->pairs().front();
+  const auto params = pit->params();
+
+  mobility::Trace window;
+  window.set_user(pair.test.user());
+  auto markov = profiles::CompiledMarkovProfile::incremental(window, params);
+  auto poi_profile = profiles::CompiledPoiProfile::incremental(window, params);
+  ASSERT_TRUE(markov.updatable());
+  ASSERT_TRUE(poi_profile.updatable());
+  for (const auto& record : pair.test.records()) {
+    window.append(record);
+    markov.apply_update(window, 1, 0);
+    poi_profile.apply_update(window, 1, 0);
+    expect_same_markov(markov, pit->compile_anonymous(window));
+    expect_same_poi(poi_profile, poi->compile_anonymous(window));
+  }
+  // The targeted queries therefore agree with the trace-based entry points.
+  EXPECT_EQ(pit->reidentifies_compiled(markov, pair.test.user()),
+            pit->reidentifies_target(pair.test, pair.test.user()));
+  EXPECT_EQ(poi->reidentifies_compiled(poi_profile, pair.test.user()),
+            poi->reidentifies_target(pair.test, pair.test.user()));
+}
+
+/// Same property under a sliding window: per-point add + front eviction.
+/// Once the front has been evicted the oracle is the same pipeline with
+/// the projection pinned at the first-ever record (extract_pois' origin
+/// overload) — clean prefix drops and the bounded rebuild fallback must
+/// both land exactly there.
+TEST_F(StreamTest, IncrementalMarkovAndPoiSurviveSlidingWindowEviction) {
+  const auto* pit = dynamic_cast<const attacks::PitAttack*>(
+      harness_->attacks()[1].get());
+  ASSERT_NE(pit, nullptr);
+  const auto& pair = harness_->pairs().front();
+  const auto& records = pair.test.records();
+  const auto params = pit->params();
+  const geo::GeoPoint origin = records.front().position;
+  const std::size_t cap = 60;
+
+  mobility::Trace window;
+  window.set_user(pair.test.user());
+  auto markov = profiles::CompiledMarkovProfile::incremental(window, params);
+  auto poi_profile = profiles::CompiledPoiProfile::incremental(window, params);
+  const auto oracle_states = [&] {
+    return clustering::build_visit_sequence(
+               clustering::extract_pois(window, params, origin),
+               params.max_diameter_m)
+        .states;
+  };
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    window.append(records[i]);
+    std::size_t evicted = 0;
+    if (window.size() > cap) {
+      evicted = window.size() - cap;
+      window.drop_front(evicted);
+    }
+    markov.apply_update(window, 1, evicted);
+    poi_profile.apply_update(window, 1, evicted);
+    if (i % 16 == 0 || i + 1 == records.size()) {
+      const auto states = oracle_states();
+      expect_same_markov(markov,
+                         profiles::CompiledMarkovProfile::from_states(states));
+      expect_same_poi(poi_profile,
+                      profiles::CompiledPoiProfile::from_states(states));
+    }
+  }
+  // The window slid, so the tracker really exercised the eviction paths.
+  EXPECT_GT(markov.tracker().updates(), 0u);
+  EXPECT_EQ(markov.tracker().origin().lat, origin.lat);
+  EXPECT_EQ(markov.tracker().origin().lon, origin.lon);
+}
+
+TEST_F(StreamTest, ApplyUpdateOnNonUpdatableProfilesThrows) {
+  const auto* pit = dynamic_cast<const attacks::PitAttack*>(
+      harness_->attacks()[1].get());
+  ASSERT_NE(pit, nullptr);
+  const auto& pair = harness_->pairs().front();
+  auto markov = pit->compile_anonymous(pair.test);
+  EXPECT_FALSE(markov.updatable());
+  EXPECT_THROW(markov.apply_update(pair.test, 0, 0),
+               support::PreconditionError);
+  profiles::CompiledPoiProfile poi_profile;
+  EXPECT_THROW(poi_profile.apply_update(pair.test, 0, 0),
+               support::PreconditionError);
+}
+
 // ----------------------------------------- gateway vs batch harness ----
 
 /// Shared oracle: the batch evaluators' answers on the same harness.
@@ -336,12 +516,12 @@ TEST_F(StreamTest, StalenessBoundIsRepairedByFinish) {
   const auto result = replay_with(config);
   expect_matches_batch(result.decisions, oracle);
 
-  // The bound must actually have saved rebuild work relative to the
+  // The bound must actually have saved refresh work relative to the
   // always-fresh default.
   StreamConfig fresh = config;
   fresh.staleness_points = 0;
-  EXPECT_LT(result.stats.profile_rebuilds,
-            replay_with(fresh).stats.profile_rebuilds);
+  EXPECT_LT(result.stats.profile_refreshes,
+            replay_with(fresh).stats.profile_refreshes);
 }
 
 TEST_F(StreamTest, WindowCapsBoundTheResidentWindow) {

@@ -8,10 +8,13 @@
 // p50/p95/p99 decision latency.
 //
 // Unless the window knobs make the replay lossy, the final per-user
-// decisions are verified against the batch evaluators: the expose/protect
-// set must equal evaluate_no_lppm's protected/unprotected set and every
-// at-risk user's winner must equal the whole-trace mechanism search — the
-// stream-smoke CI gate. Exit 1 on any mismatch.
+// decisions are verified against harness.evaluate_gateway() — the same
+// DecisionKernel run in batch mode (one pass per full test trace), which
+// by construction equals evaluate_no_lppm's expose/protect set plus the
+// whole-trace mechanism-search winners. The check therefore gates the
+// *incremental* path (window folds, incremental profiles, staleness
+// short-cuts, recheck policy) against the one-shot path — the stream-smoke
+// CI gate. Exit 1 on any mismatch.
 
 #include <chrono>
 #include <iostream>
@@ -56,80 +59,46 @@ mobility::Dataset make_replay_dataset(const std::string& preset, double scale,
   return simulation::generate(params);
 }
 
-/// Compares the gateway's final per-user decisions against the batch
-/// evaluators on the same harness. Returns true when they agree exactly;
-/// logs every divergence to `err`.
+/// Compares the gateway's final per-user decisions against the shared
+/// decision kernel run in batch mode (harness.evaluate_gateway — one
+/// kernel pass per full test trace). Returns true when they agree
+/// exactly; logs every divergence to `err`.
 bool verify_against_batch(const core::ExperimentHarness& harness,
                           const std::vector<stream::UserDecision>& decisions,
                           std::ostream& err) {
-  // Expose set: evaluate_no_lppm's per-user "protected" bit is exactly
-  // "no attack re-identifies the raw test trace".
-  const core::StrategyResult no_lppm = harness.evaluate_no_lppm();
-  std::unordered_map<mobility::UserId, bool> exposed_by_batch;
-  for (const auto& user : no_lppm.users) {
-    exposed_by_batch[user.user] = user.is_protected;
-  }
+  const core::GatewayResult batch = harness.evaluate_gateway();
+  std::unordered_map<mobility::UserId, const core::GatewayOutcome*> expected;
+  for (const auto& user : batch.users) expected[user.user] = &user;
 
   bool ok = true;
-  if (decisions.size() != no_lppm.users.size()) {
+  if (decisions.size() != batch.users.size()) {
     err << "mood replay: VERIFY failed: gateway saw " << decisions.size()
-        << " users, batch harness has " << no_lppm.users.size() << '\n';
+        << " users, batch kernel pass has " << batch.users.size() << '\n';
     ok = false;
   }
-
-  // At-risk users need the whole-trace mechanism search for the winner
-  // comparison — the expensive part, fanned out like the batch evaluators
-  // (the engine is immutable; each iteration touches only its own slot).
-  const core::MoodEngine engine = harness.make_engine();
-  std::unordered_map<mobility::UserId, const mobility::Trace*> tests;
-  for (const auto& pair : harness.pairs()) {
-    tests[pair.test.user()] = &pair.test;
-  }
-  std::vector<const stream::UserDecision*> at_risk;
   for (const auto& decision : decisions) {
-    const auto batch = exposed_by_batch.find(decision.user);
-    if (batch != exposed_by_batch.end() && !batch->second &&
-        decision.decision == stream::Decision::kProtect) {
-      at_risk.push_back(&decision);
-    }
-  }
-  std::vector<std::string> batch_winners(at_risk.size());
-  support::parallel_for(at_risk.size(), [&](std::size_t i) {
-    const auto candidate = engine.search(*tests.at(at_risk[i]->user));
-    batch_winners[i] = candidate ? candidate->lppm : "";
-  });
-  std::unordered_map<mobility::UserId, const std::string*> winner_of;
-  for (std::size_t i = 0; i < at_risk.size(); ++i) {
-    winner_of[at_risk[i]->user] = &batch_winners[i];
-  }
-
-  for (const auto& decision : decisions) {
-    const auto batch = exposed_by_batch.find(decision.user);
-    if (batch == exposed_by_batch.end()) {
+    const auto it = expected.find(decision.user);
+    if (it == expected.end()) {
       err << "mood replay: VERIFY failed: user " << decision.user
           << " unknown to the batch harness\n";
       ok = false;
       continue;
     }
-    const bool stream_exposed =
-        decision.decision == stream::Decision::kExpose;
-    if (stream_exposed != batch->second) {
+    if (decision.decision != it->second->decision) {
       err << "mood replay: VERIFY failed: user " << decision.user
           << " decided " << stream::to_string(decision.decision)
           << " by the gateway but "
-          << (batch->second ? "expose" : "protect")
-          << " by the batch evaluator\n";
+          << stream::to_string(it->second->decision)
+          << " by the batch kernel pass\n";
       ok = false;
       continue;
     }
-    if (stream_exposed) continue;
-    // Same engine seed => the search's candidate is bit-identical to what
-    // the gateway's finish() computed; only genuine divergence trips this.
-    const std::string& batch_winner = *winner_of.at(decision.user);
-    if (decision.winner != batch_winner) {
+    // Same engine seed => the batch search's candidate is bit-identical to
+    // what finish() computed; only genuine divergence trips this.
+    if (decision.winner != it->second->winner) {
       err << "mood replay: VERIFY failed: user " << decision.user
           << " winner '" << decision.winner << "' != batch search winner '"
-          << batch_winner << "'\n";
+          << it->second->winner << "'\n";
       ok = false;
     }
   }

@@ -1,9 +1,16 @@
-// `mood report`: read one or more mood-result/1 documents and render a
+// `mood report`: read one or more mood JSON documents and render a
 // cross-run comparison — as an aligned table (default), CSV, or a merged
 // JSON document for further tooling.
+//
+// Inputs are dispatched on their top-level "schema": mood-result/1 rows
+// feed the cross-run strategy table; mood-bench/1 and mood-stream/1
+// documents get their own schema-appropriate summary tables. Unknown
+// schemas are a typed UsageError (exit 2), not a silent misread; CSV
+// output is restricted to mood-result/1 inputs (one uniform row shape).
 
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "mood_cli/cli.h"
@@ -35,8 +42,10 @@ int cmd_report(int argc, const char* const* argv, std::ostream& out,
                std::ostream& err) {
   support::FlagSet flags(
       "mood report <result.json>...",
-      "Aggregate mood-result/1 documents (as written by `mood evaluate`)\n"
-      "into a cross-run comparison, one row per (run, strategy).");
+      "Aggregate mood result documents into a cross-run comparison, one\n"
+      "row per (run, strategy). mood-bench/1 and mood-stream/1 documents\n"
+      "(from `mood bench` / `mood replay`) are summarised with their own\n"
+      "schema-appropriate tables; unknown schemas are rejected.");
   flags.add_string("format", "table", "output format: table, csv or json");
   flags.parse(argc, argv);
   if (flags.get_bool("help")) {
@@ -56,6 +65,10 @@ int cmd_report(int argc, const char* const* argv, std::ostream& out,
   std::vector<std::vector<std::string>> rows;
   rows.push_back({"source", "dataset", "strategy", "users", "non_protected",
                   "data_loss", "bands(l/m/h/x)", "seconds"});
+  /// (heading, rows) blocks for non-result schemas, rendered after the
+  /// strategy table.
+  std::vector<std::pair<std::string, std::vector<std::vector<std::string>>>>
+      extra_tables;
   report::Json merged = report::Json::object();
   merged["schema"] = "mood-report/1";
   report::Json runs = report::Json::array();
@@ -63,16 +76,35 @@ int cmd_report(int argc, const char* const* argv, std::ostream& out,
   for (const auto& path : flags.positional()) {
     report::Json document = report::read_json_file(path);
     const std::string schema = document.string_or("schema", "(missing)");
-    if (schema != report::kResultSchema) {
-      err << "warning: " << path << " has schema '" << schema
-          << "', expected '" << report::kResultSchema
-          << "' — fields may be missing\n";
-    }
-    auto file_rows = report::strategy_summary_rows(document);
-    for (std::size_t i = 1; i < file_rows.size(); ++i) {  // skip header
-      std::vector<std::string> row{source_label(path)};
-      row.insert(row.end(), file_rows[i].begin(), file_rows[i].end());
-      rows.push_back(std::move(row));
+    if (schema == report::kResultSchema) {
+      auto file_rows = report::strategy_summary_rows(document);
+      for (std::size_t i = 1; i < file_rows.size(); ++i) {  // skip header
+        std::vector<std::string> row{source_label(path)};
+        row.insert(row.end(), file_rows[i].begin(), file_rows[i].end());
+        rows.push_back(std::move(row));
+      }
+    } else if (schema == report::kBenchSchema ||
+               schema == report::kStreamSchema) {
+      if (format == "csv") {
+        throw support::UsageError(
+            "mood report: " + path + " has schema '" + schema +
+            "' — CSV output supports mood-result/1 documents only (use "
+            "--format=table or --format=json)");
+      }
+      const std::string dataset =
+          document.find("meta") != nullptr
+              ? document.find("meta")->string_or("dataset", "?")
+              : "?";
+      extra_tables.emplace_back(
+          source_label(path) + " [" + schema + ", " + dataset + "]",
+          schema == report::kBenchSchema
+              ? report::bench_summary_rows(document)
+              : report::stream_summary_rows(document));
+    } else {
+      throw support::UsageError(
+          "mood report: " + path + " has unsupported schema '" + schema +
+          "' (expected " + report::kResultSchema + ", " +
+          report::kBenchSchema + " or " + report::kStreamSchema + ")");
     }
     report::Json entry = report::Json::object();
     entry["source"] = path;
@@ -89,9 +121,17 @@ int cmd_report(int argc, const char* const* argv, std::ostream& out,
     support::write_csv(out, rows);
     return kExitOk;
   }
-  report::Table table(rows.front());
-  for (std::size_t i = 1; i < rows.size(); ++i) table.add_row(rows[i]);
-  table.print(out);
+  if (rows.size() > 1) {
+    report::Table table(rows.front());
+    for (std::size_t i = 1; i < rows.size(); ++i) table.add_row(rows[i]);
+    table.print(out);
+  }
+  for (const auto& [heading, block] : extra_tables) {
+    out << heading << '\n';
+    report::Table table(block.front());
+    for (std::size_t i = 1; i < block.size(); ++i) table.add_row(block[i]);
+    table.print(out);
+  }
   return kExitOk;
 }
 
