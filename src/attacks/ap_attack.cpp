@@ -1,6 +1,7 @@
 #include "attacks/ap_attack.h"
 
 #include "attacks/bounded_scan.h"
+#include "profiles/summaries.h"
 
 namespace mood::attacks {
 
@@ -14,11 +15,12 @@ void ApAttack::train(const std::vector<mobility::Trace>& background) {
     compiled_.emplace_back(trace.user(), profiles::CompiledHeatmap(map));
     reference_.emplace_back(trace.user(), std::move(map));
   }
+  index_.build(compiled_);
 }
 
 std::optional<mobility::UserId> ApAttack::reidentify(
     const mobility::Trace& anonymous_trace) const {
-  if (reference_mode_) {
+  if (mode_ == QueryMode::kReference) {
     const auto anonymous_map =
         profiles::Heatmap::from_trace(anonymous_trace, grid_);
     if (anonymous_map.empty()) return std::nullopt;
@@ -30,15 +32,21 @@ std::optional<mobility::UserId> ApAttack::reidentify(
   const auto anonymous_map =
       profiles::CompiledHeatmap::from_trace(anonymous_trace, grid_);
   if (anonymous_map.empty()) return std::nullopt;
-  return scan_argmin(
-      compiled_, [&](const profiles::CompiledHeatmap& map, double bound) {
-        return profiles::topsoe_divergence_bounded(anonymous_map, map, bound);
-      });
+  const auto bounded = [&](const profiles::CompiledHeatmap& map,
+                           double bound) {
+    return profiles::topsoe_divergence_bounded(anonymous_map, map, bound);
+  };
+  if (mode_ == QueryMode::kIndex && index_.built()) {
+    return index_.argmin(profiles::summarize(anonymous_map), bounded);
+  }
+  return scan_argmin(compiled_, bounded);
 }
 
 bool ApAttack::reidentifies_target(const mobility::Trace& anonymous_trace,
                                    const mobility::UserId& owner) const {
-  if (reference_mode_) return Attack::reidentifies_target(anonymous_trace, owner);
+  if (mode_ == QueryMode::kReference) {
+    return Attack::reidentifies_target(anonymous_trace, owner);
+  }
   return reidentifies_compiled(compile_anonymous(anonymous_trace), owner);
 }
 
@@ -46,14 +54,18 @@ bool ApAttack::reidentifies_compiled(
     const profiles::CompiledHeatmap& anonymous_map,
     const mobility::UserId& owner) const {
   if (anonymous_map.empty()) return false;
-  return scan_is_first_argmin(
-      compiled_, owner,
-      [&](const profiles::CompiledHeatmap& map) {
-        return profiles::topsoe_divergence(anonymous_map, map);
-      },
-      [&](const profiles::CompiledHeatmap& map, double bound) {
-        return profiles::topsoe_divergence_bounded(anonymous_map, map, bound);
-      });
+  const auto exact = [&](const profiles::CompiledHeatmap& map) {
+    return profiles::topsoe_divergence(anonymous_map, map);
+  };
+  const auto bounded = [&](const profiles::CompiledHeatmap& map,
+                           double bound) {
+    return profiles::topsoe_divergence_bounded(anonymous_map, map, bound);
+  };
+  if (mode_ == QueryMode::kIndex && index_.built()) {
+    return index_.is_first_argmin(profiles::summarize(anonymous_map), owner,
+                                  exact, bounded);
+  }
+  return scan_is_first_argmin(compiled_, owner, exact, bounded);
 }
 
 }  // namespace mood::attacks

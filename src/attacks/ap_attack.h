@@ -7,16 +7,21 @@
 /// calls it "the most powerful attack currently known" and uses it alone
 /// for the Fig. 6 experiment.
 ///
-/// train() compiles every trained heatmap into its flat sorted form once;
-/// queries build the anonymous heatmap run-collapsed (no hash map) and walk
-/// the population with branch-and-bound bounded divergences — see
-/// bounded_scan.h. The raw hash-map profiles are kept for reference mode.
+/// train() compiles every trained heatmap into its flat sorted form once
+/// and indexes the population (PopulationIndex over bucketed-mass
+/// summaries); queries build the anonymous heatmap run-collapsed (no hash
+/// map) and, by default, prune candidates through the index before
+/// pricing survivors with branch-and-bound bounded divergences — see
+/// population_index.h and bounded_scan.h. The linear scans stay available
+/// as the index's oracle (QueryMode::kScan) and the raw hash-map profiles
+/// as the original one (QueryMode::kReference).
 
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "attacks/attack.h"
+#include "attacks/population_index.h"
 #include "geo/cell_grid.h"
 #include "profiles/heatmap.h"
 
@@ -43,7 +48,11 @@ class ApAttack final : public Attack {
     return compiled_.size();
   }
 
-  void set_reference_mode(bool on) override { reference_mode_ = on; }
+  void set_query_mode(QueryMode mode) override { mode_ = mode; }
+  [[nodiscard]] QueryMode query_mode() const override { return mode_; }
+  [[nodiscard]] IndexStats index_stats() const override {
+    return index_.stats();
+  }
 
   /// Compiles the anonymous-side heatmap exactly as the optimized queries
   /// do internally. Exposed so the streaming gateway can maintain it
@@ -57,8 +66,9 @@ class ApAttack final : public Attack {
   /// Targeted query over a pre-compiled anonymous heatmap. Decision-
   /// identical to reidentifies_target(trace, owner) whenever
   /// `anonymous_map` carries the same cells as compile_anonymous(trace).
-  /// Always the optimized path (reference mode only reroutes the
-  /// trace-based entry points).
+  /// Always a compiled-profile path — index by default, linear scan in
+  /// kScan/kReference mode (reference mode only reroutes the trace-based
+  /// entry points).
   [[nodiscard]] bool reidentifies_compiled(
       const profiles::CompiledHeatmap& anonymous_map,
       const mobility::UserId& owner) const;
@@ -73,7 +83,9 @@ class ApAttack final : public Attack {
   /// unconditionally: profile maps are a rounding error next to the
   /// training traces the surrounding harness already holds in memory.
   std::vector<std::pair<mobility::UserId, profiles::Heatmap>> reference_;
-  bool reference_mode_ = false;
+  /// Pruning index over compiled_; rebuilt by train().
+  PopulationIndex<ApIndexTraits> index_;
+  QueryMode mode_ = QueryMode::kIndex;
 };
 
 }  // namespace mood::attacks

@@ -9,6 +9,7 @@
 /// const and safe to call concurrently — MooD's search fans candidate
 /// protections out across threads against shared trained attacks.
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -17,6 +18,33 @@
 #include "mobility/trace.h"
 
 namespace mood::attacks {
+
+/// Which machinery serves re-identification queries. Every mode answers
+/// every query with the *same decision* — the modes exist so the faster
+/// paths can be validated against the slower ones (inference_bench A/B,
+/// replay verification, CI gates), never to trade accuracy for speed.
+enum class QueryMode {
+  /// Pre-optimization hash-map scans over the legacy profiles — the
+  /// original oracle, O(population * profile) per query.
+  kReference,
+  /// Flat compiled profiles + linear branch-and-bound scans
+  /// (bounded_scan.h) — prices candidates in training order, pruning with
+  /// the best distance so far. The oracle for the index.
+  kScan,
+  /// PopulationIndex: cluster + per-profile lower bounds eliminate most
+  /// candidates before any exact pricing; survivors go through the same
+  /// bounded scans in the same order. The production default.
+  kIndex,
+};
+
+/// Cumulative population-index work counters (since training). All zero
+/// for attacks without an index or while it has never served a query.
+struct IndexStats {
+  std::uint64_t queries = 0;            ///< index-served argmin/targeted queries
+  std::uint64_t pruned_candidates = 0;  ///< eliminated by lower bounds alone
+  std::uint64_t exact_evaluations = 0;  ///< priced with an exact divergence
+  std::uint64_t rebuilds = 0;           ///< full index (re)builds
+};
 
 /// Abstract re-identification attack.
 class Attack {
@@ -54,11 +82,27 @@ class Attack {
   /// Number of trained profiles.
   [[nodiscard]] virtual std::size_t trained_users() const = 0;
 
+  /// Selects the query machinery (see QueryMode). Default no-op for
+  /// attacks without alternative paths (e.g. test mocks). Not thread-safe
+  /// — flip only outside parallel sections.
+  virtual void set_query_mode(QueryMode /*mode*/) {}
+
+  /// The active query machinery.
+  [[nodiscard]] virtual QueryMode query_mode() const {
+    return QueryMode::kScan;
+  }
+
   /// Reference mode: route every query through the pre-optimization
-  /// hash-map scans (the oracle the optimized path is validated against).
-  /// Default no-op for attacks without a legacy path (e.g. test mocks).
+  /// hash-map scans (the oracle the optimized paths are validated
+  /// against). Kept as the stable two-state switch older call sites use;
+  /// leaving reference mode returns to the production default (kIndex).
   /// Not thread-safe — flip only outside parallel sections.
-  virtual void set_reference_mode(bool /*on*/) {}
+  virtual void set_reference_mode(bool on) {
+    set_query_mode(on ? QueryMode::kReference : QueryMode::kIndex);
+  }
+
+  /// Population-index work counters (zero for attacks without an index).
+  [[nodiscard]] virtual IndexStats index_stats() const { return {}; }
 };
 
 /// True iff the attack's answer equals the true owner — the success

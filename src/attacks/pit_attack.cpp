@@ -1,6 +1,7 @@
 #include "attacks/pit_attack.h"
 
 #include "attacks/bounded_scan.h"
+#include "profiles/summaries.h"
 
 namespace mood::attacks {
 
@@ -15,11 +16,12 @@ void PitAttack::train(const std::vector<mobility::Trace>& background) {
                            profiles::CompiledMarkovProfile(profile));
     reference_.emplace_back(trace.user(), std::move(profile));
   }
+  index_.build(compiled_);
 }
 
 std::optional<mobility::UserId> PitAttack::reidentify(
     const mobility::Trace& anonymous_trace) const {
-  if (reference_mode_) {
+  if (mode_ == QueryMode::kReference) {
     const auto anonymous_profile =
         profiles::MarkovProfile::from_trace(anonymous_trace, params_);
     if (anonymous_profile.empty()) return std::nullopt;
@@ -33,17 +35,22 @@ std::optional<mobility::UserId> PitAttack::reidentify(
   const profiles::CompiledMarkovProfile anonymous_profile(
       profiles::MarkovProfile::from_trace(anonymous_trace, params_));
   if (anonymous_profile.empty()) return std::nullopt;
-  return scan_argmin(
-      compiled_,
-      [&](const profiles::CompiledMarkovProfile& profile, double bound) {
-        return profiles::stats_prox_distance_bounded(
-            anonymous_profile, profile, proximity_scale_m_, bound);
-      });
+  const auto bounded = [&](const profiles::CompiledMarkovProfile& profile,
+                           double bound) {
+    return profiles::stats_prox_distance_bounded(anonymous_profile, profile,
+                                                 proximity_scale_m_, bound);
+  };
+  if (mode_ == QueryMode::kIndex && index_.built()) {
+    return index_.argmin(profiles::summarize(anonymous_profile), bounded);
+  }
+  return scan_argmin(compiled_, bounded);
 }
 
 bool PitAttack::reidentifies_target(const mobility::Trace& anonymous_trace,
                                     const mobility::UserId& owner) const {
-  if (reference_mode_) return Attack::reidentifies_target(anonymous_trace, owner);
+  if (mode_ == QueryMode::kReference) {
+    return Attack::reidentifies_target(anonymous_trace, owner);
+  }
   return reidentifies_compiled(compile_anonymous(anonymous_trace), owner);
 }
 
@@ -51,16 +58,20 @@ bool PitAttack::reidentifies_compiled(
     const profiles::CompiledMarkovProfile& anonymous_profile,
     const mobility::UserId& owner) const {
   if (anonymous_profile.empty()) return false;
-  return scan_is_first_argmin(
-      compiled_, owner,
-      [&](const profiles::CompiledMarkovProfile& profile) {
-        return profiles::stats_prox_distance(anonymous_profile, profile,
-                                             proximity_scale_m_);
-      },
-      [&](const profiles::CompiledMarkovProfile& profile, double bound) {
-        return profiles::stats_prox_distance_bounded(
-            anonymous_profile, profile, proximity_scale_m_, bound);
-      });
+  const auto exact = [&](const profiles::CompiledMarkovProfile& profile) {
+    return profiles::stats_prox_distance(anonymous_profile, profile,
+                                         proximity_scale_m_);
+  };
+  const auto bounded = [&](const profiles::CompiledMarkovProfile& profile,
+                           double bound) {
+    return profiles::stats_prox_distance_bounded(anonymous_profile, profile,
+                                                 proximity_scale_m_, bound);
+  };
+  if (mode_ == QueryMode::kIndex && index_.built()) {
+    return index_.is_first_argmin(profiles::summarize(anonymous_profile),
+                                  owner, exact, bounded);
+  }
+  return scan_is_first_argmin(compiled_, owner, exact, bounded);
 }
 
 }  // namespace mood::attacks

@@ -9,15 +9,19 @@
 /// profiles::stats_prox_distance).
 ///
 /// train() compiles every trained chain (precomputed state trigonometry)
-/// once; queries walk the population with branch-and-bound bounded
-/// distances — see bounded_scan.h. The raw profiles are kept for reference
-/// mode.
+/// once and indexes the population (PopulationIndex over covering-ball +
+/// weight-prefix summaries); queries prune candidates through the index
+/// by default before pricing survivors with branch-and-bound bounded
+/// distances — see population_index.h and bounded_scan.h. The linear
+/// scans stay available as the index's oracle (QueryMode::kScan) and the
+/// raw profiles as the original one (QueryMode::kReference).
 
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "attacks/attack.h"
+#include "attacks/population_index.h"
 #include "clustering/poi_extraction.h"
 #include "profiles/markov_profile.h"
 
@@ -46,7 +50,11 @@ class PitAttack final : public Attack {
     return compiled_.size();
   }
 
-  void set_reference_mode(bool on) override { reference_mode_ = on; }
+  void set_query_mode(QueryMode mode) override { mode_ = mode; }
+  [[nodiscard]] QueryMode query_mode() const override { return mode_; }
+  [[nodiscard]] IndexStats index_stats() const override {
+    return index_.stats();
+  }
 
   /// Compiles the anonymous-side MMC exactly as the optimized queries do
   /// internally. Exposed so the streaming gateway can cache it and rebuild
@@ -60,7 +68,8 @@ class PitAttack final : public Attack {
 
   /// Targeted query over a pre-compiled anonymous MMC. Decision-identical
   /// to reidentifies_target(trace, owner) whenever `anonymous_profile`
-  /// equals compile_anonymous(trace). Always the optimized path.
+  /// equals compile_anonymous(trace). Always a compiled-profile path —
+  /// index by default, linear scan in kScan/kReference mode.
   [[nodiscard]] bool reidentifies_compiled(
       const profiles::CompiledMarkovProfile& anonymous_profile,
       const mobility::UserId& owner) const;
@@ -79,7 +88,10 @@ class PitAttack final : public Attack {
   /// training traces the surrounding harness already holds in memory.
   std::vector<std::pair<mobility::UserId, profiles::MarkovProfile>>
       reference_;
-  bool reference_mode_ = false;
+  /// Pruning index over compiled_; rebuilt by train(). Depends on
+  /// proximity_scale_m_, so it must be declared after it.
+  PopulationIndex<PitIndexTraits> index_{PitIndexTraits{proximity_scale_m_}};
+  QueryMode mode_ = QueryMode::kIndex;
 };
 
 }  // namespace mood::attacks

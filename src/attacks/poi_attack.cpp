@@ -1,6 +1,7 @@
 #include "attacks/poi_attack.h"
 
 #include "attacks/bounded_scan.h"
+#include "profiles/summaries.h"
 
 namespace mood::attacks {
 
@@ -18,11 +19,12 @@ void PoiAttack::train(const std::vector<mobility::Trace>& background) {
                            profiles::CompiledPoiProfile(profile));
     reference_.emplace_back(trace.user(), std::move(profile));
   }
+  index_.build(compiled_);
 }
 
 std::optional<mobility::UserId> PoiAttack::reidentify(
     const mobility::Trace& anonymous_trace) const {
-  if (reference_mode_) {
+  if (mode_ == QueryMode::kReference) {
     const auto anonymous_profile =
         profiles::PoiProfile::from_trace(anonymous_trace, params_);
     if (anonymous_profile.empty()) return std::nullopt;
@@ -34,17 +36,22 @@ std::optional<mobility::UserId> PoiAttack::reidentify(
   const profiles::CompiledPoiProfile anonymous_profile(
       profiles::PoiProfile::from_trace(anonymous_trace, params_));
   if (anonymous_profile.empty()) return std::nullopt;
-  return scan_argmin(
-      compiled_,
-      [&](const profiles::CompiledPoiProfile& profile, double bound) {
-        return profiles::poi_profile_distance_bounded(anonymous_profile,
-                                                      profile, bound);
-      });
+  const auto bounded = [&](const profiles::CompiledPoiProfile& profile,
+                           double bound) {
+    return profiles::poi_profile_distance_bounded(anonymous_profile, profile,
+                                                  bound);
+  };
+  if (mode_ == QueryMode::kIndex && index_.built()) {
+    return index_.argmin(profiles::summarize(anonymous_profile), bounded);
+  }
+  return scan_argmin(compiled_, bounded);
 }
 
 bool PoiAttack::reidentifies_target(const mobility::Trace& anonymous_trace,
                                     const mobility::UserId& owner) const {
-  if (reference_mode_) return Attack::reidentifies_target(anonymous_trace, owner);
+  if (mode_ == QueryMode::kReference) {
+    return Attack::reidentifies_target(anonymous_trace, owner);
+  }
   return reidentifies_compiled(compile_anonymous(anonymous_trace), owner);
 }
 
@@ -52,15 +59,19 @@ bool PoiAttack::reidentifies_compiled(
     const profiles::CompiledPoiProfile& anonymous_profile,
     const mobility::UserId& owner) const {
   if (anonymous_profile.empty()) return false;
-  return scan_is_first_argmin(
-      compiled_, owner,
-      [&](const profiles::CompiledPoiProfile& profile) {
-        return profiles::poi_profile_distance(anonymous_profile, profile);
-      },
-      [&](const profiles::CompiledPoiProfile& profile, double bound) {
-        return profiles::poi_profile_distance_bounded(anonymous_profile,
-                                                      profile, bound);
-      });
+  const auto exact = [&](const profiles::CompiledPoiProfile& profile) {
+    return profiles::poi_profile_distance(anonymous_profile, profile);
+  };
+  const auto bounded = [&](const profiles::CompiledPoiProfile& profile,
+                           double bound) {
+    return profiles::poi_profile_distance_bounded(anonymous_profile, profile,
+                                                  bound);
+  };
+  if (mode_ == QueryMode::kIndex && index_.built()) {
+    return index_.is_first_argmin(profiles::summarize(anonymous_profile),
+                                  owner, exact, bounded);
+  }
+  return scan_is_first_argmin(compiled_, owner, exact, bounded);
 }
 
 }  // namespace mood::attacks

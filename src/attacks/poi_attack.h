@@ -5,15 +5,20 @@
 /// an anonymous trace is attributed to the known user whose POIs are
 /// geographically closest (mean nearest-POI distance).
 ///
-/// train() compiles every trained POI set (precomputed trigonometry) once;
-/// queries walk the population with branch-and-bound bounded distances —
-/// see bounded_scan.h. The raw profiles are kept for reference mode.
+/// train() compiles every trained POI set (precomputed trigonometry) once
+/// and indexes the population (PopulationIndex over covering-ball
+/// summaries); queries prune candidates through the index by default
+/// before pricing survivors with branch-and-bound bounded distances — see
+/// population_index.h and bounded_scan.h. The linear scans stay available
+/// as the index's oracle (QueryMode::kScan) and the raw profiles as the
+/// original one (QueryMode::kReference).
 
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "attacks/attack.h"
+#include "attacks/population_index.h"
 #include "clustering/poi_extraction.h"
 #include "profiles/poi_profile.h"
 
@@ -40,7 +45,11 @@ class PoiAttack final : public Attack {
     return compiled_.size();
   }
 
-  void set_reference_mode(bool on) override { reference_mode_ = on; }
+  void set_query_mode(QueryMode mode) override { mode_ = mode; }
+  [[nodiscard]] QueryMode query_mode() const override { return mode_; }
+  [[nodiscard]] IndexStats index_stats() const override {
+    return index_.stats();
+  }
 
   /// Compiles the anonymous-side POI set exactly as the optimized queries
   /// do internally. Exposed so the streaming gateway can cache it and
@@ -54,8 +63,9 @@ class PoiAttack final : public Attack {
 
   /// Targeted query over a pre-compiled anonymous POI set. Decision-
   /// identical to reidentifies_target(trace, owner) whenever
-  /// `anonymous_profile` equals compile_anonymous(trace). Always the
-  /// optimized path.
+  /// `anonymous_profile` equals compile_anonymous(trace). Always a
+  /// compiled-profile path — index by default, linear scan in
+  /// kScan/kReference mode.
   [[nodiscard]] bool reidentifies_compiled(
       const profiles::CompiledPoiProfile& anonymous_profile,
       const mobility::UserId& owner) const;
@@ -72,7 +82,9 @@ class PoiAttack final : public Attack {
   /// unconditionally: profile storage is a rounding error next to the
   /// training traces the surrounding harness already holds in memory.
   std::vector<std::pair<mobility::UserId, profiles::PoiProfile>> reference_;
-  bool reference_mode_ = false;
+  /// Pruning index over compiled_; rebuilt by train().
+  PopulationIndex<PoiIndexTraits> index_;
+  QueryMode mode_ = QueryMode::kIndex;
 };
 
 }  // namespace mood::attacks

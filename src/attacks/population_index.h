@@ -1,0 +1,473 @@
+#pragma once
+
+/// \file population_index.h
+/// PopulationIndex: sublinear re-identification queries over compiled
+/// profiles, decision-identical to the linear bounded scans.
+///
+/// The linear scans in bounded_scan.h already prune with branch-and-bound,
+/// but only *after* pricing begins: every candidate still pays at least the
+/// start of an exact divergence. The index eliminates most candidates
+/// before any exact arithmetic using the admissible lower bounds from
+/// profiles/summaries.h, at two granularities:
+///
+///  * entries are grouped into contiguous kClusterSize-blocks in original
+///    training order, each carrying an aggregate summary whose
+///    cluster_lower_bound holds for every member — one comparison can
+///    discard a whole block;
+///  * surviving entries are checked against their per-profile summary
+///    bound, and only then priced with the exact bounded divergence.
+///
+/// ## Decision identity
+///
+/// Both queries mirror the corresponding scan *in original order*: the
+/// running best evolves through the same candidates, and a candidate is
+/// skipped only when its lower bound strictly exceeds the current pruning
+/// bound — in which case its exact distance could not have updated the
+/// best (argmin) nor defeated the owner (is_first_argmin) either, because
+/// lower_bound <= exact is guaranteed as *computed* values (summaries.h
+/// admissibility contract). First-strict-min tie-breaking is therefore
+/// bit-identical to scan_argmin / scan_is_first_argmin, which the replay
+/// verification gate and `mood bench --index=ab` enforce end to end.
+///
+/// ## Coherence under updates
+///
+/// build() snapshots summaries of the population vector it is given (and
+/// keeps a pointer to it — the vector must stay alive and in place, which
+/// holds for the attacks' training vectors). When an entry's profile is
+/// mutated in place (e.g. CompiledHeatmap::apply_update), update(i)
+/// re-summarizes the entry and refreshes its cluster aggregate exactly, so
+/// queries stay coherent after any number of incremental updates; a full
+/// rebuild is still forced after `size()` updates as a hygiene bound (and
+/// is what a layout-reordering index would need — counted in stats so the
+/// stream cost model sees it).
+///
+/// Populations below kIndexMinPopulation delegate to plain bounded scans
+/// (see the constant below) — same counters, no summary reads.
+///
+/// Queries are const and thread-safe (counters are relaxed atomics);
+/// build()/update() must happen outside parallel sections, matching the
+/// attacks' train() contract.
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "attacks/attack.h"
+#include "mobility/trace.h"
+#include "profiles/summaries.h"
+
+namespace mood::attacks {
+
+/// Entries per cluster. 64 summaries aggregate into one block bound while
+/// keeping blocks small enough that a surviving cluster costs little.
+inline constexpr std::size_t kIndexClusterSize = 64;
+
+/// Below one full cluster the index delegates queries to the plain
+/// bounded scans: with a single partial cluster there is no block
+/// structure to prune, so the per-candidate lower bounds are pure
+/// overhead on top of the early-exiting bounded exact distances.
+/// Delegation preserves decisions trivially — the scan *is* the
+/// definition — and the work counters keep their meaning: queries and
+/// exact evaluations are still counted, prunes are simply zero.
+inline constexpr std::size_t kIndexMinPopulation = kIndexClusterSize;
+
+/// Incrementally-maintained pruning index over one attack's compiled
+/// population. Traits supply the profile/summary/cluster types and the
+/// bound arithmetic (see ApIndexTraits / PitIndexTraits / PoiIndexTraits
+/// below). Non-copyable (atomic counters); attacks own one by value.
+template <typename Traits>
+class PopulationIndex {
+ public:
+  using Profile = typename Traits::Profile;
+  using Summary = typename Traits::Summary;
+  using Cluster = typename Traits::Cluster;
+  using Population = std::vector<std::pair<mobility::UserId, Profile>>;
+
+  PopulationIndex() = default;
+  explicit PopulationIndex(Traits traits) : traits_(std::move(traits)) {}
+  PopulationIndex(const PopulationIndex&) = delete;
+  PopulationIndex& operator=(const PopulationIndex&) = delete;
+
+  /// Builds the index over `population`, which must outlive the index and
+  /// keep its address (train() populates the vector first, then builds).
+  /// Duplicate user ids keep their first occurrence, matching the linear
+  /// scans' first-match owner lookup.
+  void build(const Population& population) {
+    population_ = &population;
+    summaries_.clear();
+    summaries_.reserve(population.size());
+    for (const auto& [user, profile] : population) {
+      summaries_.push_back(traits_.summarize(profile));
+    }
+    owner_index_.clear();
+    owner_index_.reserve(population.size());
+    for (std::size_t i = 0; i < population.size(); ++i) {
+      owner_index_.emplace(population[i].first, i);
+    }
+    clusters_.assign(
+        (population.size() + kIndexClusterSize - 1) / kIndexClusterSize,
+        Cluster{});
+    for (std::size_t c = 0; c < clusters_.size(); ++c) refresh_cluster(c);
+    updates_since_build_ = 0;
+    rebuilds_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Re-summarizes entry `i` after its profile was mutated in place and
+  /// refreshes its cluster aggregate. Forces a full rebuild once size()
+  /// updates have accumulated since the last build. No-op below the
+  /// delegation threshold — the scans never read the summaries.
+  void update(std::size_t i) {
+    if (summaries_.size() < kIndexMinPopulation) return;
+    summaries_[i] = traits_.summarize((*population_)[i].second);
+    refresh_cluster(i / kIndexClusterSize);
+    if (++updates_since_build_ >= summaries_.size()) {
+      build(*population_);
+    }
+  }
+
+  /// True once build() has run.
+  [[nodiscard]] bool built() const { return population_ != nullptr; }
+
+  [[nodiscard]] std::size_t size() const { return summaries_.size(); }
+
+  /// scan_argmin through the index: first user attaining the minimum
+  /// finite distance, nullopt when every distance is infinite. `bounded`
+  /// follows the bounded-distance contract of bounded_scan.h.
+  template <typename BoundedDistance>
+  [[nodiscard]] std::optional<mobility::UserId> argmin(
+      const Summary& query, const BoundedDistance& bounded) const {
+    const Population& population = *population_;
+    double best = std::numeric_limits<double>::infinity();
+    const mobility::UserId* best_user = nullptr;
+    std::uint64_t pruned = 0;
+    std::uint64_t evals = 0;
+    if (population.size() < kIndexMinPopulation) {
+      for (const auto& [user, profile] : population) {
+        ++evals;
+        const double d = bounded(profile, best);
+        if (d < best) {
+          best = d;
+          best_user = &user;
+        }
+      }
+      flush_counters(pruned, evals);
+      if (best_user == nullptr) return std::nullopt;
+      return *best_user;
+    }
+    std::size_t i = 0;
+    for (std::size_t c = 0; c < clusters_.size(); ++c) {
+      const std::size_t end =
+          std::min(i + kIndexClusterSize, summaries_.size());
+      if (traits_.cluster_lower_bound(query, clusters_[c]) > best) {
+        pruned += end - i;
+        i = end;
+        continue;
+      }
+      for (; i < end; ++i) {
+        if (traits_.lower_bound(query, summaries_[i]) > best) {
+          ++pruned;
+          continue;
+        }
+        ++evals;
+        const double d = bounded(population[i].second, best);
+        if (d < best) {
+          best = d;
+          best_user = &population[i].first;
+        }
+      }
+    }
+    flush_counters(pruned, evals);
+    if (best_user == nullptr) return std::nullopt;
+    return *best_user;
+  }
+
+  /// scan_is_first_argmin through the index: would the naive argmin
+  /// answer exactly `owner`? Prices the owner once with `exact`, then
+  /// walks the rest of the population with the owner's distance as the
+  /// pruning bound — earlier users defeat on <=, later on <, exactly as
+  /// the linear scan.
+  template <typename ExactDistance, typename BoundedDistance>
+  [[nodiscard]] bool is_first_argmin(const Summary& query,
+                                     const mobility::UserId& owner,
+                                     const ExactDistance& exact,
+                                     const BoundedDistance& bounded) const {
+    const Population& population = *population_;
+    const auto it = owner_index_.find(owner);
+    if (it == owner_index_.end()) {
+      flush_counters(0, 0);
+      return false;
+    }
+    const std::size_t owner_at = it->second;
+    std::uint64_t pruned = 0;
+    std::uint64_t evals = 1;
+    const double target = exact(population[owner_at].second);
+    if (target == std::numeric_limits<double>::infinity()) {
+      flush_counters(0, evals);
+      return false;
+    }
+    if (population.size() < kIndexMinPopulation) {
+      for (std::size_t i = 0; i < population.size(); ++i) {
+        if (i == owner_at) continue;
+        ++evals;
+        const double d = bounded(population[i].second, target);
+        if (i < owner_at ? d <= target : d < target) {
+          flush_counters(pruned, evals);
+          return false;
+        }
+      }
+      flush_counters(pruned, evals);
+      return true;
+    }
+    // A candidate whose lower bound strictly exceeds the target can
+    // neither tie (earlier) nor beat (later) the owner — skipping it
+    // leaves the scan's verdict untouched.
+    std::size_t i = 0;
+    for (std::size_t c = 0; c < clusters_.size(); ++c) {
+      const std::size_t end =
+          std::min(i + kIndexClusterSize, summaries_.size());
+      if (traits_.cluster_lower_bound(query, clusters_[c]) > target) {
+        pruned += end - i - (owner_at >= i && owner_at < end ? 1 : 0);
+        i = end;
+        continue;
+      }
+      for (; i < end; ++i) {
+        if (i == owner_at) continue;
+        if (traits_.lower_bound(query, summaries_[i]) > target) {
+          ++pruned;
+          continue;
+        }
+        ++evals;
+        const double d = bounded(population[i].second, target);
+        if (i < owner_at ? d <= target : d < target) {
+          flush_counters(pruned, evals);
+          return false;
+        }
+      }
+    }
+    flush_counters(pruned, evals);
+    return true;
+  }
+
+  /// Cumulative work counters since construction.
+  [[nodiscard]] IndexStats stats() const {
+    IndexStats stats;
+    stats.queries = queries_.load(std::memory_order_relaxed);
+    stats.pruned_candidates = pruned_.load(std::memory_order_relaxed);
+    stats.exact_evaluations = evals_.load(std::memory_order_relaxed);
+    stats.rebuilds = rebuilds_.load(std::memory_order_relaxed);
+    return stats;
+  }
+
+ private:
+  void refresh_cluster(std::size_t c) {
+    const std::size_t begin = c * kIndexClusterSize;
+    const std::size_t end =
+        std::min(begin + kIndexClusterSize, summaries_.size());
+    clusters_[c] = traits_.aggregate(summaries_, begin, end);
+  }
+
+  void flush_counters(std::uint64_t pruned, std::uint64_t evals) const {
+    queries_.fetch_add(1, std::memory_order_relaxed);
+    if (pruned > 0) pruned_.fetch_add(pruned, std::memory_order_relaxed);
+    if (evals > 0) evals_.fetch_add(evals, std::memory_order_relaxed);
+  }
+
+  Traits traits_{};
+  const Population* population_ = nullptr;
+  std::vector<Summary> summaries_;
+  std::vector<Cluster> clusters_;
+  std::unordered_map<mobility::UserId, std::size_t> owner_index_;
+  std::size_t updates_since_build_ = 0;
+  mutable std::atomic<std::uint64_t> queries_{0};
+  mutable std::atomic<std::uint64_t> pruned_{0};
+  mutable std::atomic<std::uint64_t> evals_{0};
+  mutable std::atomic<std::uint64_t> rebuilds_{0};
+};
+
+/// Aggregate ball over member balls: centred on the mean of the non-empty
+/// members' centres, with radius covering every member ball. Empty
+/// members have infinite exact distances, so a block prune never loses
+/// them; an all-empty cluster bounds to +infinity, which prunes the block
+/// under any finite bound (every member prices to infinity anyway) and
+/// never prunes under an infinite bound (inf > inf is false), matching
+/// the scans on all-empty populations.
+struct BallClusterBound {
+  profiles::ProfileBall ball;  ///< size = number of non-empty members
+
+  template <typename Summaries, typename BallOf>
+  static BallClusterBound aggregate(const Summaries& summaries,
+                                    std::size_t begin, std::size_t end,
+                                    const BallOf& ball_of) {
+    BallClusterBound cluster;
+    double lat = 0.0;
+    double lon = 0.0;
+    for (std::size_t i = begin; i < end; ++i) {
+      const profiles::ProfileBall& member = ball_of(summaries[i]);
+      if (member.size == 0) continue;
+      ++cluster.ball.size;
+      lat += geo::rad_to_deg(member.center.lat_rad);
+      lon += member.center.lon_deg;
+    }
+    if (cluster.ball.size == 0) return cluster;
+    const double n = static_cast<double>(cluster.ball.size);
+    cluster.ball.center = geo::trig_point(geo::GeoPoint{lat / n, lon / n});
+    for (std::size_t i = begin; i < end; ++i) {
+      const profiles::ProfileBall& member = ball_of(summaries[i]);
+      if (member.size == 0) continue;
+      cluster.ball.radius_m = std::max(
+          cluster.ball.radius_m,
+          geo::haversine_m(cluster.ball.center, member.center) +
+              member.radius_m);
+    }
+    return cluster;
+  }
+};
+
+/// AP-attack traits: Topsoe divergence over compiled heatmaps. The
+/// cluster keeps per-bucket mass intervals over non-empty members; the
+/// block bound is the TV lower bound against the nearest mass profile
+/// inside those intervals.
+struct ApIndexTraits {
+  using Profile = profiles::CompiledHeatmap;
+  using Summary = profiles::HeatmapSummary;
+  struct Cluster {
+    std::array<double, profiles::kSummaryBuckets> lo{};
+    std::array<double, profiles::kSummaryBuckets> hi{};
+    std::size_t nonempty = 0;
+  };
+
+  Summary summarize(const Profile& profile) const {
+    return profiles::summarize(profile);
+  }
+  double lower_bound(const Summary& query, const Summary& entry) const {
+    return profiles::topsoe_lower_bound(query, entry);
+  }
+  Cluster aggregate(const std::vector<Summary>& summaries, std::size_t begin,
+                    std::size_t end) const {
+    Cluster cluster;
+    cluster.lo.fill(std::numeric_limits<double>::infinity());
+    cluster.hi.fill(-std::numeric_limits<double>::infinity());
+    for (std::size_t i = begin; i < end; ++i) {
+      if (summaries[i].cells == 0) continue;
+      ++cluster.nonempty;
+      for (std::size_t k = 0; k < profiles::kSummaryBuckets; ++k) {
+        cluster.lo[k] = std::min(cluster.lo[k], summaries[i].mass[k]);
+        cluster.hi[k] = std::max(cluster.hi[k], summaries[i].mass[k]);
+      }
+    }
+    return cluster;
+  }
+  double cluster_lower_bound(const Summary& query,
+                             const Cluster& cluster) const {
+    // Empty members price to infinity, so only non-empty ones constrain
+    // the block bound; an all-empty block bounds to infinity.
+    if (cluster.nonempty == 0 || query.cells == 0) {
+      return std::numeric_limits<double>::infinity();
+    }
+    double l1 = 0.0;
+    for (std::size_t k = 0; k < profiles::kSummaryBuckets; ++k) {
+      const double below = cluster.lo[k] - query.mass[k];
+      const double above = query.mass[k] - cluster.hi[k];
+      l1 += std::max({below, above, 0.0});
+    }
+    const double tv =
+        std::max(0.0, 0.5 * l1 * (1.0 - profiles::kLowerBoundRelMargin) -
+                          profiles::kTvAbsMargin);
+    return tv * tv;
+  }
+};
+
+/// POI-attack traits: mean nearest-POI distance over covering balls.
+struct PoiIndexTraits {
+  using Profile = profiles::CompiledPoiProfile;
+  using Summary = profiles::PoiSummary;
+  using Cluster = BallClusterBound;
+
+  Summary summarize(const Profile& profile) const {
+    return profiles::summarize(profile);
+  }
+  double lower_bound(const Summary& query, const Summary& entry) const {
+    return profiles::poi_profile_lower_bound(query, entry);
+  }
+  Cluster aggregate(const std::vector<Summary>& summaries, std::size_t begin,
+                    std::size_t end) const {
+    return BallClusterBound::aggregate(
+        summaries, begin, end,
+        [](const Summary& s) -> const profiles::ProfileBall& {
+          return s.ball;
+        });
+  }
+  double cluster_lower_bound(const Summary& query,
+                             const Cluster& cluster) const {
+    // The cluster ball covers every member's ball, so the per-POI mean
+    // separation against it lower-bounds the exact distance to every
+    // member (same argument as poi_profile_lower_bound).
+    if (cluster.ball.size == 0 || query.ball.size == 0) {
+      return std::numeric_limits<double>::infinity();
+    }
+    double sum = 0.0;
+    for (const auto& p : query.centers) {
+      sum += profiles::point_ball_separation_m(p, cluster.ball);
+    }
+    return sum / static_cast<double>(query.centers.size());
+  }
+};
+
+/// PIT-attack traits: stats-prox distance. The block bound keeps only the
+/// geometric (proximity) part — the stationary part needs per-entry
+/// weights, which the per-profile bound adds back. The cluster tracks the
+/// smallest member chain size so the weighted proximity bound stays
+/// admissible for every member (fewer candidate states can only shrink
+/// the matched mass).
+struct PitIndexTraits {
+  using Profile = profiles::CompiledMarkovProfile;
+  using Summary = profiles::MarkovSummary;
+  struct Cluster {
+    BallClusterBound bound;
+    std::size_t min_states = 0;  ///< over non-empty members
+  };
+
+  double proximity_scale_m = 1000.0;
+
+  Summary summarize(const Profile& profile) const {
+    return profiles::summarize(profile);
+  }
+  double lower_bound(const Summary& query, const Summary& entry) const {
+    return profiles::stats_prox_lower_bound(query, entry, proximity_scale_m);
+  }
+  Cluster aggregate(const std::vector<Summary>& summaries, std::size_t begin,
+                    std::size_t end) const {
+    Cluster cluster;
+    cluster.bound = BallClusterBound::aggregate(
+        summaries, begin, end,
+        [](const Summary& s) -> const profiles::ProfileBall& {
+          return s.ball;
+        });
+    cluster.min_states = std::numeric_limits<std::size_t>::max();
+    for (std::size_t i = begin; i < end; ++i) {
+      if (summaries[i].ball.size == 0) continue;
+      cluster.min_states = std::min(cluster.min_states, summaries[i].ball.size);
+    }
+    if (cluster.bound.ball.size == 0) cluster.min_states = 0;
+    return cluster;
+  }
+  double cluster_lower_bound(const Summary& query,
+                             const Cluster& cluster) const {
+    if (cluster.bound.ball.size == 0 || query.ball.size == 0) {
+      return std::numeric_limits<double>::infinity();
+    }
+    // The aggregate ball covers every member's states, so it acts as a
+    // single-part cover for the shared proximity bound.
+    return profiles::stats_prox_proximity_lower_bound(
+        query, profiles::BallCover{cluster.bound.ball, profiles::ProfileBall{}},
+        cluster.min_states, proximity_scale_m);
+  }
+};
+
+}  // namespace mood::attacks

@@ -36,4 +36,8 @@ void set_reference_mode(const std::vector<AttackPtr>& suite, bool on) {
   for (const auto& attack : suite) attack->set_reference_mode(on);
 }
 
+void set_query_mode(const std::vector<AttackPtr>& suite, QueryMode mode) {
+  for (const auto& attack : suite) attack->set_query_mode(mode);
+}
+
 }  // namespace mood::attacks

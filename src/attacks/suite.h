@@ -44,4 +44,8 @@ void train_all(const std::vector<AttackPtr>& suite,
 /// Not thread-safe — call outside parallel sections.
 void set_reference_mode(const std::vector<AttackPtr>& suite, bool on);
 
+/// Selects the query machinery for every attack of a suite (see
+/// attacks::QueryMode). Not thread-safe — call outside parallel sections.
+void set_query_mode(const std::vector<AttackPtr>& suite, QueryMode mode);
+
 }  // namespace mood::attacks

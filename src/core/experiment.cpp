@@ -185,6 +185,22 @@ void ExperimentHarness::set_attack_reference_mode(bool on) const {
   attacks::set_reference_mode(attacks_, on);
 }
 
+void ExperimentHarness::set_attack_query_mode(attacks::QueryMode mode) const {
+  attacks::set_query_mode(attacks_, mode);
+}
+
+attacks::IndexStats ExperimentHarness::attack_index_stats() const {
+  attacks::IndexStats total;
+  for (const auto& attack : attacks_) {
+    const attacks::IndexStats stats = attack->index_stats();
+    total.queries += stats.queries;
+    total.pruned_candidates += stats.pruned_candidates;
+    total.exact_evaluations += stats.exact_evaluations;
+    total.rebuilds += stats.rebuilds;
+  }
+  return total;
+}
+
 std::size_t ExperimentHarness::ap_attack_index() const {
   for (std::size_t i = 0; i < attacks_.size(); ++i) {
     if (attacks_[i]->name() == "AP-Attack") return i;

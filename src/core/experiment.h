@@ -213,6 +213,16 @@ class ExperimentHarness {
   /// thread-safe — call outside parallel sections.
   void set_attack_reference_mode(bool on) const;
 
+  /// Selects the attacks' query machinery directly (reference scans,
+  /// linear branch-and-bound scans, or the population index — see
+  /// attacks::QueryMode). Same const + thread-safety caveats as
+  /// set_attack_reference_mode.
+  void set_attack_query_mode(attacks::QueryMode mode) const;
+
+  /// Population-index work counters summed over every attack of the
+  /// suite (all zero when queries run in scan/reference mode).
+  [[nodiscard]] attacks::IndexStats attack_index_stats() const;
+
   /// Index of the AP attack inside attacks() (the single-attack
   /// experiments of Fig. 6 use it alone).
   [[nodiscard]] std::size_t ap_attack_index() const;

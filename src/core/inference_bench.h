@@ -21,12 +21,24 @@
 /// "mood-bench/1" JSON document (`mood bench`, bench/perf_attack_inference).
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "core/experiment.h"
 
 namespace mood::core {
+
+/// Which fast path the bench times as "optimized", and how deep the
+/// cross-validation goes.
+enum class BenchIndexMode {
+  kOff,  ///< optimized = linear branch-and-bound scans (index unused)
+  kOn,   ///< optimized = population index, validated against reference
+  /// Full three-way A/B: reference vs linear scans vs index — the index
+  /// is timed as "optimized", the scans are timed separately
+  /// (scan_seconds), and the agreement sweep compares all three paths.
+  kAb,
+};
 
 /// Outcome of one A/B case.
 struct InferenceBenchCase {
@@ -35,13 +47,41 @@ struct InferenceBenchCase {
   std::size_t reference_passes = 1;   ///< timed passes actually averaged over
   std::size_t optimized_passes = 1;   ///< (the fast path repeats more often)
   double reference_seconds = 0.0;     ///< one pass, pre-optimization path
-  double optimized_seconds = 0.0;     ///< one pass, flat-profile + bounded
-  bool agreement = true;          ///< both paths made identical decisions
+  double optimized_seconds = 0.0;     ///< one pass, production path (index
+                                      ///< by default, scans in kOff mode)
+  bool agreement = true;          ///< all timed paths decided identically
   std::string mismatch;           ///< first disagreement ("" when none)
+
+  // Populated in kAb mode: the linear-scan oracle timed on its own.
+  double scan_seconds = 0.0;          ///< one pass, branch-and-bound scans
+  std::size_t scan_passes = 0;        ///< 0 = scan path not timed separately
+
+  // Populated when the optimized path was the population index: work
+  // counter deltas over the optimized timed passes. pruned + exact can
+  // undershoot candidates — a targeted query stops at the first defeat.
+  bool index_timed = false;
+  std::uint64_t index_queries = 0;        ///< queries served by the index
+  std::uint64_t index_candidates = 0;     ///< queries x population
+  std::uint64_t index_pruned = 0;         ///< skipped via lower bounds
+  std::uint64_t index_exact_evals = 0;    ///< priced exactly
 
   [[nodiscard]] double speedup() const {
     return optimized_seconds > 0.0 ? reference_seconds / optimized_seconds
                                    : 0.0;
+  }
+  /// Fraction of candidates eliminated without exact pricing.
+  [[nodiscard]] double prune_rate() const {
+    return index_candidates > 0
+               ? static_cast<double>(index_pruned) /
+                     static_cast<double>(index_candidates)
+               : 0.0;
+  }
+  /// Exact divergence evaluations per index query — the sublinearity
+  /// metric BENCH_pr6.json tracks against population size.
+  [[nodiscard]] double exact_evals_per_query() const {
+    return index_queries > 0 ? static_cast<double>(index_exact_evals) /
+                                   static_cast<double>(index_queries)
+                             : 0.0;
   }
 };
 
@@ -54,10 +94,14 @@ struct InferenceBenchOptions {
   std::size_t repetitions = 3;
   bool run_full = true;         ///< include the evaluate_mood_full A/B case
   std::vector<std::size_t> attack_subset;  ///< indices; empty = all
+  /// Which fast path to time and how many paths to cross-validate
+  /// (`mood bench --index=on|off|ab`).
+  BenchIndexMode index_mode = BenchIndexMode::kOn;
 };
 
 /// Runs the microbenches (and, if configured, the full-pipeline A/B) on a
-/// built harness. Leaves the harness in optimized mode. Cases appear in
+/// built harness. Leaves the harness in the production query mode of the
+/// configured index_mode (kIndex, or kScan for kOff). Cases appear in
 /// attack order followed by "evaluate-mood-full".
 std::vector<InferenceBenchCase> run_inference_bench(
     const ExperimentHarness& harness, const InferenceBenchOptions& options);

@@ -258,6 +258,12 @@ KernelStats DecisionKernel::stats() const {
   s.evicted_points = evicted_points_.load();
   s.lppm_applications = lppm_applications_.load();
   s.attack_invocations = attack_invocations_.load();
+  for (const attacks::Attack* attack : engine_.attacks()) {
+    const attacks::IndexStats index = attack->index_stats();
+    s.index_prunes += index.pruned_candidates;
+    s.exact_evals += index.exact_evaluations;
+    s.index_rebuilds += index.rebuilds;
+  }
   return s;
 }
 

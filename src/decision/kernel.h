@@ -108,6 +108,12 @@ struct KernelStats {
   std::uint64_t evicted_points = 0;    ///< records expired out of windows
   std::uint64_t lppm_applications = 0; ///< search/recheck cost counters
   std::uint64_t attack_invocations = 0;
+  /// Population-index counters, pulled from the attacks at snapshot time
+  /// (the index lives inside each trained attack; the kernel reads, never
+  /// writes). All zero when queries run in scan/reference mode.
+  std::uint64_t index_prunes = 0;    ///< candidates skipped via lower bounds
+  std::uint64_t exact_evals = 0;     ///< candidates priced exactly
+  std::uint64_t index_rebuilds = 0;  ///< full index (re)builds
 };
 
 /// Everything the kernel remembers about one user. Owned by the caller

@@ -1,0 +1,205 @@
+#pragma once
+
+/// \file summaries.h
+/// Cheap per-profile summaries and admissible divergence lower bounds —
+/// the pruning arithmetic behind attacks::PopulationIndex.
+///
+/// A summary is a constant-size digest of a compiled profile that supports
+/// a *lower bound* on the exact divergence to any other profile, computed
+/// from the two digests alone (no touching the profiles). The index skips
+/// a candidate whenever that bound already exceeds the scan's current
+/// pruning bound, and prices the survivors with the exact bounded
+/// divergences — so decisions stay bit-identical to the plain scans.
+///
+/// ## Admissibility contract
+///
+/// Every `*_lower_bound(a, b)` in this file guarantees, for the summaries
+/// of compiled profiles A and B:
+///
+///     lower_bound(summarize(A), summarize(B)) <= exact_divergence(A, B)
+///
+/// as *computed* values (not just in real arithmetic): each bound is
+/// deflated by a small relative + absolute safety margin chosen to
+/// dominate the floating-point rounding of both sides, and the margins
+/// are fuzzed by the index property tests over random and adversarially
+/// tied profiles. Empty profiles summarize to a zero-size digest and
+/// bound to +infinity — admissible because the exact divergence against
+/// an empty profile is itself +infinity.
+///
+/// The bounds never decide anything: tie-breaking (first strict minimum)
+/// is delegated entirely to the scans over the exact divergences, so a
+/// looser-than-necessary bound costs exact evaluations, never
+/// correctness.
+///
+/// ## The three bounds
+///
+///  * Topsoe (AP-attack): the heatmap's probability mass is folded into
+///    kSummaryBuckets buckets by a deterministic cell-index mix. With
+///    P, Q the bucketed masses, total variation contracts under
+///    aggregation (TV(p, q) >= TV(P, Q)) and the Topsoe divergence obeys
+///    the Pinsker chain T = 2 JSD >= TV(p, q)^2, so
+///        topsoe_lower_bound = TV(P, Q)^2  <=  T(p, q).
+///    The bound tops out at 1 < 2 ln 2, so ceiling ties (disjoint
+///    supports) are never pruned away from the exact scan.
+///  * POI distance: each POI set is summarized by a covering ball
+///    (centroid + max haversine radius), a two-ball cover (the set split
+///    around two well-separated seeds — so one downtown satellite POI
+///    does not inflate a tight home-district ball into one that swallows
+///    every query), plus its member centres. With `a` the query: every
+///    nearest-POI term for query POI p joins p to a point inside one of
+///    b's cover balls, so it is at least min over the cover of
+///    D(p, center) - radius by the triangle inequality, and the exact
+///    mean is at least the mean of those per-POI separations — markedly
+///    tighter than plain ball-to-ball separation on both sides.
+///  * stats-prox (PIT-attack): the stationary part is at least twice the
+///    smallest achievable unmatched mass — the |size_a - size_b|
+///    smallest weights of the larger chain (matched pairs contribute at
+///    least the net mass they displace). The proximity part is a
+///    matched-mass-weighted mean of cross distances, each pairing a
+///    query state with a state inside b's ball, so with sep_i the
+///    point-ball separation of query state i it is at least both
+///      - min_i sep_i (weighted means never drop below the minimum), and
+///      - half the sum of the min(size_a, size_b) smallest w_i * sep_i
+///        terms: each matched pair's mass is at least w_a_i / 2, the
+///        total matched mass is at most 1, and an adversarial matching
+///        can at best leave the largest w_i * sep_i terms unmatched.
+///    The bound takes the larger of the two, scaled by
+///    proximity_scale_m. The second form is what keeps shared downtown
+///    states from collapsing the bound: one near-zero sep_i only removes
+///    its own mass, instead of zeroing the minimum.
+///
+/// The POI and stats-prox bounds are therefore *asymmetric*: the first
+/// argument must be the query's summary (matching the asymmetric exact
+/// distances, which the attacks always evaluate query-first).
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "geo/geo.h"
+#include "profiles/heatmap.h"
+#include "profiles/markov_profile.h"
+#include "profiles/poi_profile.h"
+
+namespace mood::profiles {
+
+/// Bucket count of the heatmap mass digest. 64 doubles keeps a summary in
+/// a handful of cache lines while leaving bucket collisions rare at the
+/// few-hundred-cell profiles the attacks build.
+inline constexpr std::size_t kSummaryBuckets = 64;
+
+/// Floating-point safety margins applied when deflating a computed lower
+/// bound so that it stays below the *computed* exact divergence (see the
+/// admissibility contract above). Relative margin on every bound, plus an
+/// absolute floor per unit system.
+inline constexpr double kLowerBoundRelMargin = 1e-9;
+inline constexpr double kTvAbsMargin = 1e-7;      ///< total-variation slack
+inline constexpr double kWeightAbsMargin = 1e-9;  ///< stationary-mass slack
+inline constexpr double kBallAbsMarginM = 1e-6;   ///< metres slack
+
+/// Bucket of a cell in the heatmap mass digest (deterministic — same mix
+/// as CellIndexHash, reduced mod kSummaryBuckets).
+std::size_t summary_bucket(const geo::CellIndex& cell);
+
+/// Digest of a CompiledHeatmap: probability mass per bucket.
+struct HeatmapSummary {
+  std::array<double, kSummaryBuckets> mass{};
+  std::size_t cells = 0;  ///< 0 marks an empty profile (infinite distances)
+};
+
+HeatmapSummary summarize(const CompiledHeatmap& map);
+
+/// Admissible lower bound on topsoe_divergence(a, b); +infinity when
+/// either profile is empty (matching the exact divergence).
+double topsoe_lower_bound(const HeatmapSummary& a, const HeatmapSummary& b);
+
+/// Covering ball of a point set: centroid + maximum haversine distance
+/// from it to any member. Any cross distance between two sets is at least
+/// haversine(center_a, center_b) - radius_a - radius_b.
+struct ProfileBall {
+  geo::TrigPoint center{};
+  double radius_m = 0.0;
+  std::size_t size = 0;  ///< 0 marks an empty profile (infinite distances)
+};
+
+/// Deflated ball-to-ball separation max(0, D - r_a - r_b - margins), in
+/// metres. 0 when either ball is empty; callers handle the
+/// empty => infinity case themselves.
+double ball_separation_m(const ProfileBall& a, const ProfileBall& b);
+
+/// Deflated point-to-ball separation max(0, D(p, center) - radius -
+/// margins), in metres: a lower bound on the distance from `p` to any
+/// point inside `ball` — the geometric core of the POI and stats-prox
+/// bounds (also used against the index's cluster aggregates, whose balls
+/// cover every member ball). 0 when the ball is empty.
+double point_ball_separation_m(const geo::TrigPoint& p,
+                               const ProfileBall& ball);
+
+/// Two-ball cover of a point set: the points are partitioned around two
+/// well-separated seeds (the point farthest from the centroid, then the
+/// point farthest from that seed; each point joins the nearer seed) and
+/// each part gets its own covering ball. [1] is empty for sets of size
+/// < 2.
+/// Every member point lies inside at least one part, so the distance
+/// from any point p to any member is at least
+/// min over non-empty parts of point_ball_separation_m(p, part).
+using BallCover = std::array<ProfileBall, 2>;
+
+/// Deflated separation of `p` from a two-ball cover: the minimum
+/// point-ball separation over the non-empty parts. 0 when both parts are
+/// empty.
+double point_cover_separation_m(const geo::TrigPoint& p,
+                                const BallCover& cover);
+
+/// Digest of a CompiledPoiProfile: covering ball (the cluster aggregates
+/// build on it), two-ball cover (the per-entry bound prunes with it),
+/// plus the POI centres themselves (query-side, they drive the per-POI
+/// mean bound; POI sets are small, so keeping them costs little).
+struct PoiSummary {
+  ProfileBall ball;
+  BallCover cover;
+  std::vector<geo::TrigPoint> centers;
+};
+
+PoiSummary summarize(const CompiledPoiProfile& profile);
+
+/// Admissible lower bound on poi_profile_distance(a, b) (metres), with
+/// `a` the query's summary (the exact distance is asymmetric: mean over
+/// a's POIs of the nearest POI of b); +infinity when either profile is
+/// empty.
+double poi_profile_lower_bound(const PoiSummary& a, const PoiSummary& b);
+
+/// Digest of a CompiledMarkovProfile: covering ball of the state centres,
+/// the centres with their stationary weights (query-side, they drive the
+/// per-state proximity bound), plus ascending prefix sums of the sorted
+/// weights (weight_prefix[k] = sum of the k smallest weights), which
+/// price the cheapest possible unmatched mass against a chain of any
+/// other size.
+struct MarkovSummary {
+  ProfileBall ball;
+  BallCover cover;
+  std::vector<geo::TrigPoint> centers;
+  std::vector<double> weights;        ///< aligned with centers
+  std::vector<double> weight_prefix;  ///< size() + 1 entries, [0] = 0
+};
+
+MarkovSummary summarize(const CompiledMarkovProfile& profile);
+
+/// Lower bound on the stats-prox *proximity part* (dimensionless) of
+/// `query` against any chain with at least `min_states` states whose
+/// centres all lie inside `cover` — shared by the per-entry bound (the
+/// candidate's own two-ball cover) and the index's cluster bound (the
+/// aggregate ball, passed as a single-part cover, covers every member).
+/// 0 when the cover is empty.
+double stats_prox_proximity_lower_bound(const MarkovSummary& query,
+                                        const BallCover& cover,
+                                        std::size_t min_states,
+                                        double proximity_scale_m);
+
+/// Admissible lower bound on stats_prox_distance(a, b,
+/// proximity_scale_m), with `a` the query's summary; +infinity when
+/// either chain is empty.
+double stats_prox_lower_bound(const MarkovSummary& a, const MarkovSummary& b,
+                              double proximity_scale_m);
+
+}  // namespace mood::profiles

@@ -219,6 +219,20 @@ Json to_json(const core::InferenceBenchCase& result) {
   object["speedup"] = result.speedup();
   object["agreement"] = result.agreement;
   object["mismatch"] = result.mismatch;
+  if (result.scan_passes > 0) {
+    object["scan_seconds"] = result.scan_seconds;
+    object["scan_passes"] = result.scan_passes;
+  }
+  if (result.index_timed) {
+    Json index = Json::object();
+    index["queries"] = result.index_queries;
+    index["candidates"] = result.index_candidates;
+    index["pruned_candidates"] = result.index_pruned;
+    index["exact_evaluations"] = result.index_exact_evals;
+    index["prune_rate"] = result.prune_rate();
+    index["exact_evaluations_per_query"] = result.exact_evals_per_query();
+    object["index"] = std::move(index);
+  }
   return object;
 }
 
@@ -239,12 +253,15 @@ std::vector<std::vector<std::string>> bench_summary_rows(
     const std::vector<core::InferenceBenchCase>& cases) {
   std::vector<std::vector<std::string>> rows;
   rows.push_back({"benchmark", "queries", "reference_s", "optimized_s",
-                  "speedup", "agreement"});
+                  "speedup", "prune", "agreement"});
   for (const auto& benchmark : cases) {
     rows.push_back({benchmark.name, std::to_string(benchmark.queries),
                     fixed(benchmark.reference_seconds, 3),
                     fixed(benchmark.optimized_seconds, 3),
                     fixed(benchmark.speedup(), 1) + "x",
+                    benchmark.index_timed
+                        ? fixed(100.0 * benchmark.prune_rate(), 1) + "%"
+                        : "-",
                     benchmark.agreement ? "yes" : "NO"});
   }
   return rows;
@@ -319,6 +336,9 @@ Json make_stream_report(const RunMetadata& meta, Json dataset,
   cost["evicted_users"] = result.stats.evicted_users;
   cost["lppm_applications"] = result.stats.lppm_applications;
   cost["attack_invocations"] = result.stats.attack_invocations;
+  cost["index_prunes"] = result.stats.index_prunes;
+  cost["exact_evals"] = result.stats.exact_evals;
+  cost["index_rebuilds"] = result.stats.index_rebuilds;
   replay["cost"] = std::move(cost);
   replay["batch_match"] = batch_match ? Json(*batch_match) : Json();
   document["replay"] = std::move(replay);
@@ -402,16 +422,20 @@ std::vector<std::vector<std::string>> bench_summary_rows(
     const Json& bench_document) {
   std::vector<std::vector<std::string>> rows;
   rows.push_back({"benchmark", "queries", "reference_s", "optimized_s",
-                  "speedup", "agreement"});
+                  "speedup", "prune", "agreement"});
   const Json* benchmarks = bench_document.find("benchmarks");
   if (benchmarks == nullptr || !benchmarks->is_array()) return rows;
   for (const Json& benchmark : benchmarks->items()) {
+    const Json* index = benchmark.find("index");
     rows.push_back(
         {benchmark.string_or("name", "?"),
          std::to_string(benchmark.int_or("queries", 0)),
          fixed(benchmark.number_or("reference_seconds", 0.0), 3),
          fixed(benchmark.number_or("optimized_seconds", 0.0), 3),
          fixed(benchmark.number_or("speedup", 0.0), 1) + "x",
+         index != nullptr
+             ? fixed(100.0 * index->number_or("prune_rate", 0.0), 1) + "%"
+             : "-",
          [&] {
            const Json* agree = benchmark.find("agreement");
            return agree != nullptr && agree->is_bool() && agree->as_bool();

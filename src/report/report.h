@@ -82,9 +82,17 @@ inline constexpr const char* kResultSchema = "mood-result/1";
 ///       "queries": 531,
 ///       "reference_passes": 3, "optimized_passes": 12,  // passes timed
 ///       "reference_seconds": 2.42,   // per pass, pre-optimization scans
-///       "optimized_seconds": 0.19,   // per pass, flat + branch-and-bound
+///       "optimized_seconds": 0.19,   // per pass, production path (index
+///                                    // by default, scans with --index=off)
 ///       "speedup": 12.7,
-///       "agreement": true, "mismatch": ""
+///       "agreement": true, "mismatch": "",
+///       "scan_seconds": 0.31, "scan_passes": 4,  // --index=ab only: the
+///                                    // linear-scan oracle, timed separately
+///       "index": {                   // present when the index was timed
+///         "queries": 1593, "candidates": 846083,
+///         "pruned_candidates": 812000, "exact_evaluations": 31000,
+///         "prune_rate": 0.9597, "exact_evaluations_per_query": 19.5
+///       }
 ///     }, ...
 ///   ]
 /// }
@@ -115,7 +123,9 @@ inline constexpr const char* kBenchSchema = "mood-bench/1";
 ///               "profile_refreshes": ..., "stay_updates": ...,
 ///               "stay_rebuilds": ..., "heatmap_updates": ...,
 ///               "evicted_points": ..., "evicted_users": ...,
-///               "lppm_applications": ..., "attack_invocations": ...},
+///               "lppm_applications": ..., "attack_invocations": ...,
+///               "index_prunes": ..., "exact_evals": ...,
+///               "index_rebuilds": ...},
 ///     "batch_match": true  // replayed final decisions == batch evaluators
 ///                          // (null when verification was skipped)
 ///   },

@@ -139,9 +139,14 @@ std::vector<Segment> wanderer_timeline(const GeneratorParams& params,
 
 /// Builds a routine user's full-period timeline. Sets `relocated` when the
 /// user re-draws their POIs mid-period (the naturally-protected archetype).
+/// `home_center`/`relocation_center` anchor the private-POI scatter: the
+/// city centre for legacy presets, the user's home (and post-move) district
+/// when the preset defines districts.
 std::vector<Segment> routine_timeline(const GeneratorParams& params,
                                       RngStream& rng,
                                       const std::vector<GeoPoint>& pool,
+                                      const GeoPoint& home_center,
+                                      const GeoPoint& relocation_center,
                                       bool& relocated) {
   // ---- Draw the user's POIs. Index 0 = home, 1 = work, rest = leisure.
   const std::size_t poi_count =
@@ -152,7 +157,7 @@ std::vector<Segment> routine_timeline(const GeneratorParams& params,
     const double p_private =
         primary ? params.p_private_poi : params.p_private_leisure;
     if (pool.empty() || r.bernoulli(p_private)) {
-      return scatter(params.city_center, params.private_poi_spread_m, r);
+      return scatter(home_center, params.private_poi_spread_m, r);
     }
     // Shared hotspot with a small offset (same building, different door).
     return jitter(pool[r.uniform_index(pool.size())], 80.0, r);
@@ -173,7 +178,7 @@ std::vector<Segment> routine_timeline(const GeneratorParams& params,
     // genuinely new address, not back onto the old hotspot grid — that
     // novelty is what makes relocators naturally unlinkable.
     for (auto& poi : pois_after) {
-      poi = scatter(params.city_center, params.private_poi_spread_m, rng);
+      poi = scatter(relocation_center, params.private_poi_spread_m, rng);
     }
   }
   const Timestamp t_mid =
@@ -318,6 +323,21 @@ mobility::Dataset generate(const GeneratorParams& params) {
         scatter(params.city_center, params.shared_poi_spread_m, pool_rng));
   }
 
+  // District anchors (city-small): geographic sub-centres that routine
+  // users' private POIs cluster around when the preset defines districts.
+  // Drawn from their own fork so legacy presets (districts == 0) stay
+  // byte-identical.
+  std::vector<GeoPoint> district_anchors;
+  if (params.districts > 0) {
+    RngStream district_rng = root.fork("districts");
+    district_anchors.reserve(params.districts);
+    for (std::size_t i = 0; i < params.districts; ++i) {
+      district_anchors.push_back(scatter(params.city_center,
+                                         params.district_spread_m,
+                                         district_rng));
+    }
+  }
+
   const double period_s = 86400.0 / params.records_per_user_per_day;
 
   mobility::Dataset dataset(params.dataset_name);
@@ -338,8 +358,20 @@ mobility::Dataset generate(const GeneratorParams& params) {
       timeline = wanderer_timeline(params, rng);
       tag = "wnd";
     } else {
+      GeoPoint home_center = params.city_center;
+      GeoPoint relocation_center = params.city_center;
+      if (!district_anchors.empty()) {
+        // Home district and (fresh) post-relocation district. fork() leaves
+        // `rng` untouched, so the districts == 0 path is unaffected.
+        RngStream district_rng = rng.fork("district");
+        home_center = district_anchors[district_rng.uniform_index(
+            district_anchors.size())];
+        relocation_center = district_anchors[district_rng.uniform_index(
+            district_anchors.size())];
+      }
       bool relocated = false;
-      timeline = routine_timeline(params, rng, pool, relocated);
+      timeline = routine_timeline(params, rng, pool, home_center,
+                                  relocation_center, relocated);
       tag = relocated ? "rel" : "usr";
     }
     const double activity =

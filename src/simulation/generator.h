@@ -69,6 +69,17 @@ struct GeneratorParams {
   double private_poi_spread_m = 12000.0; ///< private POI scatter (suburbs)
   double relocation_prob = 0.15;         ///< mid-period movers (nat. protected)
 
+  // Districts (city-small): when districts > 0, each routine user is
+  // anchored to a home district drawn from `districts` anchor points
+  // scattered district_spread_m around downtown, and their private POIs
+  // scatter private_poi_spread_m around that anchor instead of the city
+  // centre (relocators redraw a fresh district). Commuter-style locality:
+  // large populations decompose into geographic clusters the way real
+  // cities do — the structure a population index exploits. 0 keeps the
+  // legacy single-blob scatter (bit-identical datasets for old presets).
+  std::size_t districts = 0;
+  double district_spread_m = 10000.0;
+
   // Wanderers: users whose days are long roaming tours through a private
   // angular sector of the city outskirts. Their territory signature
   // spreads over so many cells that every LPPM leaves a recognisable

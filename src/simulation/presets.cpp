@@ -72,6 +72,27 @@ GeneratorParams preset_params(const std::string& name, double scale,
     p.territory_bias_min = 0.45;       // graded distinctiveness: TRL hides
     p.territory_bias_max = 0.95;       // the weakly territorial cabs only
     p.speed_mps = 9.0;
+  } else if (name == "city-small") {
+    // Synthetic metropolis for population-index scaling studies: ~10k
+    // routine users spread over 32 commuter districts, at a deliberately
+    // thin per-user record rate so the full population trains in minutes.
+    // District locality is what gives cluster pruning its bite — most of
+    // the population lives far (in profile space) from any one query.
+    p.dataset_name = "CitySmall";
+    p.city_center = geo::GeoPoint{45.7640, 4.8357};  // Lyon-shaped sprawl
+    p.users = 10000;
+    p.days = 4;
+    p.records_per_user_per_day = 72.0 * scale;
+    p.shared_poi_pool = 150;
+    p.shared_poi_spread_m = 4000.0;
+    p.p_private_poi = 0.7;
+    p.p_private_leisure = 0.85;
+    p.pois_per_user_max = 5;
+    p.private_poi_spread_m = 1500.0;  // tight around the home district
+    p.districts = 32;
+    p.district_spread_m = 14000.0;
+    p.relocation_prob = 0.1;
+    p.wanderer_fraction = 0.01;
   } else {
     throw support::PreconditionError("unknown dataset preset: " + name);
   }
@@ -85,7 +106,7 @@ mobility::Dataset make_preset_dataset(const std::string& name, double scale,
 
 const std::vector<std::string>& preset_names() {
   static const std::vector<std::string> names{"mdc", "privamov", "geolife",
-                                              "cabspotting"};
+                                              "cabspotting", "city-small"};
   return names;
 }
 

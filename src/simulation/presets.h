@@ -33,7 +33,10 @@
 namespace mood::simulation {
 
 /// Generator parameters for one of: "mdc", "privamov", "geolife",
-/// "cabspotting" (see preset_names()), at the given record-volume scale.
+/// "cabspotting", "city-small" (see preset_names()), at the given
+/// record-volume scale. "city-small" is not a paper dataset: it is a
+/// ~10k-user district-structured metropolis used to study population-index
+/// scaling (sublinear exact evaluations per query).
 /// `seed` drives every random choice of the generator.
 /// Throws PreconditionError for unknown names.
 /// Precondition: 0 < scale <= 4.
@@ -46,8 +49,8 @@ mobility::Dataset make_preset_dataset(const std::string& name,
                                       double scale = 1.0,
                                       std::uint64_t seed = 42);
 
-/// The four preset names in the paper's Table 1 order:
-/// {"mdc", "privamov", "geolife", "cabspotting"}.
+/// The preset names: the paper's Table 1 four plus the index-scaling
+/// population, {"mdc", "privamov", "geolife", "cabspotting", "city-small"}.
 const std::vector<std::string>& preset_names();
 
 }  // namespace mood::simulation

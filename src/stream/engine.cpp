@@ -103,6 +103,9 @@ StreamStats StreamEngine::stats() const {
   s.evicted_users = store_.eviction_count();
   s.lppm_applications = kernel.lppm_applications;
   s.attack_invocations = kernel.attack_invocations;
+  s.index_prunes = kernel.index_prunes;
+  s.exact_evals = kernel.exact_evals;
+  s.index_rebuilds = kernel.index_rebuilds;
   return s;
 }
 

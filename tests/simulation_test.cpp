@@ -163,11 +163,28 @@ TEST(Generator, ValidatesParameters) {
 
 // -------------------------------------------------------------- Presets --
 
-TEST(Presets, FourNamesInTableOrder) {
+TEST(Presets, TableOneNamesFirstThenScalingPreset) {
   const auto& names = preset_names();
-  ASSERT_EQ(names.size(), 4u);
+  ASSERT_EQ(names.size(), 5u);
   EXPECT_EQ(names[0], "mdc");
   EXPECT_EQ(names[3], "cabspotting");
+  // Not a paper dataset: the district-structured index-scaling preset
+  // rides behind the Table-1 four.
+  EXPECT_EQ(names[4], "city-small");
+}
+
+TEST(Presets, CitySmallIsDistrictStructured) {
+  const auto params = preset_params("city-small");
+  EXPECT_EQ(params.users, 10000u);
+  EXPECT_GT(params.districts, 0u);
+  EXPECT_GT(params.district_spread_m, 0.0);
+  // The Table-1 presets predate districts and must keep the legacy
+  // generator stream (districts off) so their datasets stay
+  // byte-identical.
+  EXPECT_EQ(preset_params("mdc").districts, 0u);
+  EXPECT_EQ(preset_params("privamov").districts, 0u);
+  EXPECT_EQ(preset_params("geolife").districts, 0u);
+  EXPECT_EQ(preset_params("cabspotting").districts, 0u);
 }
 
 TEST(Presets, UserCountsMatchTableOne) {

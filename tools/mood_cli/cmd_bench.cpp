@@ -57,7 +57,7 @@ int cmd_bench(int argc, const char* const* argv, std::ostream& out,
       "mood-bench/1 JSON document. Exits 1 on any disagreement.");
   flags.add_string("preset", "cabspotting",
                    "dataset preset (mdc | privamov | geolife | cabspotting "
-                   "| small)");
+                   "| city-small | small)");
   flags.add_double("scale", 0.25, "record-volume scale in (0, 4]");
   flags.add_int("users", 0, "override the preset's user count (0 = keep)");
   flags.add_int("days", 0, "override the simulated period in days (0 = keep)");
@@ -67,6 +67,9 @@ int cmd_bench(int argc, const char* const* argv, std::ostream& out,
                 "minimum timed passes per reidentify microbench");
   flags.add_int("min-records", 0,
                 "active-user floor per half (0 = default; 'small' uses 8)");
+  flags.add_string("index", "on",
+                   "population index: on (index vs reference), off (scans "
+                   "vs reference), ab (reference vs scans vs index)");
   flags.add_bool("skip-full", false,
                  "skip the end-to-end evaluate_mood_full A/B case");
   flags.add_string("out", "-", "bench JSON path ('-' = stdout)");
@@ -84,6 +87,17 @@ int cmd_bench(int argc, const char* const* argv, std::ostream& out,
   const auto repetitions = flags.get_int("repetitions");
   if (repetitions <= 0) {
     throw support::UsageError("mood bench: --repetitions must be positive");
+  }
+  const std::string index_flag = flags.get_string("index");
+  core::BenchIndexMode index_mode;
+  if (index_flag == "on") {
+    index_mode = core::BenchIndexMode::kOn;
+  } else if (index_flag == "off") {
+    index_mode = core::BenchIndexMode::kOff;
+  } else if (index_flag == "ab") {
+    index_mode = core::BenchIndexMode::kAb;
+  } else {
+    throw support::UsageError("mood bench: --index must be on, off or ab");
   }
   if (const auto jobs = flags.get_int("jobs"); jobs > 0) {
     support::ThreadPool::configure_shared(static_cast<std::size_t>(jobs));
@@ -120,8 +134,9 @@ int cmd_bench(int argc, const char* const* argv, std::ostream& out,
   core::InferenceBenchOptions options;
   options.repetitions = static_cast<std::size_t>(repetitions);
   options.run_full = !flags.get_bool("skip-full");
+  options.index_mode = index_mode;
   err << "benchmarking " << harness.pairs().size() << " users on "
-      << dataset.name() << " (reference vs optimized)...\n";
+      << dataset.name() << " (index=" << index_flag << ")...\n";
   const auto bench_started = elapsed();
   const auto cases = core::run_inference_bench(harness, options);
   meta.timings.emplace_back("bench", elapsed() - bench_started);

@@ -23,6 +23,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "attacks/attack.h"
 #include "core/experiment.h"
 #include "mobility/io.h"
 #include "mood_cli/cli.h"
@@ -123,7 +124,7 @@ int cmd_replay(int argc, const char* const* argv, std::ostream& out,
                    "empty: generate --preset instead");
   flags.add_string("preset", "small",
                    "preset to generate when --input is empty (mdc | privamov "
-                   "| geolife | cabspotting | small)");
+                   "| geolife | cabspotting | city-small | small)");
   flags.add_double("scale", 0.25, "record-volume scale for --preset");
   flags.add_string("name", "", "dataset display name (default: input/preset)");
   flags.add_int("users", 0, "override the preset's user count (0 = keep)");
@@ -148,9 +149,14 @@ int cmd_replay(int argc, const char* const* argv, std::ostream& out,
   flags.add_double("compression", 0.0,
                    "dataset seconds replayed per wall second (0 = off; "
                    "ignored when --rate is set)");
+  flags.add_string("index", "on",
+                   "population index for the streamed risk queries: on | "
+                   "off (linear branch-and-bound scans)");
   flags.add_bool("verify", true,
-                 "check final decisions against the batch evaluators "
-                 "(skipped automatically for lossy window configurations)");
+                 "check final decisions against the batch evaluators run "
+                 "on the linear-scan oracle — an index-vs-scan divergence "
+                 "gate (skipped automatically for lossy window "
+                 "configurations)");
   flags.add_bool("serial-drain", false,
                  "decide shards sequentially instead of on the thread pool");
   flags.add_bool("per-user", true, "include the per_user array in the JSON");
@@ -179,6 +185,13 @@ int cmd_replay(int argc, const char* const* argv, std::ostream& out,
     throw support::UsageError(
         "mood replay: window/pacing knobs must be non-negative");
   }
+  const std::string index_flag = flags.get_string("index");
+  if (index_flag != "on" && index_flag != "off") {
+    throw support::UsageError("mood replay: --index must be on or off");
+  }
+  const attacks::QueryMode stream_mode = index_flag == "on"
+                                             ? attacks::QueryMode::kIndex
+                                             : attacks::QueryMode::kScan;
   if (const auto jobs = flags.get_int("jobs"); jobs > 0) {
     support::ThreadPool::configure_shared(static_cast<std::size_t>(jobs));
   }
@@ -244,6 +257,7 @@ int cmd_replay(int argc, const char* const* argv, std::ostream& out,
   replay_options.time_compression = flags.get_double("compression");
 
   const auto events = stream::make_event_stream(harness.pairs());
+  harness.set_attack_query_mode(stream_mode);
   stream::StreamEngine engine(harness.make_engine(), stream_config);
   err << "replaying " << events.size() << " events from "
       << harness.pairs().size() << " users through " << stream_config.shards
@@ -267,7 +281,12 @@ int cmd_replay(int argc, const char* const* argv, std::ostream& out,
              "configuration is deliberately lossy)\n";
     } else {
       const auto verify_started = elapsed();
+      // Run the batch pass on the linear-scan oracle whatever mode the
+      // stream used, so an index replay is verified against independent
+      // machinery (decisions must be bit-identical across modes).
+      harness.set_attack_query_mode(attacks::QueryMode::kScan);
       batch_match = verify_against_batch(harness, result.decisions, err);
+      harness.set_attack_query_mode(stream_mode);
       meta.timings.emplace_back("verify", elapsed() - verify_started);
     }
   }

@@ -19,8 +19,8 @@ int cmd_simulate(int argc, const char* const* argv, std::ostream& out,
                  std::ostream& err) {
   support::FlagSet flags(
       "mood simulate",
-      "Generate a synthetic mobility dataset from a Table-1 preset\n"
-      "(mdc | privamov | geolife | cabspotting) and write it as CSV.");
+      "Generate a synthetic mobility dataset from a preset (mdc | privamov\n"
+      "| geolife | cabspotting | city-small) and write it as CSV.");
   flags.add_string("preset", "privamov", "dataset preset name");
   flags.add_double("scale", 0.25, "record-volume scale in (0, 4]");
   flags.add_int("seed", 42, "generator seed (byte-identical reruns)");
