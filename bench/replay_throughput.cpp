@@ -5,6 +5,7 @@
 //
 //   ./replay_throughput [--datasets=privamov] [--scale=0.25] [--seed=7]
 //                       [--shards=1,2,4,8] [--staleness=0] [--batch=256]
+//                       [--checkpoint-every=0] [--checkpoint-dir=DIR]
 //                       [--json=replay.json]
 //
 // Defaults to privamov (the most at-risk population, so the mechanism-
@@ -13,13 +14,19 @@
 // tradeoff instead of anecdotes: higher bounds defer the PIT/POI profile
 // refreshes at the cost of mid-stream decisions lagging the window (the
 // final decisions are canonicalised by finish() and must stay identical).
+// --checkpoint-every=N additionally re-runs every grid point with
+// periodic mood-snapshot/1 checkpoints (cadence N events, written to
+// --checkpoint-dir or a temp directory) and prints the throughput
+// overhead — the number the PR 7 acceptance bar caps at 10%.
 // --json writes an array of "mood-stream/1" documents, one per grid
-// point. Every run's final decisions are compared across the whole grid;
+// point. Every run's final decisions are compared across the whole grid
+// (checkpointed runs included — checkpointing must never perturb them);
 // exits non-zero if they ever diverge (the determinism gate, cheaper than
 // the full batch verification `mood replay` performs).
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -87,6 +94,14 @@ int main(int argc, char** argv) {
   stream::ReplayOptions replay_options;
   replay_options.batch_events =
       static_cast<std::size_t>(options.get_int("batch", 256));
+  const auto checkpoint_every =
+      static_cast<std::uint64_t>(options.get_int("checkpoint-every", 0));
+  std::string checkpoint_dir = options.get_string("checkpoint-dir", "");
+  if (checkpoint_every > 0 && checkpoint_dir.empty()) {
+    checkpoint_dir = (std::filesystem::temp_directory_path() /
+                      "mood_replay_throughput_ckpt")
+                         .string();
+  }
 
   report::Json documents = report::Json::array();
   int exit_code = 0;
@@ -97,61 +112,98 @@ int main(int argc, char** argv) {
     const auto events = stream::make_event_stream(harness.pairs());
     std::printf("%s: %zu users, %zu events\n", name.c_str(),
                 harness.pairs().size(), events.size());
-    std::printf("%8s %10s %12s %10s %10s %10s %10s %10s\n", "shards",
-                "staleness", "events/s", "p50_ms", "p95_ms", "p99_ms",
-                "searches", "refreshes");
+    std::printf("%8s %10s %5s %12s %10s %10s %10s %10s %10s\n", "shards",
+                "staleness", "ckpt", "events/s", "p50_ms", "p95_ms",
+                "p99_ms", "searches", "refreshes");
 
     // Final decisions must agree across the whole grid: shard count and
-    // drain parallelism never affect them, and staleness short-cuts are
-    // repaired by finish()'s canonical re-decision.
+    // drain parallelism never affect them, staleness short-cuts are
+    // repaired by finish()'s canonical re-decision, and checkpoint writes
+    // happen strictly between micro-batches.
     std::vector<stream::UserDecision> reference;
+    const auto gate = [&](const stream::ReplayResult& result,
+                          std::size_t shards, std::size_t staleness) {
+      if (reference.empty()) {
+        reference = result.decisions;
+        return;
+      }
+      if (result.decisions.size() != reference.size()) {
+        std::fprintf(stderr,
+                     "DETERMINISM VIOLATION: %zu users decided at "
+                     "shards=%zu staleness=%zu, %zu in the reference run\n",
+                     result.decisions.size(), shards, staleness,
+                     reference.size());
+        exit_code = 1;
+        return;
+      }
+      for (std::size_t i = 0; i < result.decisions.size(); ++i) {
+        const auto& a = reference[i];
+        const auto& b = result.decisions[i];
+        if (a.user != b.user || a.decision != b.decision ||
+            a.winner != b.winner) {
+          std::fprintf(stderr,
+                       "DETERMINISM VIOLATION: user %s decided "
+                       "differently at shards=%zu staleness=%zu\n",
+                       b.user.c_str(), shards, staleness);
+          exit_code = 1;
+        }
+      }
+    };
+
     for (const std::size_t staleness : staleness_bounds) {
       for (const std::size_t shards : shard_counts) {
         stream::StreamConfig config;
         config.shards = shards;
         config.staleness_points = staleness;
-        stream::StreamEngine engine(harness.make_engine(), config);
-        const stream::ReplayResult result =
-            stream::run_replay(engine, events, replay_options);
-        std::printf(
-            "%8zu %10zu %12.0f %10.3f %10.3f %10.3f %10llu %10llu\n", shards,
-            staleness, result.events_per_second, result.latency.p50 * 1e3,
-            result.latency.p95 * 1e3, result.latency.p99 * 1e3,
-            static_cast<unsigned long long>(result.stats.searches),
-            static_cast<unsigned long long>(result.stats.profile_refreshes));
 
-        if (reference.empty()) {
-          reference = result.decisions;
-        } else if (result.decisions.size() != reference.size()) {
-          std::fprintf(stderr,
-                       "DETERMINISM VIOLATION: %zu users decided at "
-                       "shards=%zu staleness=%zu, %zu in the reference run\n",
-                       result.decisions.size(), shards, staleness,
-                       reference.size());
-          exit_code = 1;
-        } else {
-          for (std::size_t i = 0; i < result.decisions.size(); ++i) {
-            const auto& a = reference[i];
-            const auto& b = result.decisions[i];
-            if (a.user != b.user || a.decision != b.decision ||
-                a.winner != b.winner) {
-              std::fprintf(stderr,
-                           "DETERMINISM VIOLATION: user %s decided "
-                           "differently at shards=%zu staleness=%zu\n",
-                           b.user.c_str(), shards, staleness);
-              exit_code = 1;
-            }
+        // One measured run per grid point, plus (with --checkpoint-every)
+        // a checkpointed twin to price the snapshot writes.
+        double baseline_eps = 0.0;
+        for (const bool checkpointed : {false, true}) {
+          if (checkpointed && checkpoint_every == 0) continue;
+          stream::StreamEngine engine(harness.make_engine(), config);
+          if (checkpointed) {
+            std::filesystem::remove_all(checkpoint_dir);
+            engine.configure_checkpoints(
+                {checkpoint_dir, checkpoint_every},
+                {ctx.seed, dataset.name(), events.size(),
+                 replay_options.batch_events});
           }
-        }
+          const stream::ReplayResult result =
+              stream::run_replay(engine, events, replay_options);
+          std::printf(
+              "%8zu %10zu %5s %12.0f %10.3f %10.3f %10.3f %10llu %10llu",
+              shards, staleness, checkpointed ? "yes" : "no",
+              result.events_per_second, result.latency.p50 * 1e3,
+              result.latency.p95 * 1e3, result.latency.p99 * 1e3,
+              static_cast<unsigned long long>(result.stats.searches),
+              static_cast<unsigned long long>(
+                  result.stats.profile_refreshes));
+          if (!checkpointed) {
+            baseline_eps = result.events_per_second;
+            std::printf("\n");
+          } else {
+            const double overhead =
+                baseline_eps > 0.0
+                    ? (baseline_eps - result.events_per_second) /
+                          baseline_eps * 100.0
+                    : 0.0;
+            std::printf("  (%llu snapshots, %.1f%% overhead)\n",
+                        static_cast<unsigned long long>(
+                            result.stats.checkpoints),
+                        overhead);
+          }
+          gate(result, shards, staleness);
 
-        report::RunMetadata meta;
-        meta.tool = "replay_throughput";
-        meta.dataset = dataset.name();
-        meta.seed = ctx.seed;
-        meta.wall_seconds = result.wall_seconds;
-        documents.push_back(report::make_stream_report(
-            meta, report::dataset_summary(dataset), config, replay_options,
-            result, std::nullopt, /*include_users=*/false));
+          report::RunMetadata meta;
+          meta.tool = "replay_throughput";
+          meta.dataset = dataset.name();
+          meta.seed = ctx.seed;
+          meta.wall_seconds = result.wall_seconds;
+          documents.push_back(report::make_stream_report(
+              meta, report::dataset_summary(dataset), config, replay_options,
+              result, std::nullopt, /*include_users=*/false));
+        }
       }
     }
   }

@@ -180,6 +180,57 @@ std::vector<Poi> StayTracker::pois() const {
   return out;
 }
 
+StayTrackerSnapshot StayTracker::snapshot() const {
+  StayTrackerSnapshot snap;
+  snap.params = params_;
+  snap.has_origin = has_origin_;
+  snap.origin = origin_;
+  snap.finals.reserve(finals_.size());
+  for (const auto& stay : finals_) {
+    snap.finals.push_back(StayTrackerSnapshot::Stay{
+        stay.poi, static_cast<std::uint64_t>(stay.start),
+        static_cast<std::uint64_t>(stay.end)});
+  }
+  snap.run_valid = run_valid_;
+  snap.run_anchor = static_cast<std::uint64_t>(run_.anchor);
+  snap.run_j = static_cast<std::uint64_t>(run_.j);
+  snap.run_sx = run_.sx;
+  snap.run_sy = run_.sy;
+  snap.run_t_start = run_.t_start;
+  snap.run_t_end = run_.t_end;
+  snap.base = static_cast<std::uint64_t>(base_);
+  snap.size = static_cast<std::uint64_t>(size_);
+  snap.generation = generation_;
+  snap.updates = updates_;
+  snap.rebuilds = rebuilds_;
+  return snap;
+}
+
+StayTracker StayTracker::from_snapshot(const StayTrackerSnapshot& snapshot) {
+  StayTracker tracker(snapshot.params);
+  tracker.has_origin_ = snapshot.has_origin;
+  tracker.origin_ = snapshot.origin;
+  tracker.finals_.reserve(snapshot.finals.size());
+  for (const auto& stay : snapshot.finals) {
+    tracker.finals_.push_back(
+        TrackedStay{stay.poi, static_cast<std::size_t>(stay.start),
+                    static_cast<std::size_t>(stay.end)});
+  }
+  tracker.run_valid_ = snapshot.run_valid;
+  tracker.run_ = OpenRun{static_cast<std::size_t>(snapshot.run_anchor),
+                         static_cast<std::size_t>(snapshot.run_j),
+                         snapshot.run_sx,
+                         snapshot.run_sy,
+                         snapshot.run_t_start,
+                         snapshot.run_t_end};
+  tracker.base_ = static_cast<std::size_t>(snapshot.base);
+  tracker.size_ = static_cast<std::size_t>(snapshot.size);
+  tracker.generation_ = snapshot.generation;
+  tracker.updates_ = snapshot.updates;
+  tracker.rebuilds_ = snapshot.rebuilds;
+  return tracker;
+}
+
 void VisitAccumulator::rebuild(const std::vector<Poi>& pois) {
   states_.clear();
   folded_ = 0;
@@ -230,6 +281,22 @@ void VisitAccumulator::fold(std::vector<Poi>& states, const Poi& poi) const {
   existing.end = poi.end;
 }
 
+VisitAccumulatorSnapshot VisitAccumulator::snapshot() const {
+  VisitAccumulatorSnapshot snap;
+  snap.merge_distance_m = merge_distance_m_;
+  snap.states = states_;
+  snap.folded = static_cast<std::uint64_t>(folded_);
+  return snap;
+}
+
+VisitAccumulator VisitAccumulator::from_snapshot(
+    const VisitAccumulatorSnapshot& snapshot) {
+  VisitAccumulator accumulator(snapshot.merge_distance_m);
+  accumulator.states_ = snapshot.states;
+  accumulator.folded_ = static_cast<std::size_t>(snapshot.folded);
+  return accumulator;
+}
+
 void TrackedVisitStates::update(const mobility::Trace& window,
                                 std::size_t appended, std::size_t evicted) {
   stays_.update(window, appended, evicted);
@@ -247,6 +314,23 @@ void TrackedVisitStates::update(const mobility::Trace& window,
       visits_.append(stays_.final_at(i));
     }
   }
+}
+
+TrackedVisitStatesSnapshot TrackedVisitStates::snapshot() const {
+  TrackedVisitStatesSnapshot snap;
+  snap.stays = stays_.snapshot();
+  snap.visits = visits_.snapshot();
+  snap.synced_generation = synced_generation_;
+  return snap;
+}
+
+TrackedVisitStates TrackedVisitStates::from_snapshot(
+    const TrackedVisitStatesSnapshot& snapshot) {
+  TrackedVisitStates tracked;
+  tracked.stays_ = StayTracker::from_snapshot(snapshot.stays);
+  tracked.visits_ = VisitAccumulator::from_snapshot(snapshot.visits);
+  tracked.synced_generation_ = snapshot.synced_generation;
+  return tracked;
 }
 
 }  // namespace mood::clustering

@@ -46,6 +46,55 @@
 
 namespace mood::clustering {
 
+// ---- Checkpoint snapshots --------------------------------------------
+// Plain-value mirrors of the trackers' full internal state, used by the
+// gateway's mood-snapshot/1 checkpoint format (src/stream/snapshot.h).
+// The cached profile state must be serialized *directly* — it reflects
+// the window at the last refresh, which under a staleness bound includes
+// records already evicted from the current window, so it cannot be
+// rebuilt from the window alone. from_snapshot(snapshot()) is an exact
+// round trip: every subsequent update() is bit-identical to one on the
+// original object.
+
+/// StayTracker::snapshot() payload.
+struct StayTrackerSnapshot {
+  PoiParams params;
+  bool has_origin = false;
+  geo::GeoPoint origin;
+  struct Stay {
+    Poi poi;
+    std::uint64_t start = 0;  ///< absolute record index of the first member
+    std::uint64_t end = 0;    ///< absolute record index of the last member
+  };
+  std::vector<Stay> finals;
+  bool run_valid = false;
+  std::uint64_t run_anchor = 0;
+  std::uint64_t run_j = 0;
+  double run_sx = 0.0;
+  double run_sy = 0.0;
+  mobility::Timestamp run_t_start = 0;
+  mobility::Timestamp run_t_end = 0;
+  std::uint64_t base = 0;
+  std::uint64_t size = 0;
+  std::uint64_t generation = 0;
+  std::uint64_t updates = 0;
+  std::uint64_t rebuilds = 0;
+};
+
+/// VisitAccumulator::snapshot() payload.
+struct VisitAccumulatorSnapshot {
+  double merge_distance_m = 200.0;
+  std::vector<Poi> states;
+  std::uint64_t folded = 0;
+};
+
+/// TrackedVisitStates::snapshot() payload.
+struct TrackedVisitStatesSnapshot {
+  StayTrackerSnapshot stays;
+  VisitAccumulatorSnapshot visits;
+  std::uint64_t synced_generation = 0;
+};
+
 /// Incrementally maintained extract_pois() over a sliding window.
 class StayTracker {
  public:
@@ -100,6 +149,12 @@ class StayTracker {
   /// fallback: stay-splitting evictions, plus cold starts).
   [[nodiscard]] std::uint64_t updates() const { return updates_; }
   [[nodiscard]] std::uint64_t rebuilds() const { return rebuilds_; }
+
+  /// Full internal state as a plain value (checkpointing).
+  [[nodiscard]] StayTrackerSnapshot snapshot() const;
+  /// Exact inverse of snapshot(): the restored tracker resumes updates
+  /// bit-identically to the original.
+  static StayTracker from_snapshot(const StayTrackerSnapshot& snapshot);
 
  private:
   /// One finalised stay with its absolute record-index range (indices keep
@@ -175,6 +230,11 @@ class VisitAccumulator {
   [[nodiscard]] std::vector<Poi> states_with(
       const std::optional<Poi>& provisional) const;
 
+  /// Full internal state as a plain value (checkpointing).
+  [[nodiscard]] VisitAccumulatorSnapshot snapshot() const;
+  static VisitAccumulator from_snapshot(
+      const VisitAccumulatorSnapshot& snapshot);
+
  private:
   void fold(std::vector<Poi>& states, const Poi& poi) const;
 
@@ -210,6 +270,11 @@ class TrackedVisitStates {
   }
 
   [[nodiscard]] const StayTracker& tracker() const { return stays_; }
+
+  /// Full internal state as a plain value (checkpointing).
+  [[nodiscard]] TrackedVisitStatesSnapshot snapshot() const;
+  static TrackedVisitStates from_snapshot(
+      const TrackedVisitStatesSnapshot& snapshot);
 
  private:
   StayTracker stays_;

@@ -244,6 +244,12 @@ bool DecisionKernel::at_risk_trace(const mobility::Trace& trace) const {
   return at_risk(state);
 }
 
+void DecisionKernel::restore_window_tracking(UserKernelState& state) const {
+  if (!state.window.empty() && state.window.tracked_slice() == 0) {
+    state.window.track_slices(engine_.config().preslice);
+  }
+}
+
 KernelStats DecisionKernel::stats() const {
   KernelStats s;
   s.decisions = decisions_.load();

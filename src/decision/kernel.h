@@ -209,6 +209,14 @@ class DecisionKernel {
   /// Targeted risk query over a state with fresh profiles.
   [[nodiscard]] bool at_risk(const UserKernelState& state) const;
 
+  /// Checkpoint-restore hook: re-enables the O(1) preslice bookkeeping on
+  /// a freshly deserialized window. fold() only turns tracking on for
+  /// *empty* windows, so a state restored mid-stream must call this once
+  /// or its window_slices snapshots would read 0 forever. track_slices
+  /// derives the same cut offsets the incremental bookkeeping maintains,
+  /// so restored slice counts are bit-identical to an uninterrupted run.
+  void restore_window_tracking(UserKernelState& state) const;
+
   [[nodiscard]] const MoodEngine& engine() const { return engine_; }
   [[nodiscard]] const KernelConfig& config() const { return config_; }
   [[nodiscard]] KernelStats stats() const;

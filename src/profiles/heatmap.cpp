@@ -159,6 +159,23 @@ CompiledHeatmap CompiledHeatmap::incremental(const mobility::Trace& trace,
   return compiled;
 }
 
+CompiledHeatmap CompiledHeatmap::from_counts(
+    std::vector<std::pair<geo::CellIndex, double>> counts, double total) {
+  support::expects(total >= 0.0 && (total > 0.0 || counts.empty()),
+                   "CompiledHeatmap::from_counts: total does not match "
+                   "the counts");
+  CompiledHeatmap compiled;
+  compiled.updatable_ = true;
+  compiled.counts_ = std::move(counts);
+  compiled.total_ = total;
+  // counts_ arrive sorted (raw_counts() order), so compile_cells' sort is
+  // a no-op pass and the cells are bit-identical to the captured heatmap.
+  if (compiled.total_ > 0.0) {
+    compiled.cells_ = compile_cells(compiled.counts_, compiled.total_);
+  }
+  return compiled;
+}
+
 void CompiledHeatmap::apply_update(const std::vector<mobility::Record>& added,
                                    const std::vector<mobility::Record>& removed,
                                    const geo::CellGrid& grid) {

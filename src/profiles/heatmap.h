@@ -114,6 +114,24 @@ class CompiledHeatmap {
   /// allowed).
   [[nodiscard]] bool updatable() const { return updatable_; }
 
+  /// Raw (cell, count) pairs in ascending cell order — exact small
+  /// integers; non-empty only for updatable() heatmaps. Together with
+  /// raw_total() this is the full mutable state: from_counts(raw_counts(),
+  /// raw_total()) reproduces this heatmap bit-identically, which is how
+  /// the gateway's checkpoint format round-trips it.
+  [[nodiscard]] const std::vector<std::pair<geo::CellIndex, double>>&
+  raw_counts() const {
+    return counts_;
+  }
+  [[nodiscard]] double raw_total() const { return total_; }
+
+  /// Rebuilds an updatable compiled heatmap from raw counts (checkpoint
+  /// restore). `counts` must be sorted ascending by cell with positive
+  /// integer counts summing to `total` — i.e. exactly raw_counts() /
+  /// raw_total() of a previously captured heatmap.
+  static CompiledHeatmap from_counts(
+      std::vector<std::pair<geo::CellIndex, double>> counts, double total);
+
   /// Cells in ascending index order.
   [[nodiscard]] const std::vector<CompiledHeatmapCell>& cells() const {
     return cells_;

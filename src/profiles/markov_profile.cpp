@@ -161,6 +161,13 @@ CompiledMarkovProfile& CompiledMarkovProfile::operator=(
   return *this;
 }
 
+CompiledMarkovProfile CompiledMarkovProfile::from_compiled(
+    std::vector<CompiledMarkovState> states) {
+  CompiledMarkovProfile profile;
+  profile.states_ = std::move(states);
+  return profile;
+}
+
 CompiledMarkovProfile CompiledMarkovProfile::incremental(
     const mobility::Trace& trace, const clustering::PoiParams& params) {
   CompiledMarkovProfile profile;

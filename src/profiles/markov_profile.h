@@ -114,6 +114,13 @@ class CompiledMarkovProfile {
   static CompiledMarkovProfile incremental(
       const mobility::Trace& trace, const clustering::PoiParams& params = {});
 
+  /// Re-wraps already-compiled states verbatim (checkpoint restore of the
+  /// flat, non-updatable form the decision kernel holds). The kernel's
+  /// stay tracker is serialized separately; the flat profile is what the
+  /// risk queries read between refreshes.
+  static CompiledMarkovProfile from_compiled(
+      std::vector<CompiledMarkovState> states);
+
   /// Folds window deltas: `appended` records joined `window`'s back and
   /// `evicted` left its front since the last update. O(changed records)
   /// amortised, with a bounded rebuild fallback when an eviction splits a

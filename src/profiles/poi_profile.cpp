@@ -60,6 +60,13 @@ CompiledPoiProfile& CompiledPoiProfile::operator=(
   return *this;
 }
 
+CompiledPoiProfile CompiledPoiProfile::from_compiled(
+    std::vector<geo::TrigPoint> centers) {
+  CompiledPoiProfile profile;
+  profile.centers_ = std::move(centers);
+  return profile;
+}
+
 CompiledPoiProfile CompiledPoiProfile::incremental(
     const mobility::Trace& trace, const clustering::PoiParams& params) {
   CompiledPoiProfile profile;

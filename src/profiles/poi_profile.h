@@ -76,6 +76,10 @@ class CompiledPoiProfile {
   static CompiledPoiProfile incremental(
       const mobility::Trace& trace, const clustering::PoiParams& params = {});
 
+  /// Re-wraps already-compiled centres verbatim (checkpoint restore of
+  /// the flat, non-updatable form the decision kernel holds).
+  static CompiledPoiProfile from_compiled(std::vector<geo::TrigPoint> centers);
+
   /// Folds window deltas: `appended` records joined `window`'s back and
   /// `evicted` left its front since the last update. Precondition: built
   /// by incremental().

@@ -340,6 +340,15 @@ Json make_stream_report(const RunMetadata& meta, Json dataset,
   cost["exact_evals"] = result.stats.exact_evals;
   cost["index_rebuilds"] = result.stats.index_rebuilds;
   replay["cost"] = std::move(cost);
+  // Checkpoint activity is *this process's*, reported outside "cost" so a
+  // restored run's per_user + cost + decisions diff clean against an
+  // uninterrupted run (the CI restart drill relies on that).
+  Json checkpoint = Json::object();
+  checkpoint["written"] = result.stats.checkpoints;
+  checkpoint["bytes"] = result.stats.checkpoint_bytes;
+  checkpoint["failures"] = result.stats.checkpoint_failures;
+  checkpoint["resume_events"] = options.resume_events;
+  replay["checkpoint"] = std::move(checkpoint);
   replay["batch_match"] = batch_match ? Json(*batch_match) : Json();
   document["replay"] = std::move(replay);
 
@@ -378,6 +387,11 @@ std::vector<std::vector<std::string>> stream_summary_rows(
                   std::to_string(result.stats.profile_refreshes)});
   rows.push_back(
       {"stay_rebuilds", std::to_string(result.stats.stay_rebuilds)});
+  if (result.stats.checkpoints > 0 || result.stats.checkpoint_failures > 0) {
+    rows.push_back({"checkpoints", std::to_string(result.stats.checkpoints)});
+    rows.push_back({"checkpoint_failures",
+                    std::to_string(result.stats.checkpoint_failures)});
+  }
   return rows;
 }
 
@@ -414,6 +428,14 @@ std::vector<std::vector<std::string>> stream_summary_rows(
     rows.push_back({"rechecks", count(*cost, "rechecks")});
     rows.push_back({"profile_refreshes", count(*cost, "profile_refreshes")});
     rows.push_back({"stay_rebuilds", count(*cost, "stay_rebuilds")});
+  }
+  if (const Json* checkpoint = replay->find("checkpoint")) {
+    if (checkpoint->int_or("written", 0) > 0 ||
+        checkpoint->int_or("failures", 0) > 0) {
+      rows.push_back({"checkpoints", count(*checkpoint, "written")});
+      rows.push_back(
+          {"checkpoint_failures", count(*checkpoint, "failures")});
+    }
   }
   return rows;
 }

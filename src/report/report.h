@@ -126,6 +126,14 @@ inline constexpr const char* kBenchSchema = "mood-bench/1";
 ///               "lppm_applications": ..., "attack_invocations": ...,
 ///               "index_prunes": ..., "exact_evals": ...,
 ///               "index_rebuilds": ...},
+///     "checkpoint": {"written": 3, "bytes": 183200, "failures": 0,
+///                     "resume_events": 0},  // this process's checkpoint
+///                          // activity (mood-snapshot/1 files written /
+///                          // the restore position) — deliberately
+///                          // outside "cost": a restored run's per_user +
+///                          // cost + decisions are bit-identical to the
+///                          // uninterrupted run's, only this block and
+///                          // the timing numbers differ
 ///     "batch_match": true  // replayed final decisions == batch evaluators
 ///                          // (null when verification was skipped)
 ///   },

@@ -3,13 +3,31 @@
 #include <algorithm>
 #include <utility>
 
+#include "stream/snapshot.h"
 #include "support/error.h"
+#include "support/logging.h"
 #include "support/thread_pool.h"
 
 namespace mood::stream {
 
 namespace {
 constexpr auto kRelaxed = std::memory_order_relaxed;
+
+/// The counters that continue across a restore as baseline + (raw -
+/// floor). The checkpoint counters are deliberately absent: they describe
+/// *this process's* checkpoint activity (reported outside the decision
+/// cost block), not the logical stream, so they stay raw.
+constexpr std::uint64_t StreamStats::* kContinuedStats[] = {
+    &StreamStats::events,          &StreamStats::batches,
+    &StreamStats::decisions,       &StreamStats::exposed_events,
+    &StreamStats::protected_events, &StreamStats::searches,
+    &StreamStats::rechecks,        &StreamStats::profile_refreshes,
+    &StreamStats::stay_updates,    &StreamStats::stay_rebuilds,
+    &StreamStats::heatmap_updates, &StreamStats::evicted_points,
+    &StreamStats::evicted_users,   &StreamStats::lppm_applications,
+    &StreamStats::attack_invocations, &StreamStats::index_prunes,
+    &StreamStats::exact_evals,     &StreamStats::index_rebuilds,
+};
 }  // namespace
 
 StreamEngine::StreamEngine(decision::MoodEngine engine, StreamConfig config)
@@ -49,6 +67,10 @@ std::size_t StreamEngine::drain() {
     for (std::size_t s = 0; s < store_.shard_count(); ++s) drain_one(s);
   }
   batches_.fetch_add(1, kRelaxed);
+  // Checkpoint boundary: every pending queue and dirty list is empty here
+  // (the drain above folded them all), so the captured state is exactly
+  // "the stream up to this position, fully decided".
+  maybe_checkpoint();
   return decided.load();
 }
 
@@ -85,7 +107,7 @@ std::vector<UserDecision> StreamEngine::decisions() const {
   return out;
 }
 
-StreamStats StreamEngine::stats() const {
+StreamStats StreamEngine::raw_stats() const {
   const decision::KernelStats kernel = kernel_.stats();
   StreamStats s;
   s.events = events_.load();
@@ -106,7 +128,176 @@ StreamStats StreamEngine::stats() const {
   s.index_prunes = kernel.index_prunes;
   s.exact_evals = kernel.exact_evals;
   s.index_rebuilds = kernel.index_rebuilds;
+  s.checkpoints = checkpoints_.load(kRelaxed);
+  s.checkpoint_bytes = checkpoint_bytes_.load(kRelaxed);
+  s.checkpoint_failures = checkpoint_failures_.load(kRelaxed);
   return s;
+}
+
+StreamStats StreamEngine::stats() const {
+  StreamStats s = raw_stats();
+  // Continuation across restore: the baseline is the restored snapshot's
+  // cumulative counters; the floor is what this process had accrued when
+  // the restore completed (e.g. the attack-training index rebuild, which
+  // the baseline already counts once). Both are all-zero when no restore
+  // happened, leaving s untouched.
+  for (const auto field : kContinuedStats) {
+    s.*field = stats_baseline_.*field + (s.*field - stats_floor_.*field);
+  }
+  return s;
+}
+
+std::uint64_t StreamEngine::stream_position() const {
+  return position_offset_ + events_.load(kRelaxed);
+}
+
+void StreamEngine::configure_checkpoints(CheckpointPolicy policy,
+                                         SnapshotContext context) {
+  checkpoint_policy_ = std::move(policy);
+  snapshot_context_ = std::move(context);
+}
+
+SnapshotData StreamEngine::capture_snapshot() const {
+  SnapshotData data;
+  data.context = snapshot_context_;
+  data.config = config_;
+  data.stream_position = stream_position();
+  data.stats = stats();
+  data.batches = data.stats.batches;
+  data.shard_clocks = store_.shard_clocks();
+  store_.for_each([&](const UserState& state) {
+    const decision::UserKernelState& k = state.kernel;
+    UserSnapshot u;
+    u.user = state.user;
+    u.window = k.window.records();
+    u.pending = state.pending;
+    u.heatmap_built = k.heatmap_built;
+    if (k.heatmap_built) {
+      u.heatmap_total = k.heatmap.raw_total();
+      u.heatmap_counts = k.heatmap.raw_counts();
+    }
+    u.stays_init = k.stays_init;
+    u.stay_origin_set = k.stay_origin_set;
+    u.stay_origin = k.stay_origin;
+    if (k.stays_init) u.stays = k.stays.snapshot();
+    u.profiles_built = k.profiles_built;
+    u.markov_states = k.markov.states();
+    u.poi_centers = k.poi.centers();
+    u.stale_appended = k.stale_appended;
+    u.stale_evicted = k.stale_evicted;
+    u.stale_points = k.stale_points;
+    u.has_decision = k.has_decision;
+    u.decision = static_cast<std::uint8_t>(k.decision);
+    u.winner = k.winner;
+    u.searched_events = k.searched_events;
+    u.events = k.events;
+    u.risk_transitions = k.risk_transitions;
+    u.searches = k.searches;
+    u.rechecks = k.rechecks;
+    u.last_touch = state.last_touch;
+    data.users.push_back(std::move(u));
+  });
+  std::sort(data.users.begin(), data.users.end(),
+            [](const UserSnapshot& a, const UserSnapshot& b) {
+              return a.user < b.user;
+            });
+  return data;
+}
+
+void StreamEngine::restore_snapshot(const SnapshotData& data) {
+  support::expects(events_.load() == 0 && batches_.load() == 0 &&
+                       position_offset_ == 0 && store_.user_count() == 0,
+                   "StreamEngine::restore_snapshot: must run on a freshly "
+                   "constructed engine");
+  // Resuming under different knobs would silently change published
+  // decisions; the CLI additionally fingerprints seed/dataset/stream shape
+  // before calling here.
+  if (data.config.shards != config_.shards ||
+      data.config.window_seconds != config_.window_seconds ||
+      data.config.max_points != config_.max_points ||
+      data.config.max_users_per_shard != config_.max_users_per_shard ||
+      data.config.staleness_points != config_.staleness_points) {
+    throw SnapshotError(
+        "snapshot gateway config does not match this gateway (shards/"
+        "window/max-points/max-users/staleness must all agree)");
+  }
+
+  for (const UserSnapshot& u : data.users) {
+    UserState state;
+    state.user = u.user;
+    state.pending = u.pending;
+    state.last_touch = u.last_touch;
+    decision::UserKernelState& k = state.kernel;
+    // The restored window arrives sorted (it was captured from a Trace),
+    // so this constructor preserves it verbatim — including duplicate
+    // timestamps, whose relative order a re-sort could not disturb anyway
+    // (stable, and only invoked when actually unsorted).
+    k.window = mobility::Trace(u.user, u.window);
+    kernel_.restore_window_tracking(k);
+    k.heatmap_built = u.heatmap_built;
+    if (u.heatmap_built) {
+      k.heatmap = profiles::CompiledHeatmap::from_counts(u.heatmap_counts,
+                                                         u.heatmap_total);
+    }
+    k.stays_init = u.stays_init;
+    k.stay_origin = u.stay_origin;
+    k.stay_origin_set = u.stay_origin_set;
+    if (u.stays_init) {
+      k.stays = clustering::TrackedVisitStates::from_snapshot(u.stays);
+    }
+    k.profiles_built = u.profiles_built;
+    k.markov = profiles::CompiledMarkovProfile::from_compiled(u.markov_states);
+    k.poi = profiles::CompiledPoiProfile::from_compiled(u.poi_centers);
+    k.stale_appended = static_cast<std::size_t>(u.stale_appended);
+    k.stale_evicted = static_cast<std::size_t>(u.stale_evicted);
+    k.stale_points = static_cast<std::size_t>(u.stale_points);
+    k.has_decision = u.has_decision;
+    k.decision = static_cast<decision::Decision>(u.decision);
+    k.winner = u.winner;
+    k.searched_events = u.searched_events;
+    k.events = u.events;
+    k.risk_transitions = u.risk_transitions;
+    k.searches = u.searches;
+    k.rechecks = u.rechecks;
+    store_.restore_user(std::move(state));
+  }
+  store_.restore_shard_clocks(data.shard_clocks);
+  position_offset_ = data.stream_position;
+  last_checkpoint_position_ = data.stream_position;
+  stats_baseline_ = data.stats;
+  stats_floor_ = raw_stats();
+}
+
+std::uint64_t StreamEngine::checkpoint_now() {
+  support::expects(!checkpoint_policy_.dir.empty(),
+                   "StreamEngine::checkpoint_now: no checkpoint directory "
+                   "configured");
+  const SnapshotData data = capture_snapshot();
+  const std::string bytes = encode_snapshot(data);
+  write_snapshot_file(checkpoint_policy_.dir, bytes);
+  last_checkpoint_position_ = data.stream_position;
+  checkpoints_.fetch_add(1, kRelaxed);
+  checkpoint_bytes_.fetch_add(bytes.size(), kRelaxed);
+  return bytes.size();
+}
+
+void StreamEngine::maybe_checkpoint() {
+  if (checkpoint_policy_.dir.empty() || checkpoint_policy_.every_events == 0) {
+    return;
+  }
+  if (stream_position() - last_checkpoint_position_ <
+      checkpoint_policy_.every_events) {
+    return;
+  }
+  try {
+    checkpoint_now();
+  } catch (const support::Error& e) {
+    // A gateway outlives a full disk: count it, keep deciding, retry at
+    // the next cadence. The fault-injection tests assert both halves.
+    checkpoint_failures_.fetch_add(1, kRelaxed);
+    support::log_warn("checkpoint failed at position ", stream_position(),
+                      ": ", e.what());
+  }
 }
 
 }  // namespace mood::stream

@@ -78,7 +78,36 @@ struct StreamStats {
   std::uint64_t index_prunes = 0;    ///< candidates skipped via lower bounds
   std::uint64_t exact_evals = 0;     ///< candidates priced exactly
   std::uint64_t index_rebuilds = 0;  ///< full index (re)builds
+  /// Checkpoint counters (see snapshot.h). Reported separately from the
+  /// decision-cost block so restore bit-identity diffs stay clean.
+  std::uint64_t checkpoints = 0;         ///< snapshots committed
+  std::uint64_t checkpoint_bytes = 0;    ///< bytes committed
+  std::uint64_t checkpoint_failures = 0; ///< writes aborted (I/O failure)
 };
+
+/// Periodic checkpointing knobs. Disabled unless both are set. A
+/// checkpoint is written at the end of any drain() whose cumulative
+/// ingested-event position advanced `every_events` or more past the last
+/// checkpoint — an event-count cadence, so checkpoint boundaries are a
+/// deterministic function of the event stream and batch size, never of
+/// wall-clock timing.
+struct CheckpointPolicy {
+  std::string dir;                  ///< snapshot directory; "" = disabled
+  std::uint64_t every_events = 0;   ///< cadence in events; 0 = disabled
+};
+
+/// Identity fingerprint stored in every snapshot alongside the
+/// StreamConfig. restore refuses a snapshot whose fingerprint (or config)
+/// does not match the running gateway — resuming someone else's state
+/// would silently change published decisions.
+struct SnapshotContext {
+  std::uint64_t seed = 0;          ///< generator + harness seed
+  std::string dataset;             ///< dataset display name
+  std::uint64_t total_events = 0;  ///< full replay stream length
+  std::uint64_t batch_events = 0;  ///< micro-batch size (drain cadence)
+};
+
+struct SnapshotData;  // full definition in stream/snapshot.h
 
 /// Final state of one user after finish().
 struct UserDecision {
@@ -125,9 +154,46 @@ class StreamEngine {
   }
   [[nodiscard]] std::size_t user_count() const { return store_.user_count(); }
 
+  // ---- Checkpoint / restore ------------------------------------------
+  /// Enables periodic crash-consistent snapshots (see snapshot.h for the
+  /// mood-snapshot/1 format and the write protocol). `context` is the
+  /// identity fingerprint embedded in every snapshot.
+  void configure_checkpoints(CheckpointPolicy policy, SnapshotContext context);
+
+  /// Serializes the complete gateway state — every resident user's
+  /// window, incremental profiles, verdict and counters, plus shard/LRU
+  /// metadata and the cumulative stats — as of now. Call between drains
+  /// (drain() itself calls it on the checkpoint cadence).
+  [[nodiscard]] SnapshotData capture_snapshot() const;
+
+  /// Rehydrates a captured snapshot into this engine. Two-phase by
+  /// construction: `data` was already fully decoded and CRC-validated, so
+  /// no partial restore can occur here. Must run on a freshly constructed
+  /// engine with the same StreamConfig (enforced); continuing the stream
+  /// from data.stream_position then reproduces the uninterrupted run's
+  /// decisions and counters bit-identically.
+  void restore_snapshot(const SnapshotData& data);
+
+  /// Writes one snapshot through the crash-consistent protocol to the
+  /// configured directory, immediately. Returns bytes committed. Throws
+  /// support::IoError on failure (drain()'s periodic path catches it and
+  /// counts a checkpoint_failure instead — a gateway outlives a full
+  /// disk).
+  std::uint64_t checkpoint_now();
+
+  /// Cumulative ingested-event position: events ingested this process
+  /// plus the restored snapshot's position (the replay resume index).
+  [[nodiscard]] std::uint64_t stream_position() const;
+
  private:
   /// Folds state.pending through the kernel; returns points folded.
   std::size_t fold_pending(UserState& state);
+
+  /// drain()-tail hook: checkpoint when the cadence has elapsed.
+  void maybe_checkpoint();
+
+  /// This process's own counters, before restore continuation is applied.
+  [[nodiscard]] StreamStats raw_stats() const;
 
   decision::DecisionKernel kernel_;
   StreamConfig config_;
@@ -135,6 +201,26 @@ class StreamEngine {
 
   std::atomic<std::uint64_t> events_{0};
   std::atomic<std::uint64_t> batches_{0};
+
+  CheckpointPolicy checkpoint_policy_;
+  SnapshotContext snapshot_context_;
+  /// Restored stream position; stats()/stream_position() add it on top of
+  /// this process's own counters so a restored gateway reports cumulative
+  /// numbers, bit-identical to an uninterrupted run.
+  std::uint64_t position_offset_ = 0;
+  std::uint64_t last_checkpoint_position_ = 0;
+  /// Counter continuation across restore: stats() = baseline + (raw -
+  /// floor). `baseline` is the restored snapshot's cumulative stats;
+  /// `floor` is this process's raw stats captured right after restore —
+  /// it subtracts out counters the fresh process accrued before resuming
+  /// (e.g. the attack-training index rebuilds, which the baseline already
+  /// includes once).
+  StreamStats stats_baseline_;
+  StreamStats stats_floor_;
+
+  std::atomic<std::uint64_t> checkpoints_{0};
+  std::atomic<std::uint64_t> checkpoint_bytes_{0};
+  std::atomic<std::uint64_t> checkpoint_failures_{0};
 };
 
 }  // namespace mood::stream

@@ -71,33 +71,41 @@ ReplayResult run_replay(StreamEngine& engine,
   support::expects(options.target_rate >= 0.0 &&
                        options.time_compression >= 0.0,
                    "run_replay: pacing knobs must be non-negative");
+  const std::size_t resume = options.resume_events;
+  support::expects(resume <= events.size(),
+                   "run_replay: resume_events is past the stream end");
+  support::expects(resume % options.batch_events == 0 ||
+                       resume == events.size(),
+                   "run_replay: resume_events must fall on a micro-batch "
+                   "boundary");
 
   ReplayResult result;
-  result.events = events.size();
-  if (events.empty()) {
+  if (events.size() == resume) {
     engine.finish();
     result.decisions = engine.decisions();
     result.stats = engine.stats();
+    result.events = static_cast<std::size_t>(result.stats.events);
+    result.batches = static_cast<std::size_t>(result.stats.batches);
     return result;
   }
 
   const bool paced = options.target_rate > 0.0 ||
                      options.time_compression > 0.0;
-  const mobility::Timestamp t0 = events.front().record.time;
-  // Scheduled arrival offset (seconds from replay start) of event i.
+  const mobility::Timestamp t0 = events[resume].record.time;
+  // Scheduled arrival offset (seconds from *session* start) of event i.
   const auto scheduled = [&](std::size_t i) {
     if (options.target_rate > 0.0) {
-      return static_cast<double>(i) / options.target_rate;
+      return static_cast<double>(i - resume) / options.target_rate;
     }
     return static_cast<double>(events[i].record.time - t0) /
            options.time_compression;
   };
 
-  std::vector<double> arrivals(events.size(), 0.0);
-  std::vector<double> latencies(events.size(), 0.0);
+  std::vector<double> arrivals(events.size() - resume, 0.0);
+  std::vector<double> latencies(events.size() - resume, 0.0);
   const Clock::time_point start = Clock::now();
 
-  std::size_t next = 0;
+  std::size_t next = resume;
   while (next < events.size()) {
     const std::size_t batch_end =
         std::min(next + options.batch_events, events.size());
@@ -111,14 +119,13 @@ ReplayResult run_replay(StreamEngine& engine,
         }
       }
       engine.ingest(events[i]);
-      arrivals[i] = seconds_since(start);
+      arrivals[i - resume] = seconds_since(start);
     }
     engine.drain();
     const double done = seconds_since(start);
     for (std::size_t i = next; i < batch_end; ++i) {
-      latencies[i] = std::max(0.0, done - arrivals[i]);
+      latencies[i - resume] = std::max(0.0, done - arrivals[i - resume]);
     }
-    ++result.batches;
     next = batch_end;
   }
   result.wall_seconds = seconds_since(start);
@@ -126,13 +133,18 @@ ReplayResult run_replay(StreamEngine& engine,
   // The flush is not serving work: it runs after the clock stops.
   engine.finish();
 
+  result.session_events = events.size() - resume;
   result.events_per_second =
       result.wall_seconds > 0.0
-          ? static_cast<double>(result.events) / result.wall_seconds
+          ? static_cast<double>(result.session_events) / result.wall_seconds
           : 0.0;
   result.latency = summarize_latencies(std::move(latencies));
   result.decisions = engine.decisions();
   result.stats = engine.stats();
+  // Cumulative across a restore (continued engine counters); equal to the
+  // plain stream length / batch count when no restore happened.
+  result.events = static_cast<std::size_t>(result.stats.events);
+  result.batches = static_cast<std::size_t>(result.stats.batches);
   return result;
 }
 

@@ -38,6 +38,13 @@ struct ReplayOptions {
   /// Micro-batch size: drain() runs after this many events (and once more
   /// for the trailing partial batch). Must be > 0.
   std::size_t batch_events = 256;
+  /// Resume position: skip the first `resume_events` events (already
+  /// folded into the engine by restore_snapshot) and continue from there.
+  /// Must be a multiple of batch_events (or == events.size()), so the
+  /// resumed run's micro-batch boundaries — which decisions may depend on
+  /// — line up with the uninterrupted run's. Checkpoints fire at drain()
+  /// boundaries, so any restored position satisfies this.
+  std::size_t resume_events = 0;
 };
 
 /// Nearest-rank latency percentiles over the decided events, in seconds.
@@ -49,12 +56,17 @@ struct LatencySummary {
   double mean = 0.0;
 };
 
-/// Outcome of one replay run.
+/// Outcome of one replay run. After a resume, `events`/`batches` are
+/// cumulative across the restored prefix (mirroring the engine's
+/// continued counters) while the wall-clock, throughput, and latency
+/// numbers describe this session only — a restore cannot retroactively
+/// measure the crashed process's timings.
 struct ReplayResult {
   std::size_t events = 0;
   std::size_t batches = 0;
+  std::size_t session_events = 0;  ///< events ingested by this process
   double wall_seconds = 0.0;       ///< first arrival -> last drain done
-  double events_per_second = 0.0;  ///< events / wall_seconds (sustained)
+  double events_per_second = 0.0;  ///< session_events / wall_seconds
   LatencySummary latency;
   std::vector<UserDecision> decisions;  ///< final per-user state (sorted)
   StreamStats stats;                    ///< engine counters after finish()

@@ -103,6 +103,40 @@ std::size_t UserStateStore::user_count() const {
   return n;
 }
 
+void UserStateStore::restore_user(UserState state) {
+  Shard& shard = shards_[shard_of(state.user)];
+  const std::lock_guard lock(shard.mutex);
+  const bool dirty = !state.pending.empty();
+  const mobility::UserId user = state.user;
+  shard.states.insert_or_assign(user, std::move(state));
+  if (dirty &&
+      std::find(shard.dirty.begin(), shard.dirty.end(), user) ==
+          shard.dirty.end()) {
+    shard.dirty.push_back(user);
+  }
+}
+
+std::vector<std::uint64_t> UserStateStore::shard_clocks() const {
+  std::vector<std::uint64_t> clocks;
+  clocks.reserve(shards_.size());
+  for (const Shard& shard : shards_) {
+    const std::lock_guard lock(shard.mutex);
+    clocks.push_back(shard.clock);
+  }
+  return clocks;
+}
+
+void UserStateStore::restore_shard_clocks(
+    const std::vector<std::uint64_t>& clocks) {
+  support::expects(clocks.size() == shards_.size(),
+                   "UserStateStore::restore_shard_clocks: shard count "
+                   "mismatch");
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const std::lock_guard lock(shards_[i].mutex);
+    shards_[i].clock = clocks[i];
+  }
+}
+
 std::uint64_t UserStateStore::eviction_count() const {
   std::uint64_t n = 0;
   for (const Shard& shard : shards_) {

@@ -90,6 +90,19 @@ class UserStateStore {
   [[nodiscard]] std::size_t user_count() const;
   [[nodiscard]] std::uint64_t eviction_count() const;
 
+  // ---- Checkpoint / restore hooks (see stream/snapshot.h) ------------
+  /// Inserts one fully rehydrated state into its owning shard, replacing
+  /// any resident state for the same user. Re-marks the user dirty when
+  /// its pending queue is non-empty (cannot happen for checkpoint-boundary
+  /// snapshots — drain() folds every queue — but keeps ad-hoc snapshots
+  /// honest).
+  void restore_user(UserState state);
+
+  /// Per-shard LRU clocks, in shard order. Captured alongside last_touch
+  /// stamps so restored eviction ordering matches the uninterrupted run.
+  [[nodiscard]] std::vector<std::uint64_t> shard_clocks() const;
+  void restore_shard_clocks(const std::vector<std::uint64_t>& clocks);
+
  private:
   struct Shard {
     mutable std::mutex mutex;

@@ -1,0 +1,141 @@
+#include "support/failpoint.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+
+#include "support/error.h"
+
+namespace mood::testing {
+
+namespace {
+
+struct Entry {
+  FailAction action = FailAction::kNone;
+  std::uint64_t hits_until_fire = 1;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::unordered_map<std::string, Entry> points;
+};
+
+Registry& registry() {
+  static Registry instance;
+  return instance;
+}
+
+/// Count of armed points; the macro's lock-free fast path reads this.
+std::atomic<std::uint64_t> armed_count{0};
+
+FailAction parse_action(const std::string& word, const std::string& spec) {
+  if (word == "error") return FailAction::kError;
+  if (word == "torn") return FailAction::kTorn;
+  if (word == "kill") return FailAction::kKill;
+  throw support::UsageError("FailPoint: unknown action '" + word +
+                            "' in spec '" + spec +
+                            "' (expected error | torn | kill)");
+}
+
+}  // namespace
+
+void FailPoint::arm(const std::string& name, FailAction action,
+                    std::uint64_t at_hit) {
+  support::expects(action != FailAction::kNone && at_hit > 0,
+                   "FailPoint::arm: need a real action and at_hit > 0");
+  Registry& reg = registry();
+  const std::lock_guard lock(reg.mutex);
+  if (reg.points.emplace(name, Entry{action, at_hit}).second) {
+    armed_count.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    reg.points[name] = Entry{action, at_hit};
+  }
+}
+
+void FailPoint::disarm(const std::string& name) {
+  Registry& reg = registry();
+  const std::lock_guard lock(reg.mutex);
+  if (reg.points.erase(name) > 0) {
+    armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FailPoint::disarm_all() {
+  Registry& reg = registry();
+  const std::lock_guard lock(reg.mutex);
+  armed_count.fetch_sub(reg.points.size(), std::memory_order_relaxed);
+  reg.points.clear();
+}
+
+void FailPoint::arm_spec(const std::string& spec) {
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string entry = spec.substr(start, comma - start);
+    start = comma + 1;
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw support::UsageError(
+          "FailPoint: expected 'name=action[@hit]', got '" + entry + "'");
+    }
+    const std::string name = entry.substr(0, eq);
+    std::string action_word = entry.substr(eq + 1);
+    std::uint64_t at_hit = 1;
+    if (const std::size_t at = action_word.find('@');
+        at != std::string::npos) {
+      const std::string count = action_word.substr(at + 1);
+      action_word = action_word.substr(0, at);
+      try {
+        const long long parsed = std::stoll(count);
+        if (parsed <= 0) throw std::invalid_argument(count);
+        at_hit = static_cast<std::uint64_t>(parsed);
+      } catch (const std::exception&) {
+        throw support::UsageError("FailPoint: bad hit count '" + count +
+                                  "' in spec '" + entry + "'");
+      }
+    }
+    arm(name, parse_action(action_word, entry), at_hit);
+  }
+}
+
+void FailPoint::arm_from_env(const char* env) {
+  if (const char* spec = std::getenv(env); spec != nullptr && *spec != '\0') {
+    arm_spec(spec);
+  }
+}
+
+bool FailPoint::any_armed() {
+  return armed_count.load(std::memory_order_relaxed) > 0;
+}
+
+FailAction FailPoint::hit(const char* name) {
+  FailAction fired = FailAction::kNone;
+  {
+    Registry& reg = registry();
+    const std::lock_guard lock(reg.mutex);
+    const auto it = reg.points.find(name);
+    if (it == reg.points.end()) return FailAction::kNone;
+    if (--it->second.hits_until_fire > 0) return FailAction::kNone;
+    fired = it->second.action;
+    // One-shot: disarm before acting so recovery code re-entering the
+    // same site proceeds normally.
+    reg.points.erase(it);
+    armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+  switch (fired) {
+    case FailAction::kKill:
+      // No destructors, no atexit, no flushing — the in-process stand-in
+      // for SIGKILL. 137 = 128 + SIGKILL, the shell convention.
+      std::_Exit(137);
+    case FailAction::kError:
+      throw support::IoError(std::string("fail point '") + name +
+                             "' injected an I/O error");
+    default:
+      return fired;  // kTorn: the call site simulates the partial write
+  }
+}
+
+}  // namespace mood::testing

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <fstream>
 #include <initializer_list>
 #include <sstream>
@@ -141,6 +142,96 @@ TEST(CliReplay, RejectsBadKnobs) {
   EXPECT_EQ(run_cli({"replay", "--batch=0"}).code, kExitUsage);
   EXPECT_EQ(run_cli({"replay", "--rate=-1"}).code, kExitUsage);
   EXPECT_EQ(run_cli({"replay", "--no-such-flag"}).code, kExitUsage);
+}
+
+TEST(CliReplay, RejectsInconsistentCheckpointFlags) {
+  // Every checkpoint/restore misconfiguration is a typed usage failure
+  // (exit 2), reported before any replay work starts.
+  const auto restore_without_dir = run_cli({"replay", "--restore"});
+  EXPECT_EQ(restore_without_dir.code, kExitUsage);
+  EXPECT_NE(restore_without_dir.err.find("--checkpoint-dir"),
+            std::string::npos);
+
+  EXPECT_EQ(run_cli({"replay", "--checkpoint-every=-1"}).code, kExitUsage);
+  EXPECT_EQ(run_cli({"replay", "--checkpoint-every=100"}).code, kExitUsage);
+
+  const auto missing_dir =
+      run_cli({"replay", "--restore",
+               "--checkpoint-dir=/no/such/checkpoint/dir"});
+  EXPECT_EQ(missing_dir.code, kExitUsage);
+  EXPECT_NE(missing_dir.err.find("does not exist"), std::string::npos);
+
+  // An existing directory with no usable snapshot inside: still exit 2
+  // (SnapshotError is UsageError-shaped), never a crash.
+  const std::string empty_dir =
+      std::string(::testing::TempDir()) + "mood_cli_empty_ckpt";
+  std::filesystem::create_directories(empty_dir);
+  const auto empty = run_cli(
+      {"replay", "--preset=small", "--scale=0.05", "--users=6", "--days=4",
+       "--restore", "--checkpoint-dir=" + empty_dir});
+  EXPECT_EQ(empty.code, kExitUsage);
+  EXPECT_NE(empty.err.find("no usable snapshot"), std::string::npos);
+}
+
+TEST(CliReplay, CheckpointThenRestoreReproducesTheRunExactly) {
+  // The restore drill, in-process: a checkpointed replay, then a --restore
+  // replay resuming from its newest snapshot. Decisions, per-user state
+  // and the cost counters must be byte-identical; only timings and the
+  // checkpoint block may differ.
+  const std::string dir =
+      std::string(::testing::TempDir()) + "mood_cli_ckpt";
+  std::filesystem::remove_all(dir);
+
+  auto straight = run_cli({"replay", "--preset=small", "--scale=0.05",
+                           "--users=8", "--days=6", "--seed=3", "--shards=3",
+                           "--batch=128"});
+  ASSERT_EQ(straight.code, kExitOk) << straight.err;
+
+  auto checkpointed = run_cli(
+      {"replay", "--preset=small", "--scale=0.05", "--users=8", "--days=6",
+       "--seed=3", "--shards=3", "--batch=128",
+       "--checkpoint-dir=" + dir, "--checkpoint-every=256"});
+  ASSERT_EQ(checkpointed.code, kExitOk) << checkpointed.err;
+
+  auto restored = run_cli(
+      {"replay", "--preset=small", "--scale=0.05", "--users=8", "--days=6",
+       "--seed=3", "--shards=3", "--batch=128", "--restore",
+       "--checkpoint-dir=" + dir});
+  ASSERT_EQ(restored.code, kExitOk) << restored.err;
+  EXPECT_NE(restored.err.find("restored checkpoint at position"),
+            std::string::npos);
+
+  const report::Json want = report::Json::parse(straight.out);
+  for (const auto* result : {&checkpointed, &restored}) {
+    const report::Json got = report::Json::parse(result->out);
+    ASSERT_NE(got.find("per_user"), nullptr);
+    EXPECT_EQ(*got.find("per_user"), *want.find("per_user"));
+    const report::Json* replay_got = got.find("replay");
+    const report::Json* replay_want = want.find("replay");
+    ASSERT_NE(replay_got, nullptr);
+    EXPECT_EQ(*replay_got->find("decisions"), *replay_want->find("decisions"));
+    EXPECT_EQ(*replay_got->find("cost"), *replay_want->find("cost"));
+    EXPECT_EQ(*replay_got->find("events"), *replay_want->find("events"));
+    EXPECT_EQ(*replay_got->find("batches"), *replay_want->find("batches"));
+  }
+
+  // The restored run reports its resume position in the checkpoint block,
+  // and it matches a batch boundary of the configured cadence.
+  const report::Json restored_doc = report::Json::parse(restored.out);
+  const report::Json* checkpoint =
+      restored_doc.find("replay")->find("checkpoint");
+  ASSERT_NE(checkpoint, nullptr);
+  const std::int64_t resume = checkpoint->int_or("resume_events", 0);
+  EXPECT_GT(resume, 0);
+  EXPECT_EQ(resume % 128, 0);
+
+  // A fingerprint mismatch (different seed) is refused with exit 2.
+  const auto mismatched = run_cli(
+      {"replay", "--preset=small", "--scale=0.05", "--users=8", "--days=6",
+       "--seed=4", "--shards=3", "--batch=128", "--restore",
+       "--checkpoint-dir=" + dir});
+  EXPECT_EQ(mismatched.code, kExitUsage);
+  EXPECT_NE(mismatched.err.find("different replay"), std::string::npos);
 }
 
 TEST(CliReport, NoInputsIsUsageError) {

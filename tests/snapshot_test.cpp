@@ -1,0 +1,916 @@
+// Tests for checkpoint/restore (src/stream/snapshot): the mood-snapshot/1
+// byte format (round trip, golden file, rejection of malformed input), the
+// crash-consistent file protocol under injected faults at every named fail
+// point — including SIGKILL-equivalent deaths — and the headline restore
+// property: a replay captured at any checkpoint boundary and resumed in a
+// fresh engine produces the bit-identical decision set and cost counters
+// of an uninterrupted run, across shard counts, staleness bounds, window
+// caps and LRU evictions.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "simulation/generator.h"
+#include "stream/engine.h"
+#include "stream/event.h"
+#include "stream/replay.h"
+#include "stream/snapshot.h"
+#include "support/error.h"
+#include "support/failpoint.h"
+#include "support/logging.h"
+
+namespace mood::stream {
+namespace {
+
+namespace fs = std::filesystem;
+using mood::testing::FailAction;
+using mood::testing::FailPoint;
+
+/// Compact population in the stream_test mold, sized so a full replay is
+/// cheap enough to repeat once per checkpoint boundary.
+simulation::GeneratorParams population_params() {
+  simulation::GeneratorParams p;
+  p.users = 8;
+  p.days = 5;
+  p.records_per_user_per_day = 100.0;
+  p.p_private_poi = 0.75;
+  p.p_private_leisure = 0.8;
+  p.private_poi_spread_m = 4000.0;
+  p.relocation_prob = 0.1;
+  p.seed = 977;
+  return p;
+}
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    support::set_log_level(support::LogLevel::kError);
+    dataset_ = new mobility::Dataset(
+        simulation::generate(population_params()));
+    core::ExperimentConfig config;
+    config.min_records = 8;
+    harness_ = new core::ExperimentHarness(*dataset_, config, /*seed=*/13);
+    events_ = new std::vector<StreamEvent>(
+        make_event_stream(harness_->pairs()));
+  }
+  static void TearDownTestSuite() {
+    delete events_;
+    delete harness_;
+    delete dataset_;
+    events_ = nullptr;
+    harness_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  void TearDown() override { FailPoint::disarm_all(); }
+
+  /// Fresh scratch directory under the gtest temp root.
+  static std::string scratch_dir(const std::string& name) {
+    const std::string dir =
+        std::string(::testing::TempDir()) + "mood_snapshot_" + name;
+    fs::remove_all(dir);
+    return dir;
+  }
+
+  static ReplayResult replay_with(StreamConfig config,
+                                  ReplayOptions options = {}) {
+    StreamEngine engine(harness_->make_engine(), config);
+    return run_replay(engine, *events_, options);
+  }
+
+  /// Drives a fresh gateway to `boundary` (a multiple of `batch`), exactly
+  /// as run_replay would, and captures its state there.
+  static SnapshotData capture_at(StreamConfig config, std::size_t boundary,
+                                 std::size_t batch) {
+    StreamEngine engine(harness_->make_engine(), config);
+    for (std::size_t i = 0; i < boundary; ++i) {
+      engine.ingest((*events_)[i]);
+      if ((i + 1) % batch == 0) engine.drain();
+    }
+    return engine.capture_snapshot();
+  }
+
+  /// Restores `snap` into a fresh gateway and replays the remainder.
+  static ReplayResult resume_from(const SnapshotData& snap,
+                                  StreamConfig config,
+                                  ReplayOptions options) {
+    StreamEngine engine(harness_->make_engine(), config);
+    engine.restore_snapshot(snap);
+    options.resume_events = static_cast<std::size_t>(snap.stream_position);
+    return run_replay(engine, *events_, options);
+  }
+
+  static mobility::Dataset* dataset_;
+  static core::ExperimentHarness* harness_;
+  static std::vector<StreamEvent>* events_;
+};
+
+mobility::Dataset* SnapshotTest::dataset_ = nullptr;
+core::ExperimentHarness* SnapshotTest::harness_ = nullptr;
+std::vector<StreamEvent>* SnapshotTest::events_ = nullptr;
+
+/// Bit-identity oracle for "restored run == uninterrupted run". The
+/// index_* counters are excluded by default: they are read from the
+/// harness-owned attacks, which every engine in this process shares, so
+/// they are only comparable across engines with dedicated harnesses (see
+/// RestoreContinuesIndexCountersAcrossDedicatedHarnesses).
+void expect_identical_outcome(const ReplayResult& actual,
+                              const ReplayResult& expected,
+                              bool include_index = false) {
+  ASSERT_EQ(actual.decisions.size(), expected.decisions.size());
+  for (std::size_t i = 0; i < expected.decisions.size(); ++i) {
+    const UserDecision& a = actual.decisions[i];
+    const UserDecision& e = expected.decisions[i];
+    ASSERT_EQ(a.user, e.user);
+    EXPECT_EQ(a.decision, e.decision) << a.user;
+    EXPECT_EQ(a.winner, e.winner) << a.user;
+    EXPECT_EQ(a.events, e.events) << a.user;
+    EXPECT_EQ(a.risk_transitions, e.risk_transitions) << a.user;
+    EXPECT_EQ(a.searches, e.searches) << a.user;
+    EXPECT_EQ(a.window_points, e.window_points) << a.user;
+    EXPECT_EQ(a.window_slices, e.window_slices) << a.user;
+  }
+  EXPECT_EQ(actual.events, expected.events);
+  EXPECT_EQ(actual.batches, expected.batches);
+  const StreamStats& a = actual.stats;
+  const StreamStats& e = expected.stats;
+  EXPECT_EQ(a.events, e.events);
+  EXPECT_EQ(a.batches, e.batches);
+  EXPECT_EQ(a.decisions, e.decisions);
+  EXPECT_EQ(a.exposed_events, e.exposed_events);
+  EXPECT_EQ(a.protected_events, e.protected_events);
+  EXPECT_EQ(a.searches, e.searches);
+  EXPECT_EQ(a.rechecks, e.rechecks);
+  EXPECT_EQ(a.profile_refreshes, e.profile_refreshes);
+  EXPECT_EQ(a.stay_updates, e.stay_updates);
+  EXPECT_EQ(a.stay_rebuilds, e.stay_rebuilds);
+  EXPECT_EQ(a.heatmap_updates, e.heatmap_updates);
+  EXPECT_EQ(a.evicted_points, e.evicted_points);
+  EXPECT_EQ(a.evicted_users, e.evicted_users);
+  EXPECT_EQ(a.lppm_applications, e.lppm_applications);
+  EXPECT_EQ(a.attack_invocations, e.attack_invocations);
+  if (include_index) {
+    EXPECT_EQ(a.index_prunes, e.index_prunes);
+    EXPECT_EQ(a.exact_evals, e.exact_evals);
+    EXPECT_EQ(a.index_rebuilds, e.index_rebuilds);
+  }
+}
+
+/// Minimal self-consistent document for file-protocol tests; the position
+/// doubles as an identity marker.
+SnapshotData tiny_snapshot(std::uint64_t position) {
+  SnapshotData d;
+  d.context.seed = 7;
+  d.context.dataset = "tiny";
+  d.context.total_events = 64;
+  d.context.batch_events = 8;
+  d.config.shards = 1;
+  d.stream_position = position;
+  d.batches = position / 8;
+  d.stats.events = position;
+  d.stats.batches = position / 8;
+  d.shard_clocks = {position};
+  UserSnapshot u;
+  u.user = "u1";
+  u.window = {{{45.5, 4.25}, 1000}, {{45.5, 4.5}, 2000}};
+  u.events = 2;
+  u.last_touch = 1;
+  d.users.push_back(std::move(u));
+  return d;
+}
+
+// ------------------------------------------------------------ format --
+
+TEST(SnapshotFormat, Crc32MatchesTheIeeeCheckValue) {
+  // The canonical CRC-32 check vector.
+  EXPECT_EQ(snapshot_crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(snapshot_crc32(""), 0x00000000u);
+}
+
+TEST(SnapshotFormat, EncodeDecodeRoundTripsEveryField) {
+  SnapshotData d;
+  d.context.seed = 42;
+  d.context.dataset = "roundtrip";
+  d.context.total_events = 1000;
+  d.context.batch_events = 128;
+  d.config.shards = 3;
+  d.config.window_seconds = 86400;
+  d.config.max_points = 64;
+  d.config.max_users_per_shard = 5;
+  d.config.staleness_points = 10;
+  d.stream_position = 512;
+  d.batches = 4;
+  d.stats.events = 512;
+  d.stats.batches = 4;
+  d.stats.decisions = 17;
+  d.stats.searches = 3;
+  d.stats.checkpoints = 2;  // travels verbatim even though reported raw
+  d.shard_clocks = {9, 0, 4};
+
+  UserSnapshot rich;
+  rich.user = "ada";
+  rich.window = {{{45.5, 4.25}, 100}, {{45.75, 4.25}, 200}};
+  rich.pending = {{{46.0, 4.5}, 300}};
+  rich.heatmap_built = true;
+  rich.heatmap_total = 3.5;
+  rich.heatmap_counts = {{{1, -2}, 2.0}, {{0, 3}, 1.5}};
+  rich.stays_init = true;
+  rich.stay_origin_set = true;
+  rich.stay_origin = {45.5, 4.25};
+  rich.stays.stays.params.max_diameter_m = 200.0;
+  rich.stays.stays.params.min_dwell = 900;
+  rich.stays.stays.params.min_points = 3;
+  rich.stays.stays.has_origin = true;
+  rich.stays.stays.origin = {45.5, 4.25};
+  rich.stays.stays.finals.push_back(
+      {{{45.5, 4.25}, 4, 1200, 100, 1300}, 0, 3});
+  rich.stays.stays.run_valid = true;
+  rich.stays.stays.run_anchor = 4;
+  rich.stays.stays.run_j = 6;
+  rich.stays.stays.run_sx = 1.25;
+  rich.stays.stays.run_sy = -0.5;
+  rich.stays.stays.run_t_start = 1400;
+  rich.stays.stays.run_t_end = 1500;
+  rich.stays.stays.base = 1;
+  rich.stays.stays.size = 7;
+  rich.stays.stays.generation = 5;
+  rich.stays.stays.updates = 9;
+  rich.stays.stays.rebuilds = 2;
+  rich.stays.visits.merge_distance_m = 100.0;
+  rich.stays.visits.states.push_back({{45.5, 4.25}, 4, 1200, 100, 1300});
+  rich.stays.visits.folded = 1;
+  rich.stays.synced_generation = 5;
+  rich.profiles_built = true;
+  rich.markov_states = {{{0.79, 4.25, 0.70}, 0.5}, {{0.80, 4.5, 0.69}, 0.5}};
+  rich.poi_centers = {{0.79, 4.25, 0.70}};
+  rich.stale_appended = 3;
+  rich.stale_evicted = 1;
+  rich.stale_points = 12;
+  rich.has_decision = true;
+  rich.decision = 1;
+  rich.winner = "GeoI";
+  rich.searched_events = 77;
+  rich.events = 3;
+  rich.risk_transitions = 1;
+  rich.searches = 2;
+  rich.rechecks = 4;
+  rich.last_touch = 11;
+
+  UserSnapshot bare;  // everything optional absent
+  bare.user = "bob";
+
+  d.users = {std::move(rich), std::move(bare)};
+
+  const SnapshotData back = decode_snapshot(encode_snapshot(d));
+  EXPECT_EQ(back.context.seed, 42u);
+  EXPECT_EQ(back.context.dataset, "roundtrip");
+  EXPECT_EQ(back.context.total_events, 1000u);
+  EXPECT_EQ(back.context.batch_events, 128u);
+  EXPECT_EQ(back.config.shards, 3u);
+  EXPECT_EQ(back.config.window_seconds, 86400);
+  EXPECT_EQ(back.config.max_points, 64u);
+  EXPECT_EQ(back.config.max_users_per_shard, 5u);
+  EXPECT_EQ(back.config.staleness_points, 10u);
+  EXPECT_EQ(back.stream_position, 512u);
+  EXPECT_EQ(back.batches, 4u);
+  EXPECT_EQ(back.stats.decisions, 17u);
+  EXPECT_EQ(back.stats.checkpoints, 2u);
+  EXPECT_EQ(back.shard_clocks, (std::vector<std::uint64_t>{9, 0, 4}));
+
+  ASSERT_EQ(back.users.size(), 2u);
+  const UserSnapshot& a = back.users[0];
+  EXPECT_EQ(a.user, "ada");
+  ASSERT_EQ(a.window.size(), 2u);
+  EXPECT_EQ(a.window[0].position.lat, 45.5);
+  EXPECT_EQ(a.window[1].time, 200);
+  ASSERT_EQ(a.pending.size(), 1u);
+  EXPECT_TRUE(a.heatmap_built);
+  EXPECT_EQ(a.heatmap_total, 3.5);
+  ASSERT_EQ(a.heatmap_counts.size(), 2u);
+  EXPECT_EQ(a.heatmap_counts[0].first.ix, 1);
+  EXPECT_EQ(a.heatmap_counts[0].first.iy, -2);
+  EXPECT_EQ(a.heatmap_counts[1].second, 1.5);
+  ASSERT_TRUE(a.stays_init);
+  EXPECT_EQ(a.stays.stays.params.min_dwell, 900);
+  ASSERT_EQ(a.stays.stays.finals.size(), 1u);
+  EXPECT_EQ(a.stays.stays.finals[0].poi.record_count, 4u);
+  EXPECT_EQ(a.stays.stays.finals[0].end, 3u);
+  EXPECT_TRUE(a.stays.stays.run_valid);
+  EXPECT_EQ(a.stays.stays.run_sx, 1.25);
+  EXPECT_EQ(a.stays.stays.run_sy, -0.5);
+  EXPECT_EQ(a.stays.stays.rebuilds, 2u);
+  ASSERT_EQ(a.stays.visits.states.size(), 1u);
+  EXPECT_EQ(a.stays.visits.merge_distance_m, 100.0);
+  EXPECT_EQ(a.stays.synced_generation, 5u);
+  ASSERT_EQ(a.markov_states.size(), 2u);
+  EXPECT_EQ(a.markov_states[0].weight, 0.5);
+  EXPECT_EQ(a.markov_states[1].center.lon_deg, 4.5);
+  ASSERT_EQ(a.poi_centers.size(), 1u);
+  EXPECT_EQ(a.poi_centers[0].cos_lat, 0.70);
+  EXPECT_EQ(a.stale_points, 12u);
+  EXPECT_TRUE(a.has_decision);
+  EXPECT_EQ(a.decision, 1);
+  EXPECT_EQ(a.winner, "GeoI");
+  EXPECT_EQ(a.searched_events, 77u);
+  EXPECT_EQ(a.rechecks, 4u);
+  EXPECT_EQ(a.last_touch, 11u);
+
+  const UserSnapshot& b = back.users[1];
+  EXPECT_EQ(b.user, "bob");
+  EXPECT_FALSE(b.heatmap_built);
+  EXPECT_FALSE(b.stays_init);
+  EXPECT_FALSE(b.has_decision);
+  EXPECT_EQ(b.searched_events, static_cast<std::uint64_t>(-1));
+}
+
+TEST(SnapshotFormat, RejectsBadMagicVersionAndSectionDamage) {
+  const std::string good = encode_snapshot(tiny_snapshot(8));
+  ASSERT_NO_THROW(decode_snapshot(good));
+
+  std::string bad = good;
+  bad[0] = 'X';  // magic
+  EXPECT_THROW(decode_snapshot(bad), SnapshotError);
+
+  bad = good;
+  bad[8] = 2;  // version
+  try {
+    (void)decode_snapshot(bad);
+    FAIL() << "unknown version accepted";
+  } catch (const SnapshotError& e) {
+    EXPECT_NE(std::string(e.what()).find("unsupported snapshot version"),
+              std::string::npos);
+  }
+
+  bad = good;
+  bad[12] = 5;  // section count
+  EXPECT_THROW(decode_snapshot(bad), SnapshotError);
+
+  bad = good;
+  bad[40] ^= 0x01;  // one flipped payload bit -> some section's CRC fails
+  EXPECT_THROW(decode_snapshot(bad), SnapshotError);
+
+  bad = good + "garbage";  // trailing bytes after the last section
+  EXPECT_THROW(decode_snapshot(bad), SnapshotError);
+
+  SnapshotData inconsistent = tiny_snapshot(8);
+  inconsistent.shard_clocks = {1, 2};  // two clocks, one shard
+  EXPECT_THROW(decode_snapshot(encode_snapshot(inconsistent)), SnapshotError);
+}
+
+TEST(SnapshotFormat, EveryTruncationIsRejectedNotCrashed) {
+  // The short-read property, exhaustively: every proper prefix of a valid
+  // snapshot must throw SnapshotError — never crash, never half-decode.
+  const std::string good = encode_snapshot(tiny_snapshot(8));
+  for (std::size_t len = 0; len < good.size(); ++len) {
+    EXPECT_THROW(decode_snapshot(std::string_view(good).substr(0, len)),
+                 SnapshotError)
+        << "prefix length " << len;
+  }
+}
+
+TEST(SnapshotFormat, RejectsSemanticCorruption) {
+  // Structurally valid bytes (magic, CRCs all fine) whose *values* are
+  // out of range must still be rejected: decode validates, not just
+  // checksums.
+  SnapshotData d = tiny_snapshot(8);
+  d.users[0].decision = 7;  // not a valid Decision enum value
+  EXPECT_THROW(decode_snapshot(encode_snapshot(d)), SnapshotError);
+
+  d = tiny_snapshot(8);
+  d.users.push_back(d.users[0]);  // duplicate id -> not strictly sorted
+  EXPECT_THROW(decode_snapshot(encode_snapshot(d)), SnapshotError);
+}
+
+// ------------------------------------------------------- golden file --
+
+/// Fixed document behind tests/data/golden.moodsnap. Every double is
+/// exactly representable so the byte image is stable across platforms.
+SnapshotData golden_data() {
+  SnapshotData d;
+  d.context.seed = 7;
+  d.context.dataset = "golden";
+  d.context.total_events = 6;
+  d.context.batch_events = 2;
+  d.config.shards = 2;
+  d.config.window_seconds = 3600;
+  d.config.max_points = 4;
+  d.config.max_users_per_shard = 3;
+  d.config.staleness_points = 5;
+  d.stream_position = 4;
+  d.batches = 2;
+  d.stats.events = 4;
+  d.stats.batches = 2;
+  d.stats.decisions = 3;
+  d.stats.exposed_events = 1;
+  d.stats.protected_events = 3;
+  d.stats.searches = 1;
+  d.shard_clocks = {3, 1};
+
+  UserSnapshot ada;
+  ada.user = "ada";
+  ada.window = {{{45.5, 4.25}, 1000}, {{45.75, 4.5}, 2000}};
+  ada.heatmap_built = true;
+  ada.heatmap_total = 2.0;
+  ada.heatmap_counts = {{{1, -2}, 1.5}, {{0, 3}, 0.5}};
+  ada.profiles_built = true;
+  ada.markov_states = {{{0.5, 4.25, 0.75}, 1.0}};
+  ada.poi_centers = {{0.5, 4.25, 0.75}};
+  ada.has_decision = true;
+  ada.decision = 1;
+  ada.winner = "GeoI";
+  ada.searched_events = 2;
+  ada.events = 2;
+  ada.risk_transitions = 1;
+  ada.searches = 1;
+  ada.last_touch = 3;
+
+  UserSnapshot bob;
+  bob.user = "bob";
+  bob.window = {{{46.0, 5.0}, 1500}};
+  bob.stays_init = true;
+  bob.stay_origin_set = true;
+  bob.stay_origin = {46.0, 5.0};
+  bob.stays.stays.params.max_diameter_m = 200.0;
+  bob.stays.stays.params.min_dwell = 900;
+  bob.stays.stays.params.min_points = 3;
+  bob.stays.stays.has_origin = true;
+  bob.stays.stays.origin = {46.0, 5.0};
+  bob.stays.stays.size = 1;
+  bob.stays.visits.merge_distance_m = 100.0;
+  bob.events = 1;
+  bob.last_touch = 1;
+
+  d.users = {std::move(ada), std::move(bob)};
+  return d;
+}
+
+std::string golden_path() {
+  return std::string(MOOD_TEST_DATA_DIR) + "/golden.moodsnap";
+}
+
+TEST(SnapshotGolden, WriterMatchesCheckedInGoldenFile) {
+  const std::string bytes = encode_snapshot(golden_data());
+  if (std::getenv("MOOD_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path(), std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+    ASSERT_TRUE(out.good());
+    GTEST_SKIP() << "regenerated " << golden_path();
+  }
+  std::ifstream in(golden_path(), std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing fixture " << golden_path()
+                         << " (regenerate with MOOD_UPDATE_GOLDEN=1)";
+  std::string stored((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+  // Byte-for-byte: any writer change that moves the layout fails here and
+  // must come with a version bump (or a deliberate fixture regeneration).
+  ASSERT_EQ(stored.size(), bytes.size());
+  EXPECT_TRUE(stored == bytes) << "writer output diverged from the "
+                                  "documented mood-snapshot/1 layout";
+}
+
+TEST(SnapshotGolden, CheckedInGoldenFileDecodes) {
+  std::ifstream in(golden_path(), std::ios::binary);
+  if (!in.good()) GTEST_SKIP() << "fixture not generated yet";
+  const std::string stored((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+  const SnapshotData d = decode_snapshot(stored);
+  EXPECT_EQ(d.context.dataset, "golden");
+  EXPECT_EQ(d.stream_position, 4u);
+  ASSERT_EQ(d.users.size(), 2u);
+  EXPECT_EQ(d.users[0].user, "ada");
+  EXPECT_EQ(d.users[0].winner, "GeoI");
+  EXPECT_TRUE(d.users[1].stays_init);
+  EXPECT_EQ(d.users[1].stays.stays.params.min_dwell, 900);
+}
+
+// ----------------------------------------------- restore bit-identity --
+
+TEST_F(SnapshotTest, RestoreAtEveryCheckpointBoundaryIsBitIdentical) {
+  StreamConfig config;
+  config.shards = 4;
+  ReplayOptions options;
+  options.batch_events = 256;
+  const ReplayResult reference = replay_with(config, options);
+
+  for (std::size_t boundary = options.batch_events;
+       boundary < events_->size(); boundary += options.batch_events) {
+    // Capture at the boundary, push the document through the real byte
+    // format, restore into a fresh gateway, and finish the stream.
+    const SnapshotData snap =
+        decode_snapshot(encode_snapshot(
+            capture_at(config, boundary, options.batch_events)));
+    ASSERT_EQ(snap.stream_position, boundary);
+    const ReplayResult resumed = resume_from(snap, config, options);
+    expect_identical_outcome(resumed, reference);
+    EXPECT_EQ(resumed.session_events, events_->size() - boundary);
+  }
+}
+
+TEST_F(SnapshotTest, RestoreIsBitIdenticalAcrossGatewayConfigs) {
+  // The same round trip under every interesting knob: single shard, many
+  // shards + staleness, bounded windows, and an LRU cap small enough to
+  // evict users between checkpoints.
+  StreamConfig shards1;
+  shards1.shards = 1;
+  StreamConfig stale;
+  stale.shards = 7;
+  stale.staleness_points = 150;
+  StreamConfig capped;
+  capped.shards = 2;
+  capped.max_points = 50;
+  StreamConfig windowed;
+  windowed.shards = 3;
+  windowed.window_seconds = 86400;
+  StreamConfig lru;
+  lru.shards = 1;
+  lru.max_users_per_shard = 2;
+
+  ReplayOptions options;
+  options.batch_events = 128;
+  for (const StreamConfig& config :
+       {shards1, stale, capped, windowed, lru}) {
+    const ReplayResult reference = replay_with(config, options);
+    const std::size_t batches = events_->size() / options.batch_events;
+    for (const std::size_t at : {batches / 3, 2 * batches / 3}) {
+      const std::size_t boundary =
+          std::max<std::size_t>(1, at) * options.batch_events;
+      const SnapshotData snap = decode_snapshot(encode_snapshot(
+          capture_at(config, boundary, options.batch_events)));
+      const ReplayResult resumed = resume_from(snap, config, options);
+      expect_identical_outcome(resumed, reference);
+    }
+  }
+  // The LRU configuration really evicted users, so the restore path was
+  // exercised against a store that dropped state between checkpoints.
+  EXPECT_GT(replay_with(lru, options).stats.evicted_users, 0u);
+}
+
+TEST_F(SnapshotTest, RestoreContinuesIndexCountersAcrossDedicatedHarnesses) {
+  // The index_* counters live on the harness-owned attacks, so the
+  // bit-identity claim for them needs one harness per process "life":
+  // reference (uninterrupted), first life (prefix + capture), second life
+  // (restore + continue). stats_floor_ must subtract the second life's
+  // own training rebuilds, which the baseline already counts once.
+  core::ExperimentConfig config;
+  config.min_records = 8;
+  StreamConfig stream_config;
+  stream_config.shards = 2;
+  ReplayOptions options;
+  options.batch_events = 256;
+  const std::size_t boundary = 2 * options.batch_events;
+
+  core::ExperimentHarness straight(*dataset_, config, 13);
+  StreamEngine uninterrupted(straight.make_engine(), stream_config);
+  const ReplayResult reference =
+      run_replay(uninterrupted, *events_, options);
+
+  core::ExperimentHarness first_life(*dataset_, config, 13);
+  StreamEngine before_crash(first_life.make_engine(), stream_config);
+  for (std::size_t i = 0; i < boundary; ++i) {
+    before_crash.ingest((*events_)[i]);
+    if ((i + 1) % options.batch_events == 0) before_crash.drain();
+  }
+  const SnapshotData snap = decode_snapshot(
+      encode_snapshot(before_crash.capture_snapshot()));
+
+  core::ExperimentHarness second_life(*dataset_, config, 13);
+  StreamEngine restored(second_life.make_engine(), stream_config);
+  restored.restore_snapshot(snap);
+  options.resume_events = boundary;
+  const ReplayResult resumed = run_replay(restored, *events_, options);
+  expect_identical_outcome(resumed, reference, /*include_index=*/true);
+}
+
+TEST_F(SnapshotTest, PendingEventsSurviveCaptureBetweenDrains) {
+  // Capture with undrained events in flight: the pending queues must
+  // travel through the snapshot and be folded by the restored engine.
+  StreamConfig config;
+  config.shards = 2;
+  const std::size_t cut = 300;  // deliberately not a batch boundary
+
+  StreamEngine direct(harness_->make_engine(), config);
+  StreamEngine source(harness_->make_engine(), config);
+  for (std::size_t i = 0; i < cut; ++i) {
+    direct.ingest((*events_)[i]);
+    source.ingest((*events_)[i]);
+  }
+  const SnapshotData snap =
+      decode_snapshot(encode_snapshot(source.capture_snapshot()));
+  std::size_t pending = 0;
+  for (const UserSnapshot& u : snap.users) pending += u.pending.size();
+  EXPECT_EQ(pending, cut);
+
+  StreamEngine restored(harness_->make_engine(), config);
+  restored.restore_snapshot(snap);
+  EXPECT_EQ(restored.stream_position(), cut);
+  direct.drain();
+  restored.drain();  // restored pending users must be on the dirty lists
+  direct.finish();
+  restored.finish();
+  const auto expected = direct.decisions();
+  const auto actual = restored.decisions();
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(actual[i].user, expected[i].user);
+    EXPECT_EQ(actual[i].decision, expected[i].decision);
+    EXPECT_EQ(actual[i].winner, expected[i].winner);
+    EXPECT_EQ(actual[i].events, expected[i].events);
+  }
+}
+
+TEST_F(SnapshotTest, RestoreRefusesMismatchedGatewayConfig) {
+  StreamConfig config;
+  config.shards = 2;
+  const SnapshotData snap = capture_at(config, 256, 256);
+
+  StreamConfig other = config;
+  other.staleness_points = 99;
+  StreamEngine engine(harness_->make_engine(), other);
+  EXPECT_THROW(engine.restore_snapshot(snap), SnapshotError);
+
+  // And never into a gateway that already ingested anything.
+  StreamEngine used(harness_->make_engine(), config);
+  used.ingest((*events_)[0]);
+  EXPECT_THROW(used.restore_snapshot(snap), support::Error);
+}
+
+// -------------------------------------------------- periodic cadence --
+
+TEST_F(SnapshotTest, PeriodicCheckpointsFollowEventCadenceAndPrune) {
+  const std::string dir = scratch_dir("cadence");
+  StreamConfig config;
+  config.shards = 2;
+  ReplayOptions options;
+  options.batch_events = 128;
+
+  StreamEngine engine(harness_->make_engine(), config);
+  engine.configure_checkpoints(
+      {dir, 256}, {13, "snapshot-test", events_->size(), 128});
+  const ReplayResult result = run_replay(engine, *events_, options);
+
+  // Cadence 256 with batch 128: a checkpoint on every second drain.
+  const StreamStats stats = engine.stats();
+  EXPECT_GE(stats.checkpoints, 2u);
+  EXPECT_GT(stats.checkpoint_bytes, 0u);
+  EXPECT_EQ(stats.checkpoint_failures, 0u);
+
+  // Pruned to the newest two, newest first, and the newest decodes to the
+  // highest checkpointed position.
+  const auto files = list_snapshot_files(dir);
+  ASSERT_EQ(files.size(), 2u);
+  const SnapshotData latest = read_latest_snapshot(dir);
+  EXPECT_GT(latest.stream_position,
+            decode_snapshot(
+                [&] {
+                  std::ifstream in(files[1], std::ios::binary);
+                  return std::string(
+                      (std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+                }())
+                .stream_position);
+  EXPECT_EQ(latest.context.dataset, "snapshot-test");
+
+  // Checkpointing must not have perturbed the decisions themselves.
+  expect_identical_outcome(result, replay_with(config, options));
+}
+
+TEST_F(SnapshotTest, RestoreFromDiskContinuesBitIdentically) {
+  // The full loop the CLI runs: periodic checkpoints to disk, "crash",
+  // read the newest snapshot back, restore, continue — bit-identical.
+  const std::string dir = scratch_dir("disk");
+  StreamConfig config;
+  config.shards = 3;
+  config.staleness_points = 100;
+  ReplayOptions options;
+  options.batch_events = 128;
+  const ReplayResult reference = replay_with(config, options);
+
+  StreamEngine writer(harness_->make_engine(), config);
+  writer.configure_checkpoints(
+      {dir, 384}, {13, "snapshot-test", events_->size(), 128});
+  // Drive only a prefix — the "crash" point — past a few checkpoints.
+  const std::size_t crash_at = (events_->size() / 2 / 128) * 128;
+  for (std::size_t i = 0; i < crash_at; ++i) {
+    writer.ingest((*events_)[i]);
+    if ((i + 1) % 128 == 0) writer.drain();
+  }
+  ASSERT_GE(writer.stats().checkpoints, 1u);
+
+  const SnapshotData snap = read_latest_snapshot(dir);
+  EXPECT_GT(snap.stream_position, 0u);
+  EXPECT_LE(snap.stream_position, crash_at);
+  const ReplayResult resumed = resume_from(snap, config, options);
+  expect_identical_outcome(resumed, reference);
+}
+
+// ------------------------------------------------- fault injection ----
+
+class SnapshotFaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FailPoint::disarm_all(); }
+};
+
+TEST_F(SnapshotFaultTest, EveryWriteFailPointLeavesPreviousSnapshotUsable) {
+  for (const char* point :
+       {"snapshot.write.open", "snapshot.write.payload",
+        "snapshot.write.fsync", "snapshot.write.rename",
+        "snapshot.write.commit"}) {
+    const std::string dir = std::string(::testing::TempDir()) +
+                            "mood_snapshot_fault_" + point;
+    fs::remove_all(dir);
+    write_snapshot_file(dir, encode_snapshot(tiny_snapshot(8)));
+
+    FailPoint::arm(point, FailAction::kError);
+    EXPECT_THROW(
+        write_snapshot_file(dir, encode_snapshot(tiny_snapshot(16))),
+        support::IoError)
+        << point;
+    // Whatever step failed, the previous good snapshot must still win —
+    // except past the rename, where the new snapshot is already fully
+    // committed and is itself the valid newest.
+    const SnapshotData survivor = read_latest_snapshot(dir);
+    const bool committed = std::string(point) == "snapshot.write.commit";
+    EXPECT_EQ(survivor.stream_position, committed ? 16u : 8u) << point;
+
+    // One-shot: the very next attempt must succeed end to end.
+    write_snapshot_file(dir, encode_snapshot(tiny_snapshot(24)));
+    EXPECT_EQ(read_latest_snapshot(dir).stream_position, 24u) << point;
+  }
+}
+
+TEST_F(SnapshotFaultTest, TornPayloadWriteLeavesPartialTmpAndOldSnapshotWins) {
+  const std::string dir = std::string(::testing::TempDir()) +
+                          "mood_snapshot_torn";
+  fs::remove_all(dir);
+  write_snapshot_file(dir, encode_snapshot(tiny_snapshot(8)));
+
+  const std::string bytes = encode_snapshot(tiny_snapshot(16));
+  FailPoint::arm("snapshot.write.payload", FailAction::kTorn);
+  EXPECT_THROW(write_snapshot_file(dir, bytes), support::IoError);
+
+  // The torn prefix is on disk under the tmp name — exactly the state a
+  // mid-write kill leaves — and is invisible to the reader.
+  const std::string tmp = dir + "/.snapshot.tmp";
+  ASSERT_TRUE(fs::exists(tmp));
+  EXPECT_EQ(fs::file_size(tmp), bytes.size() / 2);
+  EXPECT_EQ(list_snapshot_files(dir).size(), 1u);
+  EXPECT_EQ(read_latest_snapshot(dir).stream_position, 8u);
+
+  // Recovery: the next write truncates the leftover tmp and commits.
+  write_snapshot_file(dir, bytes);
+  EXPECT_EQ(read_latest_snapshot(dir).stream_position, 16u);
+}
+
+TEST_F(SnapshotFaultTest, ReadSkipsCorruptTruncatedAndUnreadableNewest) {
+  const std::string dir = std::string(::testing::TempDir()) +
+                          "mood_snapshot_read";
+  fs::remove_all(dir);
+  write_snapshot_file(dir, encode_snapshot(tiny_snapshot(8)));
+  const std::string newest =
+      write_snapshot_file(dir, encode_snapshot(tiny_snapshot(16)));
+
+  // Bit-flip the newest on disk: CRC rejects it, the previous good
+  // snapshot is used.
+  {
+    std::fstream f(newest, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(40);
+    char byte = 0;
+    f.seekg(40);
+    f.get(byte);
+    byte = static_cast<char>(byte ^ 0x01);
+    f.seekp(40);
+    f.put(byte);
+  }
+  EXPECT_EQ(read_latest_snapshot(dir).stream_position, 8u);
+
+  // Truncate the newest instead: same fallback.
+  fs::resize_file(newest, fs::file_size(newest) / 2);
+  EXPECT_EQ(read_latest_snapshot(dir).stream_position, 8u);
+
+  // Injected short read on the newest: same fallback (one-shot, so only
+  // the first candidate is torn).
+  std::fstream(newest, std::ios::binary | std::ios::trunc | std::ios::out)
+      << encode_snapshot(tiny_snapshot(16));
+  FailPoint::arm("snapshot.read.file", FailAction::kTorn);
+  EXPECT_EQ(read_latest_snapshot(dir).stream_position, 8u);
+
+  // Injected open failure (IoError, not SnapshotError): also skipped.
+  FailPoint::arm("snapshot.read.open", FailAction::kError);
+  EXPECT_EQ(read_latest_snapshot(dir).stream_position, 8u);
+
+  // Both candidates corrupt: a typed SnapshotError, never a partial
+  // restore.
+  for (const std::string& path : list_snapshot_files(dir)) {
+    fs::resize_file(path, 3);
+  }
+  EXPECT_THROW(read_latest_snapshot(dir), SnapshotError);
+
+  // Missing directory: a typed IoError from the listing.
+  fs::remove_all(dir);
+  EXPECT_THROW(read_latest_snapshot(dir), support::IoError);
+  EXPECT_THROW(list_snapshot_files(dir), support::IoError);
+}
+
+TEST_F(SnapshotFaultTest, PeriodicPathAbsorbsWriteFailuresAndRetries) {
+  // An injected checkpoint failure mid-replay must not surface: the drain
+  // counts a checkpoint_failure and the next cadence retries.
+  simulation::GeneratorParams params = population_params();
+  params.users = 4;
+  params.days = 3;
+  const mobility::Dataset dataset = simulation::generate(params);
+  core::ExperimentConfig config;
+  config.min_records = 8;
+  core::ExperimentHarness harness(dataset, config, 13);
+  const auto events = make_event_stream(harness.pairs());
+
+  const std::string dir = std::string(::testing::TempDir()) +
+                          "mood_snapshot_periodic_fault";
+  fs::remove_all(dir);
+  StreamConfig stream_config;
+  stream_config.shards = 2;
+  StreamEngine engine(harness.make_engine(), stream_config);
+  engine.configure_checkpoints({dir, 128},
+                               {13, "fault", events.size(), 64});
+  FailPoint::arm("snapshot.write.fsync", FailAction::kError);
+  ReplayOptions options;
+  options.batch_events = 64;
+  ASSERT_NO_THROW(run_replay(engine, events, options));
+  const StreamStats stats = engine.stats();
+  EXPECT_EQ(stats.checkpoint_failures, 1u);
+  EXPECT_GE(stats.checkpoints, 1u);  // later cadences succeeded
+  EXPECT_NO_THROW(read_latest_snapshot(dir));
+}
+
+// Death tests: kKill is a real std::_Exit(137) — the SIGKILL-equivalent —
+// so the on-disk state afterwards is exactly what a kill -9 leaves.
+// Threadsafe style re-executes the binary, so the statement and the setup
+// must be deterministic (fixed paths, no mkdtemp).
+TEST_F(SnapshotFaultTest, KillBeforeRenameLeavesDirectoryRestorable) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  const std::string dir = std::string(::testing::TempDir()) +
+                          "mood_snapshot_kill_rename";
+  fs::remove_all(dir);
+  write_snapshot_file(dir, encode_snapshot(tiny_snapshot(8)));
+
+  EXPECT_EXIT(
+      {
+        FailPoint::arm("snapshot.write.rename", FailAction::kKill);
+        write_snapshot_file(dir, encode_snapshot(tiny_snapshot(16)));
+      },
+      ::testing::ExitedWithCode(137), "");
+
+  // The kill struck after the payload fsync but before the rename: the
+  // fully written tmp file is stranded, invisible, and the previous
+  // snapshot restores.
+  EXPECT_TRUE(fs::exists(dir + "/.snapshot.tmp"));
+  EXPECT_EQ(list_snapshot_files(dir).size(), 1u);
+  EXPECT_EQ(read_latest_snapshot(dir).stream_position, 8u);
+}
+
+TEST_F(SnapshotFaultTest, KillMidPayloadLeavesDirectoryRestorable) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  const std::string dir = std::string(::testing::TempDir()) +
+                          "mood_snapshot_kill_payload";
+  fs::remove_all(dir);
+  write_snapshot_file(dir, encode_snapshot(tiny_snapshot(8)));
+
+  EXPECT_EXIT(
+      {
+        FailPoint::arm("snapshot.write.payload", FailAction::kKill);
+        write_snapshot_file(dir, encode_snapshot(tiny_snapshot(16)));
+      },
+      ::testing::ExitedWithCode(137), "");
+
+  EXPECT_EQ(read_latest_snapshot(dir).stream_position, 8u);
+}
+
+// ------------------------------------------------------- fail points --
+
+TEST_F(SnapshotFaultTest, FailPointSpecParsingAndHitCounting) {
+  EXPECT_FALSE(FailPoint::any_armed());
+  FailPoint::arm_spec("snapshot.write.fsync=error@2");
+  EXPECT_TRUE(FailPoint::any_armed());
+
+  // First hit: below the firing threshold, nothing happens.
+  EXPECT_EQ(MOOD_FAIL_POINT("snapshot.write.fsync"), FailAction::kNone);
+  // Second hit fires (kError throws from inside hit()).
+  EXPECT_THROW(MOOD_FAIL_POINT("snapshot.write.fsync"), support::IoError);
+  // One-shot: disarmed after firing.
+  EXPECT_FALSE(FailPoint::any_armed());
+  EXPECT_EQ(MOOD_FAIL_POINT("snapshot.write.fsync"), FailAction::kNone);
+
+  EXPECT_THROW(FailPoint::arm_spec("no-action-here"), support::UsageError);
+  EXPECT_THROW(FailPoint::arm_spec("x=explode"), support::UsageError);
+  EXPECT_THROW(FailPoint::arm_spec("x=kill@zero"), support::UsageError);
+}
+
+}  // namespace
+}  // namespace mood::stream

@@ -582,5 +582,32 @@ TEST_F(StreamTest, ReplayRejectsZeroBatch) {
                support::PreconditionError);
 }
 
+TEST_F(StreamTest, ReplayRejectsMisalignedOrOverlongResume) {
+  // Resume positions must fall on micro-batch boundaries (checkpoints are
+  // written at drain boundaries, so any legitimate restore position does)
+  // and inside the stream.
+  StreamEngine engine(harness_->make_engine(), StreamConfig{});
+  ReplayOptions options;
+  options.batch_events = 128;
+  options.resume_events = 100;
+  EXPECT_THROW(run_replay(engine, *events_, options),
+               support::PreconditionError);
+  options.resume_events = events_->size() + 128;
+  EXPECT_THROW(run_replay(engine, *events_, options),
+               support::PreconditionError);
+}
+
+TEST_F(StreamTest, ReplayResumeAtStreamEndOnlyFinishes) {
+  // The degenerate restore: the snapshot already covered the full stream,
+  // so the resumed session ingests nothing and just finalizes.
+  StreamEngine engine(harness_->make_engine(), StreamConfig{});
+  ReplayOptions options;
+  options.resume_events = events_->size();
+  const auto result = run_replay(engine, *events_, options);
+  EXPECT_EQ(result.session_events, 0u);
+  EXPECT_EQ(result.events_per_second, 0.0);
+  EXPECT_TRUE(result.decisions.empty());  // fresh engine held no users
+}
+
 }  // namespace
 }  // namespace mood::stream

@@ -17,6 +17,7 @@
 // CI gate. Exit 1 on any mismatch.
 
 #include <chrono>
+#include <filesystem>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -32,7 +33,9 @@
 #include "simulation/presets.h"
 #include "stream/engine.h"
 #include "stream/replay.h"
+#include "stream/snapshot.h"
 #include "support/error.h"
+#include "support/failpoint.h"
 #include "support/logging.h"
 #include "support/options.h"
 #include "support/thread_pool.h"
@@ -157,6 +160,15 @@ int cmd_replay(int argc, const char* const* argv, std::ostream& out,
                  "on the linear-scan oracle — an index-vs-scan divergence "
                  "gate (skipped automatically for lossy window "
                  "configurations)");
+  flags.add_string("checkpoint-dir", "",
+                   "directory for crash-consistent mood-snapshot/1 "
+                   "checkpoints (empty = checkpointing off)");
+  flags.add_int("checkpoint-every", 0,
+                "write a checkpoint every N ingested events, at the next "
+                "micro-batch boundary (0 = off; requires --checkpoint-dir)");
+  flags.add_bool("restore", false,
+                 "resume from the newest usable snapshot in "
+                 "--checkpoint-dir instead of replaying from the start");
   flags.add_bool("serial-drain", false,
                  "decide shards sequentially instead of on the thread pool");
   flags.add_bool("per-user", true, "include the per_user array in the JSON");
@@ -185,6 +197,28 @@ int cmd_replay(int argc, const char* const* argv, std::ostream& out,
     throw support::UsageError(
         "mood replay: window/pacing knobs must be non-negative");
   }
+  if (flags.get_int("checkpoint-every") < 0) {
+    throw support::UsageError(
+        "mood replay: --checkpoint-every must be non-negative");
+  }
+  const std::string checkpoint_dir = flags.get_string("checkpoint-dir");
+  if (flags.get_int("checkpoint-every") > 0 && checkpoint_dir.empty()) {
+    throw support::UsageError(
+        "mood replay: --checkpoint-every requires --checkpoint-dir");
+  }
+  if (flags.get_bool("restore")) {
+    if (checkpoint_dir.empty()) {
+      throw support::UsageError(
+          "mood replay: --restore requires --checkpoint-dir");
+    }
+    if (!std::filesystem::is_directory(checkpoint_dir)) {
+      throw support::UsageError("mood replay: checkpoint directory '" +
+                                checkpoint_dir + "' does not exist");
+    }
+  }
+  // Fault-injection hook (tests/CI only; compiled out of Release builds —
+  // a no-op unless MOOD_FAILPOINTS is set in the environment).
+  testing::FailPoint::arm_from_env();
   const std::string index_flag = flags.get_string("index");
   if (index_flag != "on" && index_flag != "off") {
     throw support::UsageError("mood replay: --index must be on or off");
@@ -259,6 +293,54 @@ int cmd_replay(int argc, const char* const* argv, std::ostream& out,
   const auto events = stream::make_event_stream(harness.pairs());
   harness.set_attack_query_mode(stream_mode);
   stream::StreamEngine engine(harness.make_engine(), stream_config);
+
+  // ---- Checkpoint / restore -------------------------------------------
+  stream::SnapshotContext snapshot_context;
+  snapshot_context.seed = meta.seed;
+  snapshot_context.dataset = dataset.name();
+  snapshot_context.total_events = events.size();
+  snapshot_context.batch_events = replay_options.batch_events;
+  if (!checkpoint_dir.empty() && flags.get_int("checkpoint-every") > 0) {
+    stream::CheckpointPolicy policy;
+    policy.dir = checkpoint_dir;
+    policy.every_events =
+        static_cast<std::uint64_t>(flags.get_int("checkpoint-every"));
+    engine.configure_checkpoints(policy, snapshot_context);
+  }
+  if (flags.get_bool("restore")) {
+    const auto restore_started = elapsed();
+    const stream::SnapshotData snapshot =
+        stream::read_latest_snapshot(checkpoint_dir);
+    // The snapshot must describe this exact replay: same seed, dataset,
+    // stream length, and micro-batch cadence — anything else would resume
+    // a different stream and silently change the published decisions.
+    // (restore_snapshot additionally vets the gateway config.)
+    if (snapshot.context.seed != snapshot_context.seed ||
+        snapshot.context.dataset != snapshot_context.dataset ||
+        snapshot.context.total_events != snapshot_context.total_events ||
+        snapshot.context.batch_events != snapshot_context.batch_events) {
+      throw support::UsageError(
+          "mood replay: snapshot in '" + checkpoint_dir +
+          "' fingerprints a different replay (seed/dataset/stream/batch "
+          "mismatch) — refusing to resume from it");
+    }
+    if (snapshot.stream_position > events.size() ||
+        (snapshot.stream_position % replay_options.batch_events != 0 &&
+         snapshot.stream_position != events.size())) {
+      throw support::UsageError(
+          "mood replay: snapshot position " +
+          std::to_string(snapshot.stream_position) +
+          " is not a micro-batch boundary of this stream");
+    }
+    engine.restore_snapshot(snapshot);
+    replay_options.resume_events =
+        static_cast<std::size_t>(snapshot.stream_position);
+    err << "restored checkpoint at position " << snapshot.stream_position
+        << " (" << snapshot.users.size() << " users) from " << checkpoint_dir
+        << '\n';
+    meta.timings.emplace_back("restore", elapsed() - restore_started);
+  }
+
   err << "replaying " << events.size() << " events from "
       << harness.pairs().size() << " users through " << stream_config.shards
       << " shards (batch " << replay_options.batch_events << ")...\n";
