@@ -6,6 +6,7 @@
 //   ./replay_throughput [--datasets=privamov] [--scale=0.25] [--seed=7]
 //                       [--shards=1,2,4,8] [--staleness=0] [--batch=256]
 //                       [--checkpoint-every=0] [--checkpoint-dir=DIR]
+//                       [--shed-high=0] [--shed-low=0] [--drain-budget=0]
 //                       [--json=replay.json]
 //
 // Defaults to privamov (the most at-risk population, so the mechanism-
@@ -18,6 +19,12 @@
 // periodic mood-snapshot/1 checkpoints (cadence N events, written to
 // --checkpoint-dir or a temp directory) and prints the throughput
 // overhead — the number the PR 7 acceptance bar caps at 10%.
+// --shed-high/--shed-low/--drain-budget switch on the PR 8 overload
+// controls for every grid point, pricing the degraded-decision path
+// (validating admission is always on and costs the same either way).
+// Shedding and budgets only defer work that finish() re-does canonically,
+// so the determinism gate below still applies unchanged — a divergence
+// under shedding is a real bug, not an expected artefact.
 // --json writes an array of "mood-stream/1" documents, one per grid
 // point. Every run's final decisions are compared across the whole grid
 // (checkpointed runs included — checkpointing must never perturb them);
@@ -96,6 +103,17 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(options.get_int("batch", 256));
   const auto checkpoint_every =
       static_cast<std::uint64_t>(options.get_int("checkpoint-every", 0));
+  stream::ResilienceConfig resilience;
+  resilience.shed_high_watermark =
+      static_cast<std::size_t>(options.get_int("shed-high", 0));
+  resilience.shed_low_watermark =
+      static_cast<std::size_t>(options.get_int("shed-low", 0));
+  resilience.drain_budget =
+      static_cast<std::size_t>(options.get_int("drain-budget", 0));
+  if (resilience.shed_low_watermark > resilience.shed_high_watermark) {
+    std::fprintf(stderr, "--shed-low must not exceed --shed-high\n");
+    return 2;
+  }
   std::string checkpoint_dir = options.get_string("checkpoint-dir", "");
   if (checkpoint_every > 0 && checkpoint_dir.empty()) {
     checkpoint_dir = (std::filesystem::temp_directory_path() /
@@ -155,6 +173,7 @@ int main(int argc, char** argv) {
         stream::StreamConfig config;
         config.shards = shards;
         config.staleness_points = staleness;
+        config.resilience = resilience;
 
         // One measured run per grid point, plus (with --checkpoint-every)
         // a checkpointed twin to price the snapshot writes.

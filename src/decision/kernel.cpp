@@ -219,6 +219,39 @@ void DecisionKernel::decide(UserKernelState& state, std::size_t folded) const {
   decisions_.fetch_add(1, kRelaxed);
 }
 
+void DecisionKernel::decide_degraded(UserKernelState& state,
+                                     std::size_t folded) const {
+  if (folded == 0) return;
+  if (!state.has_decision) {
+    // Fail-closed: shedding never leaves a user undecided — a first-ever
+    // verdict always takes the full path.
+    decide(state, folded);
+    return;
+  }
+  // Hold the last verdict. No profile refresh, no risk queries, no flip
+  // accounting — the canonical finalize() repairs all of it because the
+  // fold already advanced state.events past searched_events.
+  if (state.decision == Decision::kProtect) {
+    if (!state.winner.empty()) {
+      // The one cheap check shedding keeps: does the held mechanism still
+      // defeat every attack? A failing recheck defers the full search
+      // (that is the point of shedding) instead of running it.
+      ++state.rechecks;
+      rechecks_.fetch_add(1, kRelaxed);
+      ProtectionResult cost;
+      (void)engine_.recheck(state.winner, state.window, &cost);
+      lppm_applications_.fetch_add(cost.lppm_applications, kRelaxed);
+      attack_invocations_.fetch_add(cost.attack_invocations, kRelaxed);
+    }
+    protected_events_.fetch_add(folded, kRelaxed);
+  } else {
+    exposed_events_.fetch_add(folded, kRelaxed);
+  }
+  ++state.degraded;
+  shed_decisions_.fetch_add(1, kRelaxed);
+  decisions_.fetch_add(1, kRelaxed);
+}
+
 void DecisionKernel::finalize(UserKernelState& state,
                               std::size_t folded) const {
   if (state.window.empty()) return;
@@ -257,6 +290,7 @@ KernelStats DecisionKernel::stats() const {
   s.protected_events = protected_events_.load();
   s.searches = searches_.load();
   s.rechecks = rechecks_.load();
+  s.shed_decisions = shed_decisions_.load();
   s.profile_refreshes = profile_refreshes_.load();
   s.stay_updates = stay_updates_.load();
   s.stay_rebuilds = stay_rebuilds_.load();

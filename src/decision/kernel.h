@@ -101,6 +101,7 @@ struct KernelStats {
   std::uint64_t protected_events = 0;  ///< events carried by protect verdicts
   std::uint64_t searches = 0;          ///< full mechanism selections
   std::uint64_t rechecks = 0;          ///< cheap current-winner re-checks
+  std::uint64_t shed_decisions = 0;    ///< degraded held-verdict decisions
   std::uint64_t profile_refreshes = 0; ///< PIT/POI compiled-form refreshes
   std::uint64_t stay_updates = 0;      ///< incremental stay-tracker syncs
   std::uint64_t stay_rebuilds = 0;     ///< full re-extractions among them
@@ -162,6 +163,7 @@ struct UserKernelState {
   std::uint64_t risk_transitions = 0;  ///< expose<->protect flips
   std::uint64_t searches = 0;          ///< full mechanism selections
   std::uint64_t rechecks = 0;          ///< cheap current-winner re-checks
+  std::uint64_t degraded = 0;          ///< held-verdict (shed) decisions
 };
 
 class DecisionKernel {
@@ -187,6 +189,19 @@ class DecisionKernel {
   /// selection policy. `folded` is fold()'s return value for this batch
   /// (events carried by the verdict); callers skip the call when 0.
   void decide(UserKernelState& state, std::size_t folded) const;
+
+  /// Degraded micro-batch verdict — the overload-shedding path. Holds the
+  /// user's last verdict instead of running the risk queries: a protected
+  /// user with a held mechanism gets the cheap recheck only (its outcome
+  /// is recorded in the cost counters but a failing recheck defers the
+  /// full search instead of running it), everyone else just carries the
+  /// held decision forward. A user with no verdict yet falls through to
+  /// the full decide() — shedding never leaves a user undecided
+  /// (fail-closed). Degraded verdicts are flagged in state.degraded and
+  /// KernelStats::shed_decisions, and are repaired at finalize(): the
+  /// fold already advanced state.events past searched_events, so the
+  /// canonical pass re-searches exactly as if the shed never happened.
+  void decide_degraded(UserKernelState& state, std::size_t folded) const;
 
   /// Canonical final decision: force-refresh stale profiles, re-run risk,
   /// and re-search at-risk users whose last full search did not see
@@ -246,6 +261,7 @@ class DecisionKernel {
   mutable std::atomic<std::uint64_t> protected_events_{0};
   mutable std::atomic<std::uint64_t> searches_{0};
   mutable std::atomic<std::uint64_t> rechecks_{0};
+  mutable std::atomic<std::uint64_t> shed_decisions_{0};
   mutable std::atomic<std::uint64_t> profile_refreshes_{0};
   mutable std::atomic<std::uint64_t> stay_updates_{0};
   mutable std::atomic<std::uint64_t> stay_rebuilds_{0};

@@ -1,6 +1,7 @@
 #include "mobility/io.h"
 
 #include <charconv>
+#include <cmath>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -16,7 +17,13 @@ double parse_double_field(const std::string& field, const char* what) {
   double value = 0.0;
   const auto [ptr, ec] =
       std::from_chars(field.data(), field.data() + field.size(), value);
-  if (ec != std::errc() || ptr != field.data() + field.size()) {
+  // from_chars happily parses "nan" and "inf" (and an overflowing exponent
+  // reports result_out_of_range, caught by the errc check below) — but a
+  // non-finite coordinate or timestamp is never valid trace data, and the
+  // range checks downstream compare false against NaN, so reject it here
+  // with the same typed error as any other malformed field.
+  if (ec != std::errc() || ptr != field.data() + field.size() ||
+      !std::isfinite(value)) {
     throw support::IoError(std::string("dataset CSV: bad ") + what + ": '" +
                            field + "'");
   }

@@ -277,6 +277,10 @@ Json to_json(const stream::UserDecision& decision) {
   object["searches"] = decision.searches;
   object["window_points"] = decision.window_points;
   object["window_slices"] = decision.window_slices;
+  object["quarantined"] = decision.quarantined;
+  object["quarantine_reason"] = decision.quarantine_reason;
+  object["dead_letters"] = decision.dead_letters;
+  object["degraded"] = decision.degraded;
   return object;
 }
 
@@ -348,7 +352,19 @@ Json make_stream_report(const RunMetadata& meta, Json dataset,
   checkpoint["bytes"] = result.stats.checkpoint_bytes;
   checkpoint["failures"] = result.stats.checkpoint_failures;
   checkpoint["resume_events"] = options.resume_events;
+  checkpoint["quarantined_snapshots"] = result.stats.quarantined_snapshots;
   replay["checkpoint"] = std::move(checkpoint);
+  // Fault-tolerance counters (resilience.h) — all zero at the strict
+  // defaults, so a default replay's document diffs clean against pre-PR 8
+  // consumers that ignore unknown members.
+  Json resilience = Json::object();
+  resilience["bad_records"] = result.stats.bad_records;
+  resilience["dead_letters"] = result.stats.dead_letters;
+  resilience["quarantined_users"] = result.stats.quarantined_users;
+  resilience["shed_decisions"] = result.stats.shed_decisions;
+  resilience["degraded_batches"] = result.stats.degraded_batches;
+  resilience["backpressure_events"] = result.stats.backpressure_events;
+  replay["resilience"] = std::move(resilience);
   replay["batch_match"] = batch_match ? Json(*batch_match) : Json();
   document["replay"] = std::move(replay);
 
@@ -391,6 +407,22 @@ std::vector<std::vector<std::string>> stream_summary_rows(
     rows.push_back({"checkpoints", std::to_string(result.stats.checkpoints)});
     rows.push_back({"checkpoint_failures",
                     std::to_string(result.stats.checkpoint_failures)});
+  }
+  if (result.stats.bad_records > 0 || result.stats.dead_letters > 0 ||
+      result.stats.quarantined_users > 0 || result.stats.shed_decisions > 0 ||
+      result.stats.degraded_batches > 0 ||
+      result.stats.backpressure_events > 0) {
+    rows.push_back({"bad_records", std::to_string(result.stats.bad_records)});
+    rows.push_back(
+        {"dead_letters", std::to_string(result.stats.dead_letters)});
+    rows.push_back({"quarantined_users",
+                    std::to_string(result.stats.quarantined_users)});
+    rows.push_back(
+        {"shed_decisions", std::to_string(result.stats.shed_decisions)});
+    rows.push_back(
+        {"degraded_batches", std::to_string(result.stats.degraded_batches)});
+    rows.push_back({"backpressure_events",
+                    std::to_string(result.stats.backpressure_events)});
   }
   return rows;
 }
@@ -435,6 +467,25 @@ std::vector<std::vector<std::string>> stream_summary_rows(
       rows.push_back({"checkpoints", count(*checkpoint, "written")});
       rows.push_back(
           {"checkpoint_failures", count(*checkpoint, "failures")});
+    }
+  }
+  if (const Json* resilience = replay->find("resilience")) {
+    if (resilience->int_or("bad_records", 0) > 0 ||
+        resilience->int_or("dead_letters", 0) > 0 ||
+        resilience->int_or("quarantined_users", 0) > 0 ||
+        resilience->int_or("shed_decisions", 0) > 0 ||
+        resilience->int_or("degraded_batches", 0) > 0 ||
+        resilience->int_or("backpressure_events", 0) > 0) {
+      rows.push_back({"bad_records", count(*resilience, "bad_records")});
+      rows.push_back({"dead_letters", count(*resilience, "dead_letters")});
+      rows.push_back(
+          {"quarantined_users", count(*resilience, "quarantined_users")});
+      rows.push_back(
+          {"shed_decisions", count(*resilience, "shed_decisions")});
+      rows.push_back(
+          {"degraded_batches", count(*resilience, "degraded_batches")});
+      rows.push_back(
+          {"backpressure_events", count(*resilience, "backpressure_events")});
     }
   }
   return rows;

@@ -127,20 +127,29 @@ inline constexpr const char* kBenchSchema = "mood-bench/1";
 ///               "index_prunes": ..., "exact_evals": ...,
 ///               "index_rebuilds": ...},
 ///     "checkpoint": {"written": 3, "bytes": 183200, "failures": 0,
-///                     "resume_events": 0},  // this process's checkpoint
+///                     "resume_events": 0,    // this process's checkpoint
+///                     "quarantined_snapshots": 0},  // corrupt snapshot
+///                          // files renamed aside during restore
 ///                          // activity (mood-snapshot/1 files written /
 ///                          // the restore position) — deliberately
 ///                          // outside "cost": a restored run's per_user +
 ///                          // cost + decisions are bit-identical to the
 ///                          // uninterrupted run's, only this block and
 ///                          // the timing numbers differ
+///     "resilience": {      // fault-tolerance counters (resilience.h);
+///                          // all zero at the strict defaults
+///       "bad_records": 0, "dead_letters": 0, "quarantined_users": 0,
+///       "shed_decisions": 0, "degraded_batches": 0,
+///       "backpressure_events": 0},
 ///     "batch_match": true  // replayed final decisions == batch evaluators
 ///                          // (null when verification was skipped)
 ///   },
 ///   "per_user": [        // final gateway state, sorted by user
 ///     {"user": "u01", "decision": "protect", "winner": "GeoI",
 ///      "events": 640, "risk_transitions": 1, "searches": 2,
-///      "window_points": 640, "window_slices": 12}, ...
+///      "window_points": 640, "window_slices": 12,
+///      "quarantined": false, "quarantine_reason": "",
+///      "dead_letters": 0, "degraded": 0}, ...
 ///   ]
 /// }
 /// \endverbatim

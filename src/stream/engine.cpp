@@ -1,10 +1,13 @@
 #include "stream/engine.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <utility>
 
 #include "stream/snapshot.h"
 #include "support/error.h"
+#include "support/failpoint.h"
 #include "support/logging.h"
 #include "support/thread_pool.h"
 
@@ -27,7 +30,17 @@ constexpr std::uint64_t StreamStats::* kContinuedStats[] = {
     &StreamStats::evicted_users,   &StreamStats::lppm_applications,
     &StreamStats::attack_invocations, &StreamStats::index_prunes,
     &StreamStats::exact_evals,     &StreamStats::index_rebuilds,
+    &StreamStats::bad_records,     &StreamStats::dead_letters,
+    &StreamStats::quarantined_users, &StreamStats::shed_decisions,
+    &StreamStats::degraded_batches, &StreamStats::backpressure_events,
 };
+
+/// Same bounds the dataset loader enforces (mobility/io.cpp); a finite
+/// fix outside them is corrupt, not exotic.
+bool valid_coordinate(const geo::GeoPoint& p) {
+  return std::isfinite(p.lat) && std::isfinite(p.lon) && p.lat > -89.0 &&
+         p.lat < 89.0 && p.lon >= -180.0 && p.lon <= 180.0;
+}
 }  // namespace
 
 StreamEngine::StreamEngine(decision::MoodEngine engine, StreamConfig config)
@@ -35,31 +48,196 @@ StreamEngine::StreamEngine(decision::MoodEngine engine, StreamConfig config)
               decision::KernelConfig{config.window_seconds, config.max_points,
                                      config.staleness_points}),
       config_(config),
-      store_(StoreConfig{config.shards, config.max_users_per_shard}) {
+      store_(StoreConfig{config.shards, config.max_users_per_shard}),
+      shedding_(config.shards, 0) {
   support::expects(config_.shards > 0, "StreamEngine: shards must be > 0");
+  support::expects(
+      config_.resilience.shed_low_watermark <=
+              config_.resilience.shed_high_watermark ||
+          config_.resilience.shed_high_watermark == 0,
+      "StreamEngine: shed_low_watermark must not exceed shed_high_watermark");
 }
 
-void StreamEngine::ingest(const StreamEvent& event) {
-  store_.enqueue(event);
+IngestStatus StreamEngine::ingest(const StreamEvent& event) {
+  // Every presented event advances the stream position, admitted or not:
+  // checkpoint/resume indexes into the replay stream, and a resumed run
+  // must skip exactly the events this run consumed — including the ones
+  // it dropped.
   events_.fetch_add(1, kRelaxed);
+  const ResilienceConfig& res = config_.resilience;
+
+  // Stateless classification first. An unattributable event (empty or
+  // oversized id) cannot be quarantined — there is no user to trust the
+  // id of — so skip/quarantine both dead-letter it without state.
+  if (event.user.empty() || event.user.size() > kMaxUserIdBytes) {
+    bad_records_.fetch_add(1, kRelaxed);
+    if (res.on_bad_record == BadRecordPolicy::kFail) {
+      throw BadRecordError(
+          std::string("gateway admission: ") +
+          to_string(AdmissionFault::kOversizedId) + " (" +
+          std::to_string(event.user.size()) + " bytes) at position " +
+          std::to_string(stream_position() - 1));
+    }
+    dead_letters_.fetch_add(1, kRelaxed);
+    return IngestStatus::kDeadLettered;
+  }
+  const char* fault = valid_coordinate(event.record.position)
+                          ? nullptr
+                          : to_string(AdmissionFault::kBadCoordinate);
+
+  const AdmitResult admitted =
+      store_.enqueue(event, res.on_bad_record, fault != nullptr, fault);
+  switch (admitted.status) {
+    case AdmitResult::Status::kRejected:
+      bad_records_.fetch_add(1, kRelaxed);
+      if (res.on_bad_record == BadRecordPolicy::kFail) {
+        throw BadRecordError(std::string("gateway admission: ") +
+                             admitted.reason + " from user '" + event.user +
+                             "' at position " +
+                             std::to_string(stream_position() - 1));
+      }
+      return IngestStatus::kRejected;
+    case AdmitResult::Status::kQuarantined:
+      bad_records_.fetch_add(1, kRelaxed);
+      dead_letters_.fetch_add(admitted.dead_letters, kRelaxed);
+      quarantined_users_.fetch_add(1, kRelaxed);
+      support::log_warn("quarantined user '", event.user, "' at position ",
+                        stream_position() - 1, ": ", admitted.reason);
+      return IngestStatus::kQuarantined;
+    case AdmitResult::Status::kDeadLettered:
+      dead_letters_.fetch_add(admitted.dead_letters, kRelaxed);
+      return IngestStatus::kDeadLettered;
+    case AdmitResult::Status::kAdmitted:
+      break;
+  }
+  if (res.max_pending_per_shard > 0 &&
+      admitted.shard_backlog > res.max_pending_per_shard) {
+    // Explicit backpressure: the signal is counted and surfaced, never
+    // acted on internally — an early drain here would make batch
+    // boundaries depend on shard hashing and break determinism.
+    backpressure_events_.fetch_add(1, kRelaxed);
+    return IngestStatus::kAdmittedSlow;
+  }
+  return IngestStatus::kAdmitted;
 }
 
 std::size_t StreamEngine::fold_pending(UserState& state) {
   const std::vector<mobility::Record> pending = std::move(state.pending);
   state.pending.clear();
+  if (config_.resilience.on_bad_record == BadRecordPolicy::kQuarantine) {
+    // In-memory poison (post-admission corruption; in practice the
+    // stream.drain.corrupt fail point) must not reach the compiled
+    // profiles — NaNs poison every distance they touch.
+    for (const mobility::Record& record : pending) {
+      if (!std::isfinite(record.position.lat) ||
+          !std::isfinite(record.position.lon)) {
+        throw BadRecordError("poisoned pending record (non-finite "
+                             "coordinate) for user '" +
+                             state.user + "'");
+      }
+    }
+  }
   return kernel_.fold(state.kernel, pending);
+}
+
+StreamEngine::DecideOutcome StreamEngine::decide_user(UserState& state,
+                                                      bool canonical,
+                                                      bool degrade) {
+  if (state.quarantined) {
+    // Frozen. Anything still queued (quarantine tripped mid-drain) is
+    // dead-lettered, never folded.
+    if (!state.pending.empty()) {
+      dead_letters_.fetch_add(state.pending.size(), kRelaxed);
+      state.dead_letters += state.pending.size();
+      state.pending.clear();
+    }
+    return DecideOutcome::kSkipped;
+  }
+  const std::size_t queued = state.pending.size();
+  if (MOOD_FAIL_POINT("stream.drain.corrupt") ==
+          testing::FailAction::kCorrupt &&
+      !state.pending.empty()) {
+    state.pending.front().position.lat =
+        std::numeric_limits<double>::quiet_NaN();
+  }
+  const auto run = [&]() -> DecideOutcome {
+    MOOD_FAIL_POINT("stream.decide.user");  // kThrow fires inside hit()
+    const std::size_t folded = fold_pending(state);
+    if (canonical) {
+      kernel_.finalize(state.kernel, folded);
+      return DecideOutcome::kFull;
+    }
+    if (degrade) {
+      kernel_.decide_degraded(state.kernel, folded);
+      return DecideOutcome::kDegraded;
+    }
+    kernel_.decide(state.kernel, folded);
+    return DecideOutcome::kFull;
+  };
+  if (config_.resilience.on_bad_record != BadRecordPolicy::kQuarantine) {
+    return run();  // strict: a decision-path fault aborts, as before PR 8
+  }
+  try {
+    return run();
+  } catch (const std::exception& e) {
+    // Per-user fault isolation: freeze this user, hold their last
+    // verdict, keep the shard drain alive. The queued points died with
+    // the fault (folded or not, they produced no decision).
+    state.quarantined = true;
+    state.quarantine_reason = e.what();
+    state.pending.clear();
+    state.dead_letters += queued;
+    dead_letters_.fetch_add(queued, kRelaxed);
+    quarantined_users_.fetch_add(1, kRelaxed);
+    support::log_warn("quarantined user '", state.user,
+                      "' on decision fault: ", e.what());
+    return DecideOutcome::kQuarantined;
+  }
 }
 
 std::size_t StreamEngine::drain() {
   std::atomic<std::size_t> decided{0};
+  const ResilienceConfig& res = config_.resilience;
   const auto drain_one = [&](std::size_t shard) {
+    // Shed hysteresis, evaluated once per shard per drain on the pending
+    // backlog: engage at the high watermark, release at the low one. The
+    // latch is only touched by this shard's own drain task.
+    bool shed = false;
+    if (res.shed_high_watermark > 0) {
+      const std::size_t backlog = store_.pending_events(shard);
+      std::uint8_t& latch = shedding_[shard];
+      if (latch != 0) {
+        if (backlog <= res.shed_low_watermark) latch = 0;
+      } else if (backlog >= res.shed_high_watermark) {
+        latch = 1;
+      }
+      shed = latch != 0;
+    }
+    std::size_t full_decides = 0;
+    std::size_t degraded_decides = 0;
     decided.fetch_add(
-        store_.drain_shard(shard,
-                           [&](UserState& state) {
-                             kernel_.decide(state.kernel,
-                                            fold_pending(state));
-                           }),
+        store_.drain_shard(
+            shard,
+            [&](UserState& state) {
+              // Degrade when shedding, or past the drain budget (the
+              // budget caps *full* decisions per shard per batch; the
+              // tail of the dirty list gets held-verdict rechecks).
+              const bool degrade =
+                  shed || (res.drain_budget > 0 &&
+                           full_decides >= res.drain_budget);
+              switch (decide_user(state, /*canonical=*/false, degrade)) {
+                case DecideOutcome::kFull:
+                  ++full_decides;
+                  break;
+                case DecideOutcome::kDegraded:
+                  ++degraded_decides;
+                  break;
+                default:
+                  break;
+              }
+            }),
         kRelaxed);
+    if (degraded_decides > 0) degraded_batches_.fetch_add(1, kRelaxed);
   };
   if (config_.parallel_drain && store_.shard_count() > 1) {
     support::parallel_for(store_.shard_count(), drain_one);
@@ -68,8 +246,8 @@ std::size_t StreamEngine::drain() {
   }
   batches_.fetch_add(1, kRelaxed);
   // Checkpoint boundary: every pending queue and dirty list is empty here
-  // (the drain above folded them all), so the captured state is exactly
-  // "the stream up to this position, fully decided".
+  // (the drain above folded or dead-lettered them all), so the captured
+  // state is exactly "the stream up to this position, fully decided".
   maybe_checkpoint();
   return decided.load();
 }
@@ -78,8 +256,9 @@ void StreamEngine::finish() {
   store_.for_each([&](UserState& state) {
     // Fold any points that arrived after the last drain (the replay
     // driver always drains, so this is a safety net for direct engine
-    // users), then run the kernel's canonical final decision.
-    kernel_.finalize(state.kernel, fold_pending(state));
+    // users), then run the kernel's canonical final decision. Quarantined
+    // users stay frozen; a fault here quarantines like the drain path.
+    decide_user(state, /*canonical=*/true, /*degrade=*/false);
   });
 }
 
@@ -98,6 +277,10 @@ std::vector<UserDecision> StreamEngine::decisions() const {
     d.window_slices = k.window.tracked_slice() > 0
                           ? k.window.slice_count(k.window.tracked_slice())
                           : 0;
+    d.quarantined = state.quarantined;
+    d.quarantine_reason = state.quarantine_reason;
+    d.dead_letters = state.dead_letters;
+    d.degraded = k.degraded;
     out.push_back(std::move(d));
   });
   std::sort(out.begin(), out.end(),
@@ -131,7 +314,18 @@ StreamStats StreamEngine::raw_stats() const {
   s.checkpoints = checkpoints_.load(kRelaxed);
   s.checkpoint_bytes = checkpoint_bytes_.load(kRelaxed);
   s.checkpoint_failures = checkpoint_failures_.load(kRelaxed);
+  s.bad_records = bad_records_.load(kRelaxed);
+  s.dead_letters = dead_letters_.load(kRelaxed);
+  s.quarantined_users = quarantined_users_.load(kRelaxed);
+  s.shed_decisions = kernel.shed_decisions;
+  s.degraded_batches = degraded_batches_.load(kRelaxed);
+  s.backpressure_events = backpressure_events_.load(kRelaxed);
+  s.quarantined_snapshots = quarantined_snapshots_.load(kRelaxed);
   return s;
+}
+
+void StreamEngine::note_quarantined_snapshots(std::uint64_t n) {
+  quarantined_snapshots_.fetch_add(n, kRelaxed);
 }
 
 StreamStats StreamEngine::stats() const {
@@ -194,13 +388,20 @@ SnapshotData StreamEngine::capture_snapshot() const {
     u.risk_transitions = k.risk_transitions;
     u.searches = k.searches;
     u.rechecks = k.rechecks;
+    u.degraded = k.degraded;
     u.last_touch = state.last_touch;
+    u.quarantined = state.quarantined;
+    u.quarantine_reason = state.quarantine_reason;
+    u.dead_letters = state.dead_letters;
+    u.has_last_time = state.has_last_time;
+    u.last_time = state.last_time;
     data.users.push_back(std::move(u));
   });
   std::sort(data.users.begin(), data.users.end(),
             [](const UserSnapshot& a, const UserSnapshot& b) {
               return a.user < b.user;
             });
+  data.shard_shedding.assign(shedding_.begin(), shedding_.end());
   return data;
 }
 
@@ -220,6 +421,18 @@ void StreamEngine::restore_snapshot(const SnapshotData& data) {
     throw SnapshotError(
         "snapshot gateway config does not match this gateway (shards/"
         "window/max-points/max-users/staleness must all agree)");
+  }
+  const ResilienceConfig& snap = data.config.resilience;
+  const ResilienceConfig& mine = config_.resilience;
+  if (snap.on_bad_record != mine.on_bad_record ||
+      snap.max_pending_per_shard != mine.max_pending_per_shard ||
+      snap.shed_high_watermark != mine.shed_high_watermark ||
+      snap.shed_low_watermark != mine.shed_low_watermark ||
+      snap.drain_budget != mine.drain_budget) {
+    throw SnapshotError(
+        "snapshot resilience config does not match this gateway "
+        "(on-bad-record/max-pending/shed watermarks/drain-budget must all "
+        "agree)");
   }
 
   for (const UserSnapshot& u : data.users) {
@@ -259,9 +472,19 @@ void StreamEngine::restore_snapshot(const SnapshotData& data) {
     k.risk_transitions = u.risk_transitions;
     k.searches = u.searches;
     k.rechecks = u.rechecks;
+    k.degraded = u.degraded;
+    state.quarantined = u.quarantined;
+    state.quarantine_reason = u.quarantine_reason;
+    state.dead_letters = u.dead_letters;
+    state.has_last_time = u.has_last_time;
+    state.last_time = u.last_time;
     store_.restore_user(std::move(state));
   }
   store_.restore_shard_clocks(data.shard_clocks);
+  support::expects(data.shard_shedding.size() == shedding_.size(),
+                   "StreamEngine::restore_snapshot: shed-latch count "
+                   "mismatch");
+  shedding_.assign(data.shard_shedding.begin(), data.shard_shedding.end());
   position_offset_ = data.stream_position;
   last_checkpoint_position_ = data.stream_position;
   stats_baseline_ = data.stats;

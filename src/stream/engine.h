@@ -32,6 +32,13 @@
 ///     (chunk-independent), so batch size cannot leak into decisions.
 ///   * finish() canonicalises winners whatever staleness or recheck
 ///     short-cuts were taken mid-stream.
+///
+/// PR 8 adds the resilience layer (see resilience.h): a validating
+/// admission path in ingest() with per-user quarantine, fault isolation
+/// around each user's fold/decide, and count-triggered overload control
+/// (backpressure signal, shed hysteresis, drain budget). All off by
+/// default; every trigger is event-count based, so the invariants above
+/// extend to chaos runs — a poisoned user never perturbs a healthy one.
 
 #include <atomic>
 #include <cstdint>
@@ -40,6 +47,7 @@
 
 #include "decision/kernel.h"
 #include "stream/event.h"
+#include "stream/resilience.h"
 #include "stream/user_state.h"
 
 namespace mood::stream {
@@ -53,6 +61,9 @@ struct StreamConfig {
   std::size_t max_users_per_shard = 0;  ///< LRU capacity; 0 = unbounded
   std::size_t staleness_points = 0;     ///< PIT/POI refresh bound; 0 = every fold
   bool parallel_drain = true;           ///< shard tasks on the shared pool
+  /// Fault-tolerance knobs (see resilience.h); the defaults are strict —
+  /// everything off — so the batch-equivalence gates are untouched.
+  ResilienceConfig resilience;
 };
 
 /// Aggregate gateway counters (monotonic; snapshot via stats()). Mostly a
@@ -83,6 +94,17 @@ struct StreamStats {
   std::uint64_t checkpoints = 0;         ///< snapshots committed
   std::uint64_t checkpoint_bytes = 0;    ///< bytes committed
   std::uint64_t checkpoint_failures = 0; ///< writes aborted (I/O failure)
+  /// Resilience counters (see resilience.h); all zero at the strict
+  /// defaults. Reported in the mood-stream/1 `resilience` block.
+  std::uint64_t bad_records = 0;         ///< malformed events at admission
+  std::uint64_t dead_letters = 0;        ///< events dropped via quarantine
+  std::uint64_t quarantined_users = 0;   ///< users ever quarantined
+  std::uint64_t shed_decisions = 0;      ///< degraded held-verdict decisions
+  std::uint64_t degraded_batches = 0;    ///< shard drains that shed work
+  std::uint64_t backpressure_events = 0; ///< ingests over the shard bound
+  /// Snapshot files renamed aside (.quarantined) during restore — this
+  /// process's forensics, raw like the checkpoint counters.
+  std::uint64_t quarantined_snapshots = 0;
 };
 
 /// Periodic checkpointing knobs. Disabled unless both are set. A
@@ -119,6 +141,25 @@ struct UserDecision {
   std::uint64_t searches = 0;
   std::size_t window_points = 0;
   std::size_t window_slices = 0;      ///< preslice partitions (tracked, O(1))
+  /// Resilience flags: a quarantined user's decision is the held last
+  /// verdict (state frozen, reason recorded); `degraded` counts verdicts
+  /// issued on the shed path (always repaired by the canonical finish).
+  bool quarantined = false;
+  std::string quarantine_reason;
+  std::uint64_t dead_letters = 0;
+  std::uint64_t degraded = 0;
+};
+
+/// What ingest() did with one event — the admission verdict callers can
+/// react to (the replay driver counts; a real service would also slow its
+/// reads on kAdmittedSlow).
+enum class IngestStatus : std::uint8_t {
+  kAdmitted,     ///< enqueued on the fast path
+  kAdmittedSlow, ///< enqueued, but the shard backlog crossed the
+                 ///< backpressure bound — an explicit slow-down signal
+  kRejected,     ///< malformed, dropped (kSkip; kFail throws instead)
+  kQuarantined,  ///< malformed, and it tripped quarantine on its user
+  kDeadLettered, ///< user already quarantined; event dropped
 };
 
 class StreamEngine {
@@ -128,8 +169,15 @@ class StreamEngine {
   /// the engine's attacks must outlive this object.
   StreamEngine(decision::MoodEngine engine, StreamConfig config);
 
-  /// Enqueues one event (thread-safe, O(1)).
-  void ingest(const StreamEvent& event);
+  /// Admits one event (thread-safe, O(1)). The admission path classifies
+  /// malformed events — non-finite or out-of-range coordinates, per-user
+  /// timestamp regressions, oversized/empty ids — and handles them per
+  /// config().resilience.on_bad_record: kFail throws BadRecordError (the
+  /// strict default), kSkip drops the record, kQuarantine freezes the
+  /// carrying user. Every presented event advances stream_position(),
+  /// admitted or not, so checkpoint/resume indices stay aligned with the
+  /// replay stream.
+  IngestStatus ingest(const StreamEvent& event);
 
   /// Decides every user with pending points; returns users decided.
   std::size_t drain();
@@ -185,9 +233,29 @@ class StreamEngine {
   /// plus the restored snapshot's position (the replay resume index).
   [[nodiscard]] std::uint64_t stream_position() const;
 
+  /// Folds snapshot-restore forensics into stats(): `n` snapshot files
+  /// were renamed aside (.quarantined) while locating the restore source.
+  void note_quarantined_snapshots(std::uint64_t n);
+
  private:
   /// Folds state.pending through the kernel; returns points folded.
+  /// Under the quarantine policy it first scans the batch for non-finite
+  /// coordinates (in-memory poison that slipped past admission — in
+  /// practice the `stream.drain.corrupt` fail point) and throws
+  /// BadRecordError so the caller quarantines instead of corrupting the
+  /// compiled profiles.
   std::size_t fold_pending(UserState& state);
+
+  enum class DecideOutcome : std::uint8_t {
+    kSkipped,      ///< user already quarantined — untouched
+    kFull,         ///< full fold+decide (counts against a drain budget)
+    kDegraded,     ///< held-verdict shed path
+    kQuarantined,  ///< a fault escaped; the user was quarantined here
+  };
+
+  /// One user's fold+decide under the fault-isolation policy; shared by
+  /// drain() and finish() (`canonical` selects finalize over decide).
+  DecideOutcome decide_user(UserState& state, bool canonical, bool degrade);
 
   /// drain()-tail hook: checkpoint when the cadence has elapsed.
   void maybe_checkpoint();
@@ -221,6 +289,19 @@ class StreamEngine {
   std::atomic<std::uint64_t> checkpoints_{0};
   std::atomic<std::uint64_t> checkpoint_bytes_{0};
   std::atomic<std::uint64_t> checkpoint_failures_{0};
+
+  // ---- Resilience (see resilience.h) ---------------------------------
+  std::atomic<std::uint64_t> bad_records_{0};
+  std::atomic<std::uint64_t> dead_letters_{0};
+  std::atomic<std::uint64_t> quarantined_users_{0};
+  std::atomic<std::uint64_t> degraded_batches_{0};
+  std::atomic<std::uint64_t> backpressure_events_{0};
+  std::atomic<std::uint64_t> quarantined_snapshots_{0};
+  /// Per-shard shed latch (the hysteresis state). Only the shard's own
+  /// drain task reads/writes its slot, so no atomics are needed; the
+  /// latches round-trip through snapshots so a restored gateway sheds
+  /// exactly like the uninterrupted run.
+  std::vector<std::uint8_t> shedding_;
 };
 
 }  // namespace mood::stream

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <limits>
+#include <set>
 #include <thread>
 
 #include "support/error.h"
@@ -61,6 +63,49 @@ std::vector<StreamEvent> make_event_stream(
     events[i].seq = static_cast<std::uint64_t>(i);
   }
   return events;
+}
+
+std::size_t inject_poison(std::vector<StreamEvent>& events,
+                          const PoisonSpec& spec) {
+  if (spec.users == 0 || events.empty()) return 0;
+  support::expects(spec.stride > 0, "inject_poison: stride must be > 0");
+
+  // Victims: the first `users` ids in sorted order — a pure function of
+  // the stream content, so chaos runs are reproducible.
+  std::set<mobility::UserId> ids;
+  for (const StreamEvent& event : events) ids.insert(event.user);
+  std::set<mobility::UserId> victims;
+  for (const auto& id : ids) {
+    if (victims.size() >= spec.users) break;
+    victims.insert(id);
+  }
+
+  // Rotate through the malformed kinds the admission path classifies.
+  // Everything is in-place: stream length and order never change, so the
+  // micro-batch boundaries healthy users see are identical to the clean
+  // stream's.
+  std::size_t victim_event = 0;
+  std::size_t poisoned = 0;
+  for (StreamEvent& event : events) {
+    if (victims.count(event.user) == 0) continue;
+    if (victim_event++ % spec.stride != 0) continue;
+    switch (poisoned % 4) {
+      case 0:
+        event.record.position.lat = std::numeric_limits<double>::quiet_NaN();
+        break;
+      case 1:
+        event.record.position.lon = std::numeric_limits<double>::infinity();
+        break;
+      case 2:
+        event.record.position.lat = 95.0;  // finite but off the planet
+        break;
+      default:
+        event.record.time -= 7 * mobility::kDay;  // timestamp regression
+        break;
+    }
+    ++poisoned;
+  }
+  return poisoned;
 }
 
 ReplayResult run_replay(StreamEngine& engine,

@@ -79,6 +79,26 @@ struct ReplayResult {
 std::vector<StreamEvent> make_event_stream(
     const std::vector<mobility::TrainTestPair>& pairs);
 
+/// Deterministic poison injection for chaos drills (the CLI's
+/// --poison-users/--poison-stride flags and the chaos-smoke CI job).
+struct PoisonSpec {
+  /// Poison the first `users` user ids (in sorted id order) that appear
+  /// in the stream. 0 = no-op.
+  std::size_t users = 0;
+  /// Corrupt every stride-th event of a poisoned user (1 = every event).
+  std::size_t stride = 3;
+};
+
+/// Corrupts events of the selected users *in place* — rotating through
+/// malformed-coordinate and time-regression kinds — and returns the
+/// number of events poisoned. Stream length and order are untouched, so
+/// micro-batch boundaries (and therefore every healthy user's decision
+/// inputs) are byte-identical to the clean stream: under
+/// --on-bad-record=quarantine a chaos run must reproduce healthy users'
+/// decisions exactly, and this is the property that makes it testable.
+std::size_t inject_poison(std::vector<StreamEvent>& events,
+                          const PoisonSpec& spec);
+
 /// Ingests `events` in order through `engine`, draining every
 /// options.batch_events, then finish()es and snapshots decisions. The
 /// engine should be freshly constructed (its counters and state are not

@@ -342,7 +342,14 @@ void put_user(std::string& out, const UserSnapshot& u) {
   put_u64(out, u.risk_transitions);
   put_u64(out, u.searches);
   put_u64(out, u.rechecks);
+  put_u64(out, u.degraded);
   put_u64(out, u.last_touch);
+
+  put_bool(out, u.quarantined);
+  put_string(out, u.quarantine_reason);
+  put_u64(out, u.dead_letters);
+  put_bool(out, u.has_last_time);
+  put_i64(out, u.last_time);
 }
 
 UserSnapshot get_user(Reader& in) {
@@ -403,7 +410,17 @@ UserSnapshot get_user(Reader& in) {
   u.risk_transitions = in.get_u64();
   u.searches = in.get_u64();
   u.rechecks = in.get_u64();
+  u.degraded = in.get_u64();
   u.last_touch = in.get_u64();
+
+  u.quarantined = in.get_bool();
+  u.quarantine_reason = in.get_string();
+  if (!u.quarantined && !u.quarantine_reason.empty()) {
+    in.fail("quarantine reason on a non-quarantined user");
+  }
+  u.dead_letters = in.get_u64();
+  u.has_last_time = in.get_bool();
+  u.last_time = in.get_i64();
   return u;
 }
 
@@ -418,6 +435,12 @@ std::string encode_config_section(const SnapshotData& data) {
   put_u64(out, data.config.max_points);
   put_u64(out, data.config.max_users_per_shard);
   put_u64(out, data.config.staleness_points);
+  const ResilienceConfig& res = data.config.resilience;
+  put_u8(out, static_cast<std::uint8_t>(res.on_bad_record));
+  put_u64(out, res.max_pending_per_shard);
+  put_u64(out, res.shed_high_watermark);
+  put_u64(out, res.shed_low_watermark);
+  put_u64(out, res.drain_budget);
   return out;
 }
 
@@ -431,6 +454,16 @@ void decode_config_section(Reader& in, SnapshotData& data) {
   data.config.max_points = static_cast<std::size_t>(in.get_u64());
   data.config.max_users_per_shard = static_cast<std::size_t>(in.get_u64());
   data.config.staleness_points = static_cast<std::size_t>(in.get_u64());
+  ResilienceConfig& res = data.config.resilience;
+  const std::uint8_t policy = in.get_u8();
+  if (policy > static_cast<std::uint8_t>(BadRecordPolicy::kQuarantine)) {
+    in.fail("bad-record policy byte out of range");
+  }
+  res.on_bad_record = static_cast<BadRecordPolicy>(policy);
+  res.max_pending_per_shard = static_cast<std::size_t>(in.get_u64());
+  res.shed_high_watermark = static_cast<std::size_t>(in.get_u64());
+  res.shed_low_watermark = static_cast<std::size_t>(in.get_u64());
+  res.drain_budget = static_cast<std::size_t>(in.get_u64());
   in.expect_done();
 }
 
@@ -445,11 +478,15 @@ std::string encode_stats_section(const SnapshotData& data) {
         s.stay_rebuilds, s.heatmap_updates, s.evicted_points, s.evicted_users,
         s.lppm_applications, s.attack_invocations, s.index_prunes,
         s.exact_evals, s.index_rebuilds, s.checkpoints, s.checkpoint_bytes,
-        s.checkpoint_failures}) {
+        s.checkpoint_failures, s.bad_records, s.dead_letters,
+        s.quarantined_users, s.shed_decisions, s.degraded_batches,
+        s.backpressure_events, s.quarantined_snapshots}) {
     put_u64(out, v);
   }
   put_u64(out, data.shard_clocks.size());
   for (const std::uint64_t clock : data.shard_clocks) put_u64(out, clock);
+  put_u64(out, data.shard_shedding.size());
+  for (const std::uint8_t latch : data.shard_shedding) put_u8(out, latch);
   return out;
 }
 
@@ -464,13 +501,22 @@ void decode_stats_section(Reader& in, SnapshotData& data) {
         &s.evicted_points, &s.evicted_users, &s.lppm_applications,
         &s.attack_invocations, &s.index_prunes, &s.exact_evals,
         &s.index_rebuilds, &s.checkpoints, &s.checkpoint_bytes,
-        &s.checkpoint_failures}) {
+        &s.checkpoint_failures, &s.bad_records, &s.dead_letters,
+        &s.quarantined_users, &s.shed_decisions, &s.degraded_batches,
+        &s.backpressure_events, &s.quarantined_snapshots}) {
     *field = in.get_u64();
   }
   const std::size_t shards = in.get_count(8);
   data.shard_clocks.reserve(shards);
   for (std::size_t i = 0; i < shards; ++i) {
     data.shard_clocks.push_back(in.get_u64());
+  }
+  const std::size_t latches = in.get_count(1);
+  data.shard_shedding.reserve(latches);
+  for (std::size_t i = 0; i < latches; ++i) {
+    const std::uint8_t latch = in.get_u8();
+    if (latch > 1) in.fail("shed latch byte out of range");
+    data.shard_shedding.push_back(latch);
   }
   in.expect_done();
 }
@@ -708,6 +754,10 @@ SnapshotData decode_snapshot(std::string_view bytes) {
     throw SnapshotError(
         "mood-snapshot/1: shard clock count does not match config");
   }
+  if (data.shard_shedding.size() != data.config.shards) {
+    throw SnapshotError(
+        "mood-snapshot/1: shed latch count does not match config");
+  }
   return data;
 }
 
@@ -804,15 +854,34 @@ std::vector<std::string> list_snapshot_files(const std::string& dir) {
   return paths;
 }
 
-SnapshotData read_latest_snapshot(const std::string& dir) {
+SnapshotData read_latest_snapshot(const std::string& dir,
+                                  std::size_t* quarantined_files) {
   const auto files = list_snapshot_files(dir);
   for (const auto& path : files) {
     try {
       return decode_snapshot(read_file(path));
     } catch (const SnapshotError& e) {
-      support::log_warn("checkpoint: skipping '", path, "': ", e.what());
+      // Structurally bad (torn write, bit rot): rename it aside for
+      // forensics instead of leaving a known-bad candidate in the
+      // rotation. Best-effort — a failed rename degrades to the old
+      // skip-and-warn behavior.
+      const std::string aside = path + ".quarantined";
+      std::error_code ec;
+      fs::rename(path, aside, ec);
+      if (ec) {
+        support::log_warn("checkpoint: skipping corrupt '", path,
+                          "' (could not quarantine: ", ec.message(),
+                          "): ", e.what());
+      } else {
+        support::log_warn("checkpoint: quarantined corrupt '", path, "' -> '",
+                          aside, "': ", e.what());
+        if (quarantined_files != nullptr) ++*quarantined_files;
+      }
     } catch (const support::IoError& e) {
-      support::log_warn("checkpoint: skipping '", path, "': ", e.what());
+      // Unreadable is not the same as corrupt — the bytes might be fine
+      // next time (transient I/O) — so skip without the rename.
+      support::log_warn("checkpoint: skipping unreadable '", path,
+                        "': ", e.what());
     }
   }
   throw SnapshotError("no usable snapshot in '" + dir + "' (" +

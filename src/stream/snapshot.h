@@ -33,13 +33,18 @@
 ///   CONFIG  identity fingerprint: SnapshotContext (seed, dataset name,
 ///           total_events, batch_events) + the StreamConfig window knobs
 ///           (shards, window_seconds, max_points, max_users_per_shard,
-///           staleness_points). Restore refuses a mismatch.
-///   STATS   stream_position, batches, the full cumulative StreamStats,
-///           and the per-shard LRU clocks.
+///           staleness_points) + the resilience knobs (on_bad_record as
+///           u8, max_pending_per_shard, shed watermarks, drain_budget).
+///           Restore refuses a mismatch.
+///   STATS   stream_position, batches, the full cumulative StreamStats
+///           (including the resilience counters), the per-shard LRU
+///           clocks, and the per-shard shed latches (hysteresis state).
 ///   USERS   user count, then one UserSnapshot per resident user, sorted
 ///           by user id: window records, pending queue, heatmap raw
 ///           counts, stay-tracker snapshot, compiled PIT/POI states,
-///           staleness deltas, verdict, per-user counters, LRU stamp.
+///           staleness deltas, verdict, per-user counters, LRU stamp,
+///           quarantine state (flag, reason, dead letters) and the
+///           admission timestamp watermark.
 ///
 /// ## Crash-consistency protocol
 ///
@@ -57,11 +62,12 @@
 ///
 /// read_latest_snapshot(): try candidates newest-first; a candidate that
 /// fails structural validation (bad magic, unknown version, truncated or
-/// CRC-mismatching section) is skipped and the previous good snapshot
-/// used — never a partial restore, because decode parses and validates
-/// the entire file into a SnapshotData value before the engine applies
-/// anything. SnapshotError derives support::UsageError so the CLI maps
-/// "this is not a usable snapshot" to exit 2, not a crash.
+/// CRC-mismatching section) is renamed aside to `<name>.quarantined` for
+/// forensics and the previous good snapshot used — never a partial
+/// restore, because decode parses and validates the entire file into a
+/// SnapshotData value before the engine applies anything. SnapshotError
+/// derives support::UsageError so the CLI maps "this is not a usable
+/// snapshot" to exit 2, not a crash.
 
 #include <cstdint>
 #include <string>
@@ -127,7 +133,15 @@ struct UserSnapshot {
   std::uint64_t risk_transitions = 0;
   std::uint64_t searches = 0;
   std::uint64_t rechecks = 0;
+  std::uint64_t degraded = 0;    ///< held-verdict (shed) decisions
   std::uint64_t last_touch = 0;  ///< shard LRU stamp
+
+  // ---- Resilience (see resilience.h) ---------------------------------
+  bool quarantined = false;
+  std::string quarantine_reason;
+  std::uint64_t dead_letters = 0;
+  bool has_last_time = false;           ///< admission watermark validity
+  mobility::Timestamp last_time = 0;    ///< newest admitted timestamp
 };
 
 /// One decoded (or to-be-encoded) mood-snapshot/1 document.
@@ -138,6 +152,7 @@ struct SnapshotData {
   std::uint64_t batches = 0;          ///< drains run when captured
   StreamStats stats;                  ///< cumulative counters when captured
   std::vector<std::uint64_t> shard_clocks;  ///< per-shard LRU clocks
+  std::vector<std::uint8_t> shard_shedding; ///< per-shard shed latches
   std::vector<UserSnapshot> users;          ///< sorted by user id
 };
 
@@ -164,9 +179,14 @@ std::string write_snapshot_file(const std::string& dir,
 [[nodiscard]] std::vector<std::string> list_snapshot_files(
     const std::string& dir);
 
-/// Reads the newest snapshot that decodes cleanly, skipping torn or
-/// corrupt candidates (each skip logged at warn level). Throws
-/// SnapshotError when the directory holds no usable snapshot.
-[[nodiscard]] SnapshotData read_latest_snapshot(const std::string& dir);
+/// Reads the newest snapshot that decodes cleanly. A candidate that fails
+/// structural validation (SnapshotError) is renamed aside to
+/// `<name>.quarantined` for forensics — never deleted, never silently
+/// skipped — and counted into `*quarantined_files` when the pointer is
+/// given; a candidate that cannot be *read* (transient I/O failure) is
+/// skipped without the rename. Each casualty is logged at warn level.
+/// Throws SnapshotError when the directory holds no usable snapshot.
+[[nodiscard]] SnapshotData read_latest_snapshot(
+    const std::string& dir, std::size_t* quarantined_files = nullptr);
 
 }  // namespace mood::stream

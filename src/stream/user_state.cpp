@@ -30,6 +30,7 @@ void UserStateStore::evict_one(Shard& shard) {
     }
   }
   if (victim == shard.states.end()) return;
+  shard.backlog -= victim->second.pending.size();
   if (!victim_clean) {
     // A dirty victim's queued points die with it; drop it from the dirty
     // list so drain_shard does not chase a dangling id.
@@ -41,10 +42,42 @@ void UserStateStore::evict_one(Shard& shard) {
   ++shard.evictions;
 }
 
-void UserStateStore::enqueue(const StreamEvent& event) {
+AdmitResult UserStateStore::enqueue(const StreamEvent& event,
+                                    BadRecordPolicy policy, bool poisoned,
+                                    const char* poison_reason) {
   Shard& shard = shards_[shard_of(event.user)];
   const std::lock_guard lock(shard.mutex);
+  AdmitResult result;
   auto it = shard.states.find(event.user);
+
+  if (it != shard.states.end() && it->second.quarantined) {
+    it->second.dead_letters += 1;
+    it->second.last_touch = ++shard.clock;
+    result.status = AdmitResult::Status::kDeadLettered;
+    result.reason = to_string(AdmissionFault::kDecideFault);
+    result.dead_letters = 1;
+    result.shard_backlog = shard.backlog;
+    return result;
+  }
+
+  // Stateful classification: the engine flags statelessly detectable
+  // poison; the store adds the per-user monotonicity check (strict
+  // regressions only — equal timestamps are legal).
+  const char* fault = poisoned ? poison_reason : nullptr;
+  if (fault == nullptr && it != shard.states.end() &&
+      it->second.has_last_time && event.record.time < it->second.last_time) {
+    fault = to_string(AdmissionFault::kNonMonotonicTime);
+  }
+
+  if (fault != nullptr && policy != BadRecordPolicy::kQuarantine) {
+    // kFail / kSkip: drop without creating state; the engine decides
+    // whether the drop aborts the run.
+    result.status = AdmitResult::Status::kRejected;
+    result.reason = fault;
+    result.shard_backlog = shard.backlog;
+    return result;
+  }
+
   if (it == shard.states.end()) {
     if (config_.max_users_per_shard > 0 &&
         shard.states.size() >= config_.max_users_per_shard) {
@@ -57,9 +90,43 @@ void UserStateStore::enqueue(const StreamEvent& event) {
     it->second.kernel.window.set_user(event.user);
   }
   UserState& state = it->second;
+  state.last_touch = ++shard.clock;
+
+  if (fault != nullptr) {
+    // Quarantine trips on the poisoned event: freeze the kernel state,
+    // dead-letter the event plus any pending points (they share the
+    // compromised source), and drop the user from the dirty list.
+    state.quarantined = true;
+    state.quarantine_reason = fault;
+    const std::uint64_t flushed = state.pending.size() + 1;
+    shard.backlog -= state.pending.size();
+    state.pending.clear();
+    state.dead_letters += flushed;
+    shard.dirty.erase(
+        std::remove(shard.dirty.begin(), shard.dirty.end(), event.user),
+        shard.dirty.end());
+    result.status = AdmitResult::Status::kQuarantined;
+    result.reason = fault;
+    result.dead_letters = flushed;
+    result.shard_backlog = shard.backlog;
+    return result;
+  }
+
   if (state.pending.empty()) shard.dirty.push_back(event.user);
   state.pending.push_back(event.record);
-  state.last_touch = ++shard.clock;
+  state.has_last_time = true;
+  state.last_time = event.record.time;
+  shard.backlog += 1;
+  result.status = AdmitResult::Status::kAdmitted;
+  result.shard_backlog = shard.backlog;
+  return result;
+}
+
+std::size_t UserStateStore::pending_events(std::size_t shard) const {
+  support::expects(shard < shards_.size(),
+                   "UserStateStore::pending_events: shard out of range");
+  const std::lock_guard lock(shards_[shard].mutex);
+  return shards_[shard].backlog;
 }
 
 std::size_t UserStateStore::drain_shard(
@@ -72,7 +139,11 @@ std::size_t UserStateStore::drain_shard(
   for (const auto& user : shard.dirty) {
     const auto it = shard.states.find(user);
     if (it == shard.states.end()) continue;  // evicted while dirty
+    // fn folds (or flushes) pending points; account the backlog by the
+    // before/after delta rather than trusting fn to report it.
+    const std::size_t before = it->second.pending.size();
     fn(it->second);
+    shard.backlog = shard.backlog - before + it->second.pending.size();
     ++visited;
   }
   shard.dirty.clear();
@@ -82,7 +153,11 @@ std::size_t UserStateStore::drain_shard(
 void UserStateStore::for_each(const std::function<void(UserState&)>& fn) {
   for (Shard& shard : shards_) {
     const std::lock_guard lock(shard.mutex);
-    for (auto& [user, state] : shard.states) fn(state);
+    for (auto& [user, state] : shard.states) {
+      const std::size_t before = state.pending.size();
+      fn(state);
+      shard.backlog = shard.backlog - before + state.pending.size();
+    }
   }
 }
 
@@ -108,6 +183,10 @@ void UserStateStore::restore_user(UserState state) {
   const std::lock_guard lock(shard.mutex);
   const bool dirty = !state.pending.empty();
   const mobility::UserId user = state.user;
+  if (const auto it = shard.states.find(user); it != shard.states.end()) {
+    shard.backlog -= it->second.pending.size();
+  }
+  shard.backlog += state.pending.size();
   shard.states.insert_or_assign(user, std::move(state));
   if (dirty &&
       std::find(shard.dirty.begin(), shard.dirty.end(), user) ==

@@ -29,6 +29,7 @@
 #include "mobility/record.h"
 #include "mobility/trace.h"
 #include "stream/event.h"
+#include "stream/resilience.h"
 
 namespace mood::stream {
 
@@ -50,6 +51,41 @@ struct UserState {
 
   /// LRU clock value of the last enqueue (store-maintained).
   std::uint64_t last_touch = 0;
+
+  // ---- Quarantine (see stream/resilience.h) --------------------------
+  /// Frozen by the resilience layer: a quarantined user's kernel state is
+  /// immutable, every later event of theirs is dead-lettered, and their
+  /// published decision holds at the last verdict.
+  bool quarantined = false;
+  std::string quarantine_reason;  ///< why (empty unless quarantined)
+  std::uint64_t dead_letters = 0; ///< events dropped on this user's behalf
+
+  /// Per-user timestamp monotonicity watermark (admission path). Tracks
+  /// the newest admitted time so a regression is classified at ingest.
+  bool has_last_time = false;
+  mobility::Timestamp last_time = 0;
+};
+
+/// What UserStateStore::enqueue did with one event under the admission
+/// policy — the store's half of the classification (the engine handles
+/// stateless checks like coordinate range and id size before calling in).
+struct AdmitResult {
+  enum class Status : std::uint8_t {
+    kAdmitted,     ///< appended to the user's pending queue
+    kRejected,     ///< dropped (fail/skip policy); no state was created
+    kQuarantined,  ///< this event tripped quarantine on its user
+    kDeadLettered, ///< user already quarantined; event dropped
+  };
+  Status status = Status::kAdmitted;
+  /// Human-readable fault description (stable vocabulary from
+  /// to_string(AdmissionFault)); nullptr when admitted.
+  const char* reason = nullptr;
+  /// Events dead-lettered by this call (the event itself, plus any
+  /// pending points flushed when quarantine trips).
+  std::uint64_t dead_letters = 0;
+  /// Pending events resident in the owning shard after this call — the
+  /// engine's backpressure input, read under the same lock acquisition.
+  std::size_t shard_backlog = 0;
 };
 
 /// Store tuning knobs (a subset of StreamConfig, see engine.h).
@@ -70,9 +106,22 @@ class UserStateStore {
   /// depend on the mapping, only load distribution does).
   [[nodiscard]] std::size_t shard_of(const mobility::UserId& user) const;
 
-  /// Appends the event's record to its user's pending queue, creating the
-  /// state (and LRU-evicting above the capacity bound) as needed.
-  void enqueue(const StreamEvent& event);
+  /// Admits the event into its user's pending queue, creating the state
+  /// (and LRU-evicting above the capacity bound) as needed. The store
+  /// handles the stateful half of admission: events for a quarantined
+  /// user are dead-lettered, and a per-user timestamp regression — or a
+  /// `poisoned` verdict the engine computed statelessly (`poison_reason`
+  /// says why) — is rejected or trips quarantine per `policy`. The
+  /// default arguments are the strict fast path PR ≤ 7 callers used.
+  AdmitResult enqueue(const StreamEvent& event,
+                      BadRecordPolicy policy = BadRecordPolicy::kFail,
+                      bool poisoned = false,
+                      const char* poison_reason = nullptr);
+
+  /// Pending (ingested, not yet folded) events resident in `shard` — the
+  /// backlog the overload-control policy reads. Maintained incrementally;
+  /// taking the count costs one lock acquisition.
+  [[nodiscard]] std::size_t pending_events(std::size_t shard) const;
 
   /// Runs fn on every dirty user of `shard` (in first-dirty order) under
   /// the shard lock, then clears the dirty list. Returns the number of
@@ -111,6 +160,8 @@ class UserStateStore {
     std::vector<mobility::UserId> dirty;
     std::uint64_t clock = 0;
     std::uint64_t evictions = 0;
+    /// Sum of resident pending-queue sizes (the backpressure signal).
+    std::size_t backlog = 0;
   };
 
   /// Evicts one user to make room; prefers the least-recently-touched

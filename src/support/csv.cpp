@@ -18,6 +18,11 @@ std::vector<std::string> parse_csv_line(std::string_view line) {
   bool in_quotes = false;
   for (std::size_t i = 0; i < line.size(); ++i) {
     const char c = line[i];
+    if (c == '\0') throw IoError("CSV: embedded NUL byte");
+    if (current.size() >= kMaxCsvFieldBytes) {
+      throw IoError("CSV: field exceeds " +
+                    std::to_string(kMaxCsvFieldBytes) + " bytes");
+    }
     if (in_quotes) {
       if (c == '"') {
         if (i + 1 < line.size() && line[i + 1] == '"') {

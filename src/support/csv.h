@@ -7,7 +7,15 @@
 /// double-quote quoting with "" escapes, one record per line, optional
 /// header row. No embedded newlines inside quoted fields (mobility exports
 /// never contain them).
+///
+/// The parser is the gateway's first line of defence against hostile or
+/// truncated input (fuzzed rows reach it via `mood replay --input`), so it
+/// rejects two classes a well-formed export can never produce: embedded
+/// NUL bytes (binary garbage spliced into a text file) and fields longer
+/// than kMaxCsvFieldBytes (a missing delimiter turning the rest of the
+/// file into one "field"). Both throw typed IoError, never truncate.
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 #include <string_view>
@@ -15,8 +23,14 @@
 
 namespace mood::support {
 
+/// Upper bound on one field's decoded length. Far above any real trace
+/// field (user ids, coordinates, timestamps) yet small enough to stop a
+/// quote-desync from swallowing a whole file into one allocation.
+inline constexpr std::size_t kMaxCsvFieldBytes = 64 * 1024;
+
 /// Splits one CSV line into fields, honouring double-quote quoting.
-/// Throws IoError on unterminated quotes.
+/// Throws IoError on unterminated quotes, embedded NUL bytes, and fields
+/// longer than kMaxCsvFieldBytes.
 std::vector<std::string> parse_csv_line(std::string_view line);
 
 /// Joins fields into a CSV line, quoting any field containing a comma,

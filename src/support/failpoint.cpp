@@ -33,9 +33,11 @@ FailAction parse_action(const std::string& word, const std::string& spec) {
   if (word == "error") return FailAction::kError;
   if (word == "torn") return FailAction::kTorn;
   if (word == "kill") return FailAction::kKill;
-  throw support::UsageError("FailPoint: unknown action '" + word +
-                            "' in spec '" + spec +
-                            "' (expected error | torn | kill)");
+  if (word == "corrupt") return FailAction::kCorrupt;
+  if (word == "throw") return FailAction::kThrow;
+  throw support::UsageError(
+      "FailPoint: unknown action '" + word + "' in spec '" + spec +
+      "' (expected error | torn | kill | corrupt | throw)");
 }
 
 }  // namespace
@@ -133,8 +135,11 @@ FailAction FailPoint::hit(const char* name) {
     case FailAction::kError:
       throw support::IoError(std::string("fail point '") + name +
                              "' injected an I/O error");
+    case FailAction::kThrow:
+      throw InjectedFault(std::string("fail point '") + name +
+                          "' injected a fault");
     default:
-      return fired;  // kTorn: the call site simulates the partial write
+      return fired;  // kTorn / kCorrupt: the call site acts it out
   }
 }
 

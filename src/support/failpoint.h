@@ -18,6 +18,13 @@
 ///   * kKill  — std::_Exit(137) at the site: a real no-destructors,
 ///     no-atexit death, matching SIGKILL. Drive it from gtest death tests
 ///     (EXPECT_EXIT) or a sacrificial CLI subprocess.
+///   * kCorrupt — returned to the call site, which mangles its own data
+///     in place (e.g. the drain path poisons a user's pending event with
+///     a NaN coordinate). Sites that don't know how to self-corrupt
+///     treat it as kError.
+///   * kThrow — throw testing::InjectedFault at the site: a typed,
+///     recognizable exception for exercising the decision-path fault
+///     isolation (user quarantine) without faking an I/O failure.
 ///
 /// Sites are spelled `MOOD_FAIL_POINT("name")`. The macro compiles to a
 /// single relaxed atomic load when nothing is armed, and to a literal
@@ -33,6 +40,8 @@
 #include <cstdint>
 #include <string>
 
+#include "support/error.h"
+
 namespace mood::testing {
 
 /// What an armed fail point does when it fires.
@@ -41,6 +50,16 @@ enum class FailAction : std::uint8_t {
   kError,     ///< throw support::IoError at the site
   kTorn,      ///< call site simulates a torn (partial) write, then fails
   kKill,      ///< std::_Exit(137) — a SIGKILL-equivalent death
+  kCorrupt,   ///< call site mangles its own pending data in place
+  kThrow,     ///< throw testing::InjectedFault at the site
+};
+
+/// The typed exception a kThrow fail point raises. Derives support::Error
+/// so production catch-blocks that absorb domain failures (e.g. the
+/// quarantining drain path) treat it like any real fault.
+class InjectedFault : public support::Error {
+ public:
+  explicit InjectedFault(const std::string& what) : support::Error(what) {}
 };
 
 class FailPoint {
@@ -55,8 +74,8 @@ class FailPoint {
   static void disarm_all();
 
   /// Parses `spec` ("name=action" or "name=action@N", comma-separated;
-  /// actions: error | torn | kill) and arms every entry. Throws
-  /// support::UsageError on malformed specs.
+  /// actions: error | torn | kill | corrupt | throw) and arms every
+  /// entry. Throws support::UsageError on malformed specs.
   static void arm_spec(const std::string& spec);
 
   /// arm_spec(getenv(env)) when the variable is set; no-op otherwise.
@@ -66,8 +85,8 @@ class FailPoint {
   static bool any_armed();
 
   /// Hit `name`: kNone when disarmed or before the firing hit; otherwise
-  /// fires — kError throws, kKill exits the process, kTorn is returned
-  /// for the call site to simulate the partial write.
+  /// fires — kError/kThrow throw, kKill exits the process, kTorn and
+  /// kCorrupt are returned for the call site to act out itself.
   static FailAction hit(const char* name);
 };
 

@@ -8,6 +8,7 @@
 #include "mobility/dataset.h"
 #include "mobility/io.h"
 #include "mobility/trace.h"
+#include "support/csv.h"
 #include "support/error.h"
 #include "test_helpers.h"
 
@@ -355,6 +356,35 @@ TEST(Io, RejectsMalformedRows) {
   // preconditions can't abort a batch mid-run on loaded data.
   std::stringstream pole("u,90,5,1\n");
   EXPECT_THROW(read_dataset_csv(pole, "d"), support::IoError);
+}
+
+TEST(Io, RejectsFuzzedNumericRows) {
+  // Table of rows a fuzzer (or a corrupt upstream export) can produce that
+  // std::from_chars would happily parse into garbage: non-finite doubles,
+  // exponent overflow, embedded NULs, and a field bloated past the CSV cap.
+  struct Case {
+    const char* label;
+    std::string row;
+  };
+  const std::string oversized_id(support::kMaxCsvFieldBytes + 16, 'u');
+  const std::vector<Case> cases = {
+      {"nan latitude", "u,nan,5,1\n"},
+      {"inf longitude", "u,45,inf,1\n"},
+      {"negative inf latitude", "u,-inf,5,1\n"},
+      {"exponent overflow", "u,45,1e999,1\n"},
+      {"negative exponent overflow", "u,-1e999,5,1\n"},
+      {"hex-ish junk", "u,0x1p3,5,1\n"},
+      {"timestamp overflow", "u,45,5,99999999999999999999999999\n"},
+      {"embedded NUL", std::string("u,4\0 5,5,1\n", 11)},
+      {"oversized field", oversized_id + ",45,5,1\n"},
+  };
+  for (const Case& c : cases) {
+    std::stringstream in(c.row);
+    EXPECT_THROW(read_dataset_csv(in, "d"), support::IoError) << c.label;
+  }
+  // Sanity: the same shape with finite numbers is accepted.
+  std::stringstream good("u,45.0,5.0,1\n");
+  EXPECT_EQ(read_dataset_csv(good, "d").user_count(), 1u);
 }
 
 TEST(Io, MissingFileThrows) {

@@ -177,6 +177,7 @@ SnapshotData tiny_snapshot(std::uint64_t position) {
   d.stats.events = position;
   d.stats.batches = position / 8;
   d.shard_clocks = {position};
+  d.shard_shedding = {0};
   UserSnapshot u;
   u.user = "u1";
   u.window = {{{45.5, 4.25}, 1000}, {{45.5, 4.5}, 2000}};
@@ -212,7 +213,15 @@ TEST(SnapshotFormat, EncodeDecodeRoundTripsEveryField) {
   d.stats.decisions = 17;
   d.stats.searches = 3;
   d.stats.checkpoints = 2;  // travels verbatim even though reported raw
+  d.stats.bad_records = 6;
+  d.stats.dead_letters = 9;
+  d.stats.quarantined_users = 1;
+  d.stats.shed_decisions = 5;
+  d.stats.degraded_batches = 2;
+  d.stats.backpressure_events = 7;
+  d.stats.quarantined_snapshots = 1;
   d.shard_clocks = {9, 0, 4};
+  d.shard_shedding = {1, 0, 1};
 
   UserSnapshot rich;
   rich.user = "ada";
@@ -261,7 +270,13 @@ TEST(SnapshotFormat, EncodeDecodeRoundTripsEveryField) {
   rich.risk_transitions = 1;
   rich.searches = 2;
   rich.rechecks = 4;
+  rich.degraded = 2;
   rich.last_touch = 11;
+  rich.quarantined = true;
+  rich.quarantine_reason = "bad coordinate";
+  rich.dead_letters = 5;
+  rich.has_last_time = true;
+  rich.last_time = 1234;
 
   UserSnapshot bare;  // everything optional absent
   bare.user = "bob";
@@ -282,7 +297,15 @@ TEST(SnapshotFormat, EncodeDecodeRoundTripsEveryField) {
   EXPECT_EQ(back.batches, 4u);
   EXPECT_EQ(back.stats.decisions, 17u);
   EXPECT_EQ(back.stats.checkpoints, 2u);
+  EXPECT_EQ(back.stats.bad_records, 6u);
+  EXPECT_EQ(back.stats.dead_letters, 9u);
+  EXPECT_EQ(back.stats.quarantined_users, 1u);
+  EXPECT_EQ(back.stats.shed_decisions, 5u);
+  EXPECT_EQ(back.stats.degraded_batches, 2u);
+  EXPECT_EQ(back.stats.backpressure_events, 7u);
+  EXPECT_EQ(back.stats.quarantined_snapshots, 1u);
   EXPECT_EQ(back.shard_clocks, (std::vector<std::uint64_t>{9, 0, 4}));
+  EXPECT_EQ(back.shard_shedding, (std::vector<std::uint8_t>{1, 0, 1}));
 
   ASSERT_EQ(back.users.size(), 2u);
   const UserSnapshot& a = back.users[0];
@@ -320,7 +343,13 @@ TEST(SnapshotFormat, EncodeDecodeRoundTripsEveryField) {
   EXPECT_EQ(a.winner, "GeoI");
   EXPECT_EQ(a.searched_events, 77u);
   EXPECT_EQ(a.rechecks, 4u);
+  EXPECT_EQ(a.degraded, 2u);
   EXPECT_EQ(a.last_touch, 11u);
+  EXPECT_TRUE(a.quarantined);
+  EXPECT_EQ(a.quarantine_reason, "bad coordinate");
+  EXPECT_EQ(a.dead_letters, 5u);
+  EXPECT_TRUE(a.has_last_time);
+  EXPECT_EQ(a.last_time, 1234);
 
   const UserSnapshot& b = back.users[1];
   EXPECT_EQ(b.user, "bob");
@@ -328,6 +357,9 @@ TEST(SnapshotFormat, EncodeDecodeRoundTripsEveryField) {
   EXPECT_FALSE(b.stays_init);
   EXPECT_FALSE(b.has_decision);
   EXPECT_EQ(b.searched_events, static_cast<std::uint64_t>(-1));
+  EXPECT_FALSE(b.quarantined);
+  EXPECT_EQ(b.dead_letters, 0u);
+  EXPECT_FALSE(b.has_last_time);
 }
 
 TEST(SnapshotFormat, RejectsBadMagicVersionAndSectionDamage) {
@@ -386,6 +418,18 @@ TEST(SnapshotFormat, RejectsSemanticCorruption) {
   d = tiny_snapshot(8);
   d.users.push_back(d.users[0]);  // duplicate id -> not strictly sorted
   EXPECT_THROW(decode_snapshot(encode_snapshot(d)), SnapshotError);
+
+  d = tiny_snapshot(8);
+  d.users[0].quarantine_reason = "x";  // reason without the quarantine flag
+  EXPECT_THROW(decode_snapshot(encode_snapshot(d)), SnapshotError);
+
+  d = tiny_snapshot(8);
+  d.shard_shedding = {2};  // latch must be 0 or 1
+  EXPECT_THROW(decode_snapshot(encode_snapshot(d)), SnapshotError);
+
+  d = tiny_snapshot(8);
+  d.shard_shedding = {0, 0};  // two latches, one shard
+  EXPECT_THROW(decode_snapshot(encode_snapshot(d)), SnapshotError);
 }
 
 // ------------------------------------------------------- golden file --
@@ -411,7 +455,19 @@ SnapshotData golden_data() {
   d.stats.exposed_events = 1;
   d.stats.protected_events = 3;
   d.stats.searches = 1;
+  d.stats.bad_records = 1;
+  d.stats.dead_letters = 2;
+  d.stats.quarantined_users = 1;
+  d.stats.shed_decisions = 1;
+  d.stats.degraded_batches = 1;
+  d.stats.backpressure_events = 2;
+  d.config.resilience.on_bad_record = BadRecordPolicy::kQuarantine;
+  d.config.resilience.max_pending_per_shard = 32;
+  d.config.resilience.shed_high_watermark = 16;
+  d.config.resilience.shed_low_watermark = 8;
+  d.config.resilience.drain_budget = 4;
   d.shard_clocks = {3, 1};
+  d.shard_shedding = {1, 0};
 
   UserSnapshot ada;
   ada.user = "ada";
@@ -429,7 +485,10 @@ SnapshotData golden_data() {
   ada.events = 2;
   ada.risk_transitions = 1;
   ada.searches = 1;
+  ada.degraded = 1;
   ada.last_touch = 3;
+  ada.has_last_time = true;
+  ada.last_time = 2000;
 
   UserSnapshot bob;
   bob.user = "bob";
@@ -446,6 +505,11 @@ SnapshotData golden_data() {
   bob.stays.visits.merge_distance_m = 100.0;
   bob.events = 1;
   bob.last_touch = 1;
+  bob.quarantined = true;
+  bob.quarantine_reason = "bad coordinate";
+  bob.dead_letters = 2;
+  bob.has_last_time = true;
+  bob.last_time = 1500;
 
   d.users = {std::move(ada), std::move(bob)};
   return d;
@@ -489,6 +553,12 @@ TEST(SnapshotGolden, CheckedInGoldenFileDecodes) {
   EXPECT_EQ(d.users[0].winner, "GeoI");
   EXPECT_TRUE(d.users[1].stays_init);
   EXPECT_EQ(d.users[1].stays.stays.params.min_dwell, 900);
+  EXPECT_EQ(d.config.resilience.on_bad_record, BadRecordPolicy::kQuarantine);
+  EXPECT_EQ(d.config.resilience.shed_high_watermark, 16u);
+  EXPECT_EQ(d.shard_shedding, (std::vector<std::uint8_t>{1, 0}));
+  EXPECT_TRUE(d.users[1].quarantined);
+  EXPECT_EQ(d.users[1].quarantine_reason, "bad coordinate");
+  EXPECT_EQ(d.users[1].dead_letters, 2u);
 }
 
 // ----------------------------------------------- restore bit-identity --
@@ -636,6 +706,14 @@ TEST_F(SnapshotTest, RestoreRefusesMismatchedGatewayConfig) {
   StreamEngine engine(harness_->make_engine(), other);
   EXPECT_THROW(engine.restore_snapshot(snap), SnapshotError);
 
+  // The resilience knobs are part of the fingerprint too: resuming under
+  // a different shed policy would change the decisions mid-stream.
+  StreamConfig resilient = config;
+  resilient.resilience.shed_high_watermark = 512;
+  resilient.resilience.shed_low_watermark = 128;
+  StreamEngine mismatched(harness_->make_engine(), resilient);
+  EXPECT_THROW(mismatched.restore_snapshot(snap), SnapshotError);
+
   // And never into a gateway that already ingested anything.
   StreamEngine used(harness_->make_engine(), config);
   used.ingest((*events_)[0]);
@@ -769,7 +847,7 @@ TEST_F(SnapshotFaultTest, TornPayloadWriteLeavesPartialTmpAndOldSnapshotWins) {
   EXPECT_EQ(read_latest_snapshot(dir).stream_position, 16u);
 }
 
-TEST_F(SnapshotFaultTest, ReadSkipsCorruptTruncatedAndUnreadableNewest) {
+TEST_F(SnapshotFaultTest, ReadQuarantinesCorruptCandidatesAndSkipsUnreadable) {
   const std::string dir = std::string(::testing::TempDir()) +
                           "mood_snapshot_read";
   fs::remove_all(dir);
@@ -777,8 +855,8 @@ TEST_F(SnapshotFaultTest, ReadSkipsCorruptTruncatedAndUnreadableNewest) {
   const std::string newest =
       write_snapshot_file(dir, encode_snapshot(tiny_snapshot(16)));
 
-  // Bit-flip the newest on disk: CRC rejects it, the previous good
-  // snapshot is used.
+  // Bit-flip the newest on disk: CRC rejects it, the file is renamed aside
+  // to `.quarantined` (and counted), and the previous good snapshot wins.
   {
     std::fstream f(newest, std::ios::binary | std::ios::in | std::ios::out);
     f.seekp(40);
@@ -789,29 +867,50 @@ TEST_F(SnapshotFaultTest, ReadSkipsCorruptTruncatedAndUnreadableNewest) {
     f.seekp(40);
     f.put(byte);
   }
-  EXPECT_EQ(read_latest_snapshot(dir).stream_position, 8u);
+  std::size_t quarantined = 0;
+  EXPECT_EQ(read_latest_snapshot(dir, &quarantined).stream_position, 8u);
+  EXPECT_EQ(quarantined, 1u);
+  EXPECT_FALSE(fs::exists(newest));
+  EXPECT_TRUE(fs::exists(newest + ".quarantined"));
+  // Out of the rotation: the next read neither sees nor re-counts it.
+  EXPECT_EQ(list_snapshot_files(dir).size(), 1u);
+  quarantined = 0;
+  EXPECT_EQ(read_latest_snapshot(dir, &quarantined).stream_position, 8u);
+  EXPECT_EQ(quarantined, 0u);
 
-  // Truncate the newest instead: same fallback.
-  fs::resize_file(newest, fs::file_size(newest) / 2);
+  // A truncated newest takes the same rename-aside fallback.
+  const std::string truncated =
+      write_snapshot_file(dir, encode_snapshot(tiny_snapshot(16)));
+  fs::resize_file(truncated, fs::file_size(truncated) / 2);
   EXPECT_EQ(read_latest_snapshot(dir).stream_position, 8u);
+  EXPECT_TRUE(fs::exists(truncated + ".quarantined"));
 
-  // Injected short read on the newest: same fallback (one-shot, so only
-  // the first candidate is torn).
-  std::fstream(newest, std::ios::binary | std::ios::trunc | std::ios::out)
-      << encode_snapshot(tiny_snapshot(16));
+  // An injected short read is indistinguishable from on-disk truncation,
+  // so it quarantines too (one-shot: only the first candidate is torn).
+  const std::string torn =
+      write_snapshot_file(dir, encode_snapshot(tiny_snapshot(16)));
   FailPoint::arm("snapshot.read.file", FailAction::kTorn);
   EXPECT_EQ(read_latest_snapshot(dir).stream_position, 8u);
+  EXPECT_TRUE(fs::exists(torn + ".quarantined"));
 
-  // Injected open failure (IoError, not SnapshotError): also skipped.
+  // An injected open failure (IoError, not SnapshotError) is transient:
+  // skipped WITHOUT the rename, and readable again on the next attempt.
+  const std::string unreadable =
+      write_snapshot_file(dir, encode_snapshot(tiny_snapshot(16)));
   FailPoint::arm("snapshot.read.open", FailAction::kError);
-  EXPECT_EQ(read_latest_snapshot(dir).stream_position, 8u);
+  quarantined = 0;
+  EXPECT_EQ(read_latest_snapshot(dir, &quarantined).stream_position, 8u);
+  EXPECT_EQ(quarantined, 0u);
+  EXPECT_TRUE(fs::exists(unreadable));
+  EXPECT_EQ(read_latest_snapshot(dir).stream_position, 16u);
 
-  // Both candidates corrupt: a typed SnapshotError, never a partial
-  // restore.
+  // Every candidate corrupt: a typed SnapshotError, never a partial
+  // restore — and the whole rotation renamed aside for forensics.
   for (const std::string& path : list_snapshot_files(dir)) {
     fs::resize_file(path, 3);
   }
   EXPECT_THROW(read_latest_snapshot(dir), SnapshotError);
+  EXPECT_TRUE(list_snapshot_files(dir).empty());
 
   // Missing directory: a typed IoError from the listing.
   fs::remove_all(dir);
@@ -906,6 +1005,19 @@ TEST_F(SnapshotFaultTest, FailPointSpecParsingAndHitCounting) {
   // One-shot: disarmed after firing.
   EXPECT_FALSE(FailPoint::any_armed());
   EXPECT_EQ(MOOD_FAIL_POINT("snapshot.write.fsync"), FailAction::kNone);
+
+  // kCorrupt is returned to the site (which mangles its own data) and
+  // disarms like every other action.
+  FailPoint::arm_spec("stream.drain.corrupt=corrupt");
+  EXPECT_EQ(MOOD_FAIL_POINT("stream.drain.corrupt"), FailAction::kCorrupt);
+  EXPECT_FALSE(FailPoint::any_armed());
+  EXPECT_EQ(MOOD_FAIL_POINT("stream.drain.corrupt"), FailAction::kNone);
+
+  // kThrow raises the typed InjectedFault from inside hit().
+  FailPoint::arm_spec("stream.decide.user=throw");
+  EXPECT_THROW(MOOD_FAIL_POINT("stream.decide.user"),
+               mood::testing::InjectedFault);
+  EXPECT_FALSE(FailPoint::any_armed());
 
   EXPECT_THROW(FailPoint::arm_spec("no-action-here"), support::UsageError);
   EXPECT_THROW(FailPoint::arm_spec("x=explode"), support::UsageError);

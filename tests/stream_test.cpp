@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -26,8 +27,11 @@
 #include "stream/engine.h"
 #include "stream/event.h"
 #include "stream/replay.h"
+#include "stream/resilience.h"
+#include "stream/snapshot.h"
 #include "stream/user_state.h"
 #include "support/error.h"
+#include "support/failpoint.h"
 #include "support/logging.h"
 
 namespace mood::stream {
@@ -68,6 +72,8 @@ class StreamTest : public ::testing::Test {
     harness_ = nullptr;
     dataset_ = nullptr;
   }
+
+  void TearDown() override { testing::FailPoint::disarm_all(); }
 
   /// Replays the shared event stream through a fresh gateway and returns
   /// (decisions, result).
@@ -595,6 +601,330 @@ TEST_F(StreamTest, ReplayRejectsMisalignedOrOverlongResume) {
   options.resume_events = events_->size() + 128;
   EXPECT_THROW(run_replay(engine, *events_, options),
                support::PreconditionError);
+}
+
+// ---------------------------------------------------------- resilience --
+
+TEST(BadRecordPolicyTest, ParsesSpellingsAndRejectsUnknowns) {
+  EXPECT_EQ(parse_bad_record_policy("fail"), BadRecordPolicy::kFail);
+  EXPECT_EQ(parse_bad_record_policy("skip"), BadRecordPolicy::kSkip);
+  EXPECT_EQ(parse_bad_record_policy("quarantine"),
+            BadRecordPolicy::kQuarantine);
+  EXPECT_THROW(parse_bad_record_policy("explode"), support::UsageError);
+  EXPECT_EQ(to_string(BadRecordPolicy::kQuarantine), "quarantine");
+}
+
+TEST_F(StreamTest, StrictAdmissionThrowsTypedBadRecordError) {
+  StreamConfig config;
+  config.shards = 1;
+
+  StreamEngine nan_engine(harness_->make_engine(), config);
+  StreamEvent bad = (*events_)[0];
+  bad.record.position.lat = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(nan_engine.ingest(bad), BadRecordError);
+
+  StreamEngine off_planet(harness_->make_engine(), config);
+  bad = (*events_)[0];
+  bad.record.position.lat = 95.0;  // finite but outside the legal band
+  EXPECT_THROW(off_planet.ingest(bad), BadRecordError);
+
+  StreamEngine id_engine(harness_->make_engine(), config);
+  StreamEvent huge = (*events_)[0];
+  huge.user = std::string(kMaxUserIdBytes + 1, 'x');
+  EXPECT_THROW(id_engine.ingest(huge), BadRecordError);
+
+  // Per-user timestamp regression; an exact tie stays legal (real exports
+  // carry same-second fixes routinely).
+  StreamEngine time_engine(harness_->make_engine(), config);
+  const StreamEvent first = (*events_)[0];
+  EXPECT_EQ(time_engine.ingest(first), IngestStatus::kAdmitted);
+  StreamEvent regressed = first;
+  regressed.record.time -= 100;
+  EXPECT_THROW(time_engine.ingest(regressed), BadRecordError);
+  EXPECT_EQ(time_engine.ingest(first), IngestStatus::kAdmitted);
+}
+
+TEST_F(StreamTest, SkipPolicyDropsBadRecordsAndCounts) {
+  StreamConfig config;
+  config.shards = 1;
+  config.resilience.on_bad_record = BadRecordPolicy::kSkip;
+  StreamEngine engine(harness_->make_engine(), config);
+
+  StreamEvent bad = (*events_)[0];
+  bad.record.position.lon = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(engine.ingest(bad), IngestStatus::kRejected);
+  EXPECT_EQ(engine.ingest((*events_)[0]), IngestStatus::kAdmitted);
+  engine.drain();
+  engine.finish();
+
+  const StreamStats stats = engine.stats();
+  EXPECT_EQ(stats.bad_records, 1u);
+  EXPECT_EQ(stats.quarantined_users, 0u);
+  EXPECT_EQ(stats.dead_letters, 0u);
+  // Every presented event advances the stream position, rejected or not,
+  // so checkpoint/resume indices stay aligned with the replay stream.
+  EXPECT_EQ(stats.events, 2u);
+  const auto decisions = engine.decisions();
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_FALSE(decisions[0].quarantined);
+}
+
+TEST_F(StreamTest, QuarantineIsolatesPoisonedUserFromHealthyDecisions) {
+  StreamConfig config;
+  config.shards = 4;
+  const auto clean = replay_with(config);
+
+  std::vector<StreamEvent> poisoned_events = *events_;
+  PoisonSpec spec;
+  spec.users = 1;
+  spec.stride = 3;
+  ASSERT_GT(inject_poison(poisoned_events, spec), 0u);
+  // inject_poison targets the first user id in sorted order.
+  mobility::UserId victim = poisoned_events.front().user;
+  for (const StreamEvent& event : *events_) {
+    victim = std::min(victim, event.user);
+  }
+
+  StreamConfig quarantine = config;
+  quarantine.resilience.on_bad_record = BadRecordPolicy::kQuarantine;
+  StreamEngine engine(harness_->make_engine(), quarantine);
+  const auto result = run_replay(engine, poisoned_events, {});
+
+  EXPECT_EQ(result.stats.quarantined_users, 1u);
+  EXPECT_GT(result.stats.bad_records, 0u);
+  EXPECT_GT(result.stats.dead_letters, 0u);
+  ASSERT_EQ(result.decisions.size(), clean.decisions.size());
+  for (std::size_t i = 0; i < clean.decisions.size(); ++i) {
+    const UserDecision& a = result.decisions[i];
+    const UserDecision& e = clean.decisions[i];
+    ASSERT_EQ(a.user, e.user);
+    if (a.user == victim) {
+      EXPECT_TRUE(a.quarantined);
+      EXPECT_FALSE(a.quarantine_reason.empty());
+      EXPECT_GT(a.dead_letters, 0u);
+      continue;
+    }
+    // The headline isolation property: one poisoned neighbour must not
+    // perturb a healthy user's outcome in any observable way.
+    EXPECT_FALSE(a.quarantined) << a.user;
+    EXPECT_EQ(a.decision, e.decision) << a.user;
+    EXPECT_EQ(a.winner, e.winner) << a.user;
+    EXPECT_EQ(a.events, e.events) << a.user;
+    EXPECT_EQ(a.risk_transitions, e.risk_transitions) << a.user;
+    EXPECT_EQ(a.searches, e.searches) << a.user;
+    EXPECT_EQ(a.window_points, e.window_points) << a.user;
+  }
+}
+
+TEST_F(StreamTest, ShedHysteresisEngagesBetweenWatermarksAndReleases) {
+  StreamConfig config;
+  config.shards = 1;
+  config.parallel_drain = false;
+  config.resilience.shed_high_watermark = 64;
+  config.resilience.shed_low_watermark = 16;
+  StreamEngine engine(harness_->make_engine(), config);
+  std::size_t next = 0;
+  const auto ingest_n = [&](std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) engine.ingest((*events_)[next++]);
+  };
+
+  // Below the high watermark: full decisions, latch off.
+  ingest_n(32);
+  engine.drain();
+  EXPECT_EQ(engine.stats().degraded_batches, 0u);
+
+  // Backlog at/above high: the latch engages and the batch degrades to
+  // held verdicts (users decided in the first drain are genuinely held).
+  ingest_n(128);
+  engine.drain();
+  const StreamStats engaged = engine.stats();
+  EXPECT_EQ(engaged.degraded_batches, 1u);
+  EXPECT_GT(engaged.shed_decisions, 0u);
+  EXPECT_EQ(engine.capture_snapshot().shard_shedding,
+            (std::vector<std::uint8_t>{1}));
+
+  // Backlog between the watermarks: hysteresis holds the latch engaged.
+  ingest_n(32);
+  engine.drain();
+  EXPECT_EQ(engine.stats().degraded_batches, 2u);
+
+  // Backlog at/below low: the latch releases and decisions are full again.
+  ingest_n(8);
+  engine.drain();
+  const StreamStats released = engine.stats();
+  EXPECT_EQ(released.degraded_batches, 2u);
+  EXPECT_EQ(engine.capture_snapshot().shard_shedding,
+            (std::vector<std::uint8_t>{0}));
+}
+
+TEST_F(StreamTest, DrainBudgetDegradesBatchTailButFinishCanonicalizes) {
+  const BatchOracle oracle = batch_oracle(*harness_);
+  StreamConfig config;
+  config.shards = 1;
+  config.parallel_drain = false;
+  config.resilience.drain_budget = 2;  // at most 2 full decisions per drain
+  const auto result = replay_with(config);
+
+  EXPECT_GT(result.stats.shed_decisions, 0u);
+  EXPECT_GT(result.stats.degraded_batches, 0u);
+  std::uint64_t degraded = 0;
+  for (const auto& decision : result.decisions) degraded += decision.degraded;
+  EXPECT_GT(degraded, 0u);
+  // finish() re-searches every user whose verdict was held, so degraded
+  // mid-stream batches never change the final published decisions.
+  expect_matches_batch(result.decisions, oracle);
+}
+
+TEST_F(StreamTest, ShedDecisionsAreRepairedByFinish) {
+  const BatchOracle oracle = batch_oracle(*harness_);
+  StreamConfig config;
+  config.shards = 2;
+  config.parallel_drain = false;
+  config.resilience.shed_high_watermark = 48;
+  config.resilience.shed_low_watermark = 12;
+  ReplayOptions options;
+  options.batch_events = 128;  // backlog 64/shard: sheds most batches
+  const auto result = replay_with(config, options);
+  EXPECT_GT(result.stats.degraded_batches, 0u);
+  expect_matches_batch(result.decisions, oracle);
+}
+
+TEST_F(StreamTest, BackpressureSignalsWithoutChangingDecisions) {
+  StreamConfig config;
+  config.shards = 2;
+  const auto reference = replay_with(config);
+
+  StreamConfig bounded = config;
+  bounded.resilience.max_pending_per_shard = 8;
+  bool saw_slow = false;
+  StreamEngine probe(harness_->make_engine(), bounded);
+  for (std::size_t i = 0; i < 64; ++i) {
+    if (probe.ingest((*events_)[i]) == IngestStatus::kAdmittedSlow) {
+      saw_slow = true;
+    }
+  }
+  EXPECT_TRUE(saw_slow);
+
+  StreamEngine engine(harness_->make_engine(), bounded);
+  const auto result = run_replay(engine, *events_, {});
+  EXPECT_GT(result.stats.backpressure_events, 0u);
+  // Backpressure is a *signal* to the producer, never a decision input:
+  // batch boundaries and outcomes are untouched.
+  ASSERT_EQ(result.decisions.size(), reference.decisions.size());
+  for (std::size_t i = 0; i < reference.decisions.size(); ++i) {
+    EXPECT_EQ(result.decisions[i].decision, reference.decisions[i].decision);
+    EXPECT_EQ(result.decisions[i].winner, reference.decisions[i].winner);
+  }
+}
+
+TEST_F(StreamTest, InjectedDecideFaultQuarantinesExactlyOneUser) {
+  StreamConfig config;
+  config.shards = 1;
+  config.parallel_drain = false;  // deterministic drain order
+  const auto clean = replay_with(config);
+
+  // Under the strict default the injected fault propagates out of drain().
+  testing::FailPoint::arm("stream.decide.user", testing::FailAction::kThrow);
+  StreamEngine strict(harness_->make_engine(), config);
+  EXPECT_THROW(run_replay(strict, *events_, {}), testing::InjectedFault);
+
+  // Under quarantine the faulting user is isolated and the drain survives.
+  StreamConfig quarantine = config;
+  quarantine.resilience.on_bad_record = BadRecordPolicy::kQuarantine;
+  testing::FailPoint::arm("stream.decide.user", testing::FailAction::kThrow);
+  StreamEngine engine(harness_->make_engine(), quarantine);
+  const auto result = run_replay(engine, *events_, {});
+
+  EXPECT_EQ(result.stats.quarantined_users, 1u);
+  std::size_t quarantined = 0;
+  ASSERT_EQ(result.decisions.size(), clean.decisions.size());
+  for (std::size_t i = 0; i < clean.decisions.size(); ++i) {
+    const UserDecision& a = result.decisions[i];
+    if (a.quarantined) {
+      ++quarantined;
+      EXPECT_NE(a.quarantine_reason.find("injected a fault"),
+                std::string::npos);
+      EXPECT_GT(a.dead_letters, 0u);
+      continue;
+    }
+    EXPECT_EQ(a.decision, clean.decisions[i].decision) << a.user;
+    EXPECT_EQ(a.winner, clean.decisions[i].winner) << a.user;
+    EXPECT_EQ(a.events, clean.decisions[i].events) << a.user;
+  }
+  EXPECT_EQ(quarantined, 1u);
+}
+
+TEST_F(StreamTest, CorruptFailPointIsCaughtByTheFoldPoisonScan) {
+  StreamConfig config;
+  config.shards = 1;
+  config.parallel_drain = false;
+  config.resilience.on_bad_record = BadRecordPolicy::kQuarantine;
+  testing::FailPoint::arm("stream.drain.corrupt",
+                          testing::FailAction::kCorrupt);
+  StreamEngine engine(harness_->make_engine(), config);
+  const auto result = run_replay(engine, *events_, {});
+
+  EXPECT_EQ(result.stats.quarantined_users, 1u);
+  bool found = false;
+  for (const auto& decision : result.decisions) {
+    if (!decision.quarantined) continue;
+    found = true;
+    EXPECT_NE(decision.quarantine_reason.find("poisoned pending record"),
+              std::string::npos);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(StreamTest, QuarantineStateRoundTripsThroughSnapshotAndResume) {
+  std::vector<StreamEvent> poisoned_events = *events_;
+  PoisonSpec spec;
+  spec.users = 2;
+  spec.stride = 3;
+  ASSERT_GT(inject_poison(poisoned_events, spec), 0u);
+
+  StreamConfig config;
+  config.shards = 2;
+  config.resilience.on_bad_record = BadRecordPolicy::kQuarantine;
+  ReplayOptions options;
+  options.batch_events = 256;
+
+  StreamEngine straight(harness_->make_engine(), config);
+  const auto reference = run_replay(straight, poisoned_events, options);
+  ASSERT_EQ(reference.stats.quarantined_users, 2u);
+
+  const std::size_t boundary = 2 * options.batch_events;
+  StreamEngine first(harness_->make_engine(), config);
+  for (std::size_t i = 0; i < boundary; ++i) {
+    first.ingest(poisoned_events[i]);
+    if ((i + 1) % options.batch_events == 0) first.drain();
+  }
+  const SnapshotData snap =
+      decode_snapshot(encode_snapshot(first.capture_snapshot()));
+  bool any_quarantined = false;
+  for (const UserSnapshot& u : snap.users) any_quarantined |= u.quarantined;
+  EXPECT_TRUE(any_quarantined);
+
+  StreamEngine second(harness_->make_engine(), config);
+  second.restore_snapshot(snap);
+  options.resume_events = boundary;
+  const auto resumed = run_replay(second, poisoned_events, options);
+
+  ASSERT_EQ(resumed.decisions.size(), reference.decisions.size());
+  for (std::size_t i = 0; i < reference.decisions.size(); ++i) {
+    const UserDecision& a = resumed.decisions[i];
+    const UserDecision& e = reference.decisions[i];
+    EXPECT_EQ(a.user, e.user);
+    EXPECT_EQ(a.decision, e.decision) << a.user;
+    EXPECT_EQ(a.winner, e.winner) << a.user;
+    EXPECT_EQ(a.events, e.events) << a.user;
+    EXPECT_EQ(a.quarantined, e.quarantined) << a.user;
+    EXPECT_EQ(a.quarantine_reason, e.quarantine_reason) << a.user;
+    EXPECT_EQ(a.dead_letters, e.dead_letters) << a.user;
+  }
+  EXPECT_EQ(resumed.stats.bad_records, reference.stats.bad_records);
+  EXPECT_EQ(resumed.stats.dead_letters, reference.stats.dead_letters);
+  EXPECT_EQ(resumed.stats.quarantined_users,
+            reference.stats.quarantined_users);
 }
 
 TEST_F(StreamTest, ReplayResumeAtStreamEndOnlyFinishes) {

@@ -223,6 +223,32 @@ TEST(Csv, RejectsUnterminatedQuote) {
   EXPECT_THROW(parse_csv_line("\"unterminated"), IoError);
 }
 
+TEST(Csv, RejectsEmbeddedNulBytes) {
+  // A NUL can only arrive from binary garbage spliced into a text file;
+  // it must fail loudly rather than silently terminating the field.
+  const std::string nul_plain{"a,b\0c,d", 7};
+  EXPECT_THROW(parse_csv_line(nul_plain), IoError);
+  const std::string nul_quoted{"a,\"b\0c\"", 7};
+  EXPECT_THROW(parse_csv_line(nul_quoted), IoError);
+  const std::string nul_leading{"\0a,b", 4};
+  EXPECT_THROW(parse_csv_line(nul_leading), IoError);
+}
+
+TEST(Csv, RejectsOverlongFields) {
+  // A missing delimiter (or quote desync) turns the rest of a file into
+  // one field; the cap stops that before it becomes a giant allocation.
+  const std::string overlong(kMaxCsvFieldBytes + 1, 'x');
+  EXPECT_THROW(parse_csv_line(overlong), IoError);
+  EXPECT_THROW(parse_csv_line("ok," + overlong), IoError);
+  EXPECT_THROW(parse_csv_line("\"" + overlong + "\""), IoError);
+  // One byte under the cap still parses: the limit is on field length,
+  // not line length.
+  const std::string max_field(kMaxCsvFieldBytes - 1, 'y');
+  const auto fields = parse_csv_line("a," + max_field);
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[1].size(), kMaxCsvFieldBytes - 1);
+}
+
 TEST(Csv, FormatQuotesOnlyWhenNeeded) {
   EXPECT_EQ(format_csv_line({"a", "b c", "d,e", "f\"g"}),
             "a,b c,\"d,e\",\"f\"\"g\"");

@@ -171,6 +171,28 @@ int cmd_replay(int argc, const char* const* argv, std::ostream& out,
                  "--checkpoint-dir instead of replaying from the start");
   flags.add_bool("serial-drain", false,
                  "decide shards sequentially instead of on the thread pool");
+  flags.add_string("on-bad-record", "fail",
+                   "admission policy for malformed events: fail (throw, the "
+                   "strict default) | skip (drop + count) | quarantine "
+                   "(isolate the user, dead-letter their events)");
+  flags.add_int("max-pending", 0,
+                "per-shard pending-event backlog before ingest signals "
+                "backpressure (0 = unbounded, no signal)");
+  flags.add_int("shed-high", 0,
+                "per-shard backlog at which a drain sheds load — held "
+                "verdicts instead of full decisions (0 = never shed)");
+  flags.add_int("shed-low", 0,
+                "backlog at which a shedding shard recovers (hysteresis; "
+                "0 with --shed-high set = half of --shed-high)");
+  flags.add_int("drain-budget", 0,
+                "full decisions per shard per drain before the batch tail "
+                "degrades to held verdicts (0 = unbounded)");
+  flags.add_int("poison-users", 0,
+                "chaos drill: corrupt events of the first N user ids in "
+                "place before replaying (0 = off)");
+  flags.add_int("poison-stride", 3,
+                "chaos drill: corrupt every stride-th event of a poisoned "
+                "user");
   flags.add_bool("per-user", true, "include the per_user array in the JSON");
   flags.add_string("out", "-", "stream JSON path ('-' = stdout)");
   flags.add_bool("verbose", false, "log at info level instead of warn");
@@ -200,6 +222,24 @@ int cmd_replay(int argc, const char* const* argv, std::ostream& out,
   if (flags.get_int("checkpoint-every") < 0) {
     throw support::UsageError(
         "mood replay: --checkpoint-every must be non-negative");
+  }
+  if (flags.get_int("max-pending") < 0 || flags.get_int("shed-high") < 0 ||
+      flags.get_int("shed-low") < 0 || flags.get_int("drain-budget") < 0 ||
+      flags.get_int("poison-users") < 0) {
+    throw support::UsageError(
+        "mood replay: resilience knobs must be non-negative");
+  }
+  if (flags.get_int("poison-stride") <= 0) {
+    throw support::UsageError("mood replay: --poison-stride must be positive");
+  }
+  const stream::BadRecordPolicy bad_record_policy =
+      stream::parse_bad_record_policy(flags.get_string("on-bad-record"));
+  std::size_t shed_high = static_cast<std::size_t>(flags.get_int("shed-high"));
+  std::size_t shed_low = static_cast<std::size_t>(flags.get_int("shed-low"));
+  if (shed_high > 0 && shed_low == 0) shed_low = shed_high / 2;
+  if (shed_low > shed_high) {
+    throw support::UsageError(
+        "mood replay: --shed-low must not exceed --shed-high");
   }
   const std::string checkpoint_dir = flags.get_string("checkpoint-dir");
   if (flags.get_int("checkpoint-every") > 0 && checkpoint_dir.empty()) {
@@ -283,6 +323,13 @@ int cmd_replay(int argc, const char* const* argv, std::ostream& out,
   stream_config.staleness_points =
       static_cast<std::size_t>(flags.get_int("staleness"));
   stream_config.parallel_drain = !flags.get_bool("serial-drain");
+  stream_config.resilience.on_bad_record = bad_record_policy;
+  stream_config.resilience.max_pending_per_shard =
+      static_cast<std::size_t>(flags.get_int("max-pending"));
+  stream_config.resilience.shed_high_watermark = shed_high;
+  stream_config.resilience.shed_low_watermark = shed_low;
+  stream_config.resilience.drain_budget =
+      static_cast<std::size_t>(flags.get_int("drain-budget"));
 
   stream::ReplayOptions replay_options;
   replay_options.batch_events =
@@ -290,7 +337,15 @@ int cmd_replay(int argc, const char* const* argv, std::ostream& out,
   replay_options.target_rate = flags.get_double("rate");
   replay_options.time_compression = flags.get_double("compression");
 
-  const auto events = stream::make_event_stream(harness.pairs());
+  auto events = stream::make_event_stream(harness.pairs());
+  if (const auto victims = flags.get_int("poison-users"); victims > 0) {
+    stream::PoisonSpec poison;
+    poison.users = static_cast<std::size_t>(victims);
+    poison.stride = static_cast<std::size_t>(flags.get_int("poison-stride"));
+    const std::size_t poisoned = stream::inject_poison(events, poison);
+    err << "chaos drill: poisoned " << poisoned << " events across "
+        << poison.users << " users (stride " << poison.stride << ")\n";
+  }
   harness.set_attack_query_mode(stream_mode);
   stream::StreamEngine engine(harness.make_engine(), stream_config);
 
@@ -309,8 +364,9 @@ int cmd_replay(int argc, const char* const* argv, std::ostream& out,
   }
   if (flags.get_bool("restore")) {
     const auto restore_started = elapsed();
+    std::size_t quarantined_files = 0;
     const stream::SnapshotData snapshot =
-        stream::read_latest_snapshot(checkpoint_dir);
+        stream::read_latest_snapshot(checkpoint_dir, &quarantined_files);
     // The snapshot must describe this exact replay: same seed, dataset,
     // stream length, and micro-batch cadence — anything else would resume
     // a different stream and silently change the published decisions.
@@ -333,11 +389,16 @@ int cmd_replay(int argc, const char* const* argv, std::ostream& out,
           " is not a micro-batch boundary of this stream");
     }
     engine.restore_snapshot(snapshot);
+    engine.note_quarantined_snapshots(quarantined_files);
     replay_options.resume_events =
         static_cast<std::size_t>(snapshot.stream_position);
     err << "restored checkpoint at position " << snapshot.stream_position
-        << " (" << snapshot.users.size() << " users) from " << checkpoint_dir
-        << '\n';
+        << " (" << snapshot.users.size() << " users) from " << checkpoint_dir;
+    if (quarantined_files > 0) {
+      err << " after quarantining " << quarantined_files
+          << " corrupt snapshot file(s)";
+    }
+    err << '\n';
     meta.timings.emplace_back("restore", elapsed() - restore_started);
   }
 
@@ -356,11 +417,21 @@ int cmd_replay(int argc, const char* const* argv, std::ostream& out,
   const bool lossy = stream_config.window_seconds > 0 ||
                      stream_config.max_points > 0 ||
                      stream_config.max_users_per_shard > 0;
+  // Dropped or dead-lettered events likewise mean the gateway decided on
+  // different inputs than the batch pass would. Shedding and drain budgets
+  // do NOT skip verification: finish() canonicalizes every user, so final
+  // decisions must still match the batch oracle exactly.
+  const bool degraded_inputs = result.stats.bad_records > 0 ||
+                               result.stats.quarantined_users > 0;
   std::optional<bool> batch_match;
   if (flags.get_bool("verify")) {
     if (lossy) {
       err << "mood replay: skipping batch verification (bounded window "
              "configuration is deliberately lossy)\n";
+    } else if (degraded_inputs) {
+      err << "mood replay: skipping batch verification (bad records were "
+             "dropped or quarantined — the gateway decided on different "
+             "inputs than the batch pass)\n";
     } else {
       const auto verify_started = elapsed();
       // Run the batch pass on the linear-scan oracle whatever mode the
