@@ -22,6 +22,11 @@
 // --shed-high/--shed-low/--drain-budget switch on the PR 8 overload
 // controls for every grid point, pricing the degraded-decision path
 // (validating admission is always on and costs the same either way).
+// --telemetry-twin=1 (the default) runs each grid point twice — stage
+// timers off, then stage timers on with an active trace session — and
+// prints the telemetry overhead, the number the PR 9 acceptance bar
+// caps at 3%. Set --telemetry-twin=0 for the old single-run grid
+// (stage timers on, no trace).
 // Shedding and budgets only defer work that finish() re-does canonically,
 // so the determinism gate below still applies unchanged — a divergence
 // under shedding is a real bug, not an expected artefact.
@@ -41,6 +46,7 @@
 #include "report/report.h"
 #include "stream/engine.h"
 #include "stream/replay.h"
+#include "telemetry/trace.h"
 
 namespace {
 
@@ -103,6 +109,7 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(options.get_int("batch", 256));
   const auto checkpoint_every =
       static_cast<std::uint64_t>(options.get_int("checkpoint-every", 0));
+  const bool telemetry_twin = options.get_int("telemetry-twin", 1) != 0;
   stream::ResilienceConfig resilience;
   resilience.shed_high_watermark =
       static_cast<std::size_t>(options.get_int("shed-high", 0));
@@ -131,7 +138,7 @@ int main(int argc, char** argv) {
     std::printf("%s: %zu users, %zu events\n", name.c_str(),
                 harness.pairs().size(), events.size());
     std::printf("%8s %10s %5s %12s %10s %10s %10s %10s %10s\n", "shards",
-                "staleness", "ckpt", "events/s", "p50_ms", "p95_ms",
+                "staleness", "mode", "events/s", "p50_ms", "p95_ms",
                 "p99_ms", "searches", "refreshes");
 
     // Final decisions must agree across the whole grid: shard count and
@@ -175,30 +182,50 @@ int main(int argc, char** argv) {
         config.staleness_points = staleness;
         config.resilience = resilience;
 
-        // One measured run per grid point, plus (with --checkpoint-every)
-        // a checkpointed twin to price the snapshot writes.
+        // One baseline run per grid point, plus the telemetry twin
+        // (stage timers + an active trace session) and, with
+        // --checkpoint-every, a checkpointed twin pricing the snapshot
+        // writes. Overheads are quoted against the first run.
+        struct Variant {
+          const char* tag;
+          bool stage_timers;
+          bool traced;
+          bool checkpointed;
+        };
+        std::vector<Variant> variants;
+        if (telemetry_twin) {
+          variants.push_back({"off", false, false, false});
+          variants.push_back({"tel", true, true, false});
+        } else {
+          variants.push_back({"on", true, false, false});
+        }
+        if (checkpoint_every > 0) {
+          variants.push_back({"ckpt", true, false, true});
+        }
         double baseline_eps = 0.0;
-        for (const bool checkpointed : {false, true}) {
-          if (checkpointed && checkpoint_every == 0) continue;
+        for (const Variant& variant : variants) {
+          config.telemetry.stage_timers = variant.stage_timers;
           stream::StreamEngine engine(harness.make_engine(), config);
-          if (checkpointed) {
+          if (variant.checkpointed) {
             std::filesystem::remove_all(checkpoint_dir);
             engine.configure_checkpoints(
                 {checkpoint_dir, checkpoint_every},
                 {ctx.seed, dataset.name(), events.size(),
                  replay_options.batch_events});
           }
+          if (variant.traced) telemetry::TraceSession::instance().start();
           const stream::ReplayResult result =
               stream::run_replay(engine, events, replay_options);
+          if (variant.traced) telemetry::TraceSession::instance().stop();
           std::printf(
               "%8zu %10zu %5s %12.0f %10.3f %10.3f %10.3f %10llu %10llu",
-              shards, staleness, checkpointed ? "yes" : "no",
-              result.events_per_second, result.latency.p50 * 1e3,
-              result.latency.p95 * 1e3, result.latency.p99 * 1e3,
+              shards, staleness, variant.tag, result.events_per_second,
+              result.latency.p50 * 1e3, result.latency.p95 * 1e3,
+              result.latency.p99 * 1e3,
               static_cast<unsigned long long>(result.stats.searches),
               static_cast<unsigned long long>(
                   result.stats.profile_refreshes));
-          if (!checkpointed) {
+          if (&variant == &variants.front()) {
             baseline_eps = result.events_per_second;
             std::printf("\n");
           } else {
@@ -207,10 +234,18 @@ int main(int argc, char** argv) {
                     ? (baseline_eps - result.events_per_second) /
                           baseline_eps * 100.0
                     : 0.0;
-            std::printf("  (%llu snapshots, %.1f%% overhead)\n",
-                        static_cast<unsigned long long>(
-                            result.stats.checkpoints),
-                        overhead);
+            if (variant.checkpointed) {
+              std::printf("  (%llu snapshots, %.1f%% overhead)\n",
+                          static_cast<unsigned long long>(
+                              result.stats.checkpoints),
+                          overhead);
+            } else {
+              std::printf(
+                  "  (%llu spans, %.1f%% overhead)\n",
+                  static_cast<unsigned long long>(
+                      telemetry::TraceSession::instance().span_count()),
+                  overhead);
+            }
           }
           gate(result, shards, staleness);
 

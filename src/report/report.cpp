@@ -1,6 +1,7 @@
 #include "report/report.h"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <iostream>
 #include <limits>
@@ -284,6 +285,33 @@ Json to_json(const stream::UserDecision& decision) {
   return object;
 }
 
+Json to_json(const telemetry::HistogramSnapshot& histogram) {
+  Json object = Json::object();
+  object["count"] = histogram.count;
+  object["sum"] = histogram.sum;
+  object["p50"] = histogram.percentile(0.50);
+  object["p95"] = histogram.percentile(0.95);
+  object["p99"] = histogram.percentile(0.99);
+  object["max"] = histogram.max();
+  object["mean"] = histogram.mean();
+  Json buckets = Json::array();
+  for (const auto& bucket : histogram.buckets) {
+    Json pair = Json::array();
+    const double upper = telemetry::Histogram::bucket_upper_bound(bucket.index);
+    // JSON has no infinity literal; the overflow bucket's bound is the
+    // string "+Inf", matching the exposition format's `le` label.
+    if (std::isfinite(upper)) {
+      pair.push_back(upper);
+    } else {
+      pair.push_back(std::string("+Inf"));
+    }
+    pair.push_back(bucket.count);
+    buckets.push_back(std::move(pair));
+  }
+  object["buckets"] = std::move(buckets);
+  return object;
+}
+
 Json make_stream_report(const RunMetadata& meta, Json dataset,
                         const stream::StreamConfig& config,
                         const stream::ReplayOptions& options,
@@ -304,6 +332,7 @@ Json make_stream_report(const RunMetadata& meta, Json dataset,
   stream_doc["batch_events"] = options.batch_events;
   stream_doc["target_rate"] = options.target_rate;
   stream_doc["time_compression"] = options.time_compression;
+  stream_doc["stage_timers"] = config.telemetry.stage_timers;
   document["stream"] = std::move(stream_doc);
 
   Json replay = Json::object();
@@ -319,6 +348,20 @@ Json make_stream_report(const RunMetadata& meta, Json dataset,
   latency["max"] = result.latency.max;
   latency["mean"] = result.latency.mean;
   replay["latency_seconds"] = std::move(latency);
+  // Full distribution behind the summary above: the gateway's per-shard
+  // log-bucketed histogram (telemetry/metrics.h). "latency_seconds" stays
+  // for consumers of older documents; new tooling should prefer this.
+  Json latency_hist = to_json(result.latency_histogram);
+  latency_hist["unit"] = "seconds";
+  Json per_shard = Json::array();
+  for (std::size_t shard = 0; shard < result.latency_per_shard.size();
+       ++shard) {
+    Json view = to_json(result.latency_per_shard[shard]);
+    view["shard"] = shard;
+    per_shard.push_back(std::move(view));
+  }
+  latency_hist["per_shard"] = std::move(per_shard);
+  replay["latency"] = std::move(latency_hist);
   std::size_t exposed_users = 0;
   for (const auto& decision : result.decisions) {
     exposed_users += decision.decision == stream::Decision::kExpose ? 1 : 0;
@@ -450,6 +493,19 @@ std::vector<std::vector<std::string>> stream_summary_rows(
         {"latency_p95_ms", fixed(latency->number_or("p95", 0.0) * 1e3, 3)});
     rows.push_back(
         {"latency_p99_ms", fixed(latency->number_or("p99", 0.0) * 1e3, 3)});
+  }
+  // Per-shard latency (the "latency" histogram block, PR 9+ documents).
+  if (const Json* latency = replay->find("latency")) {
+    if (const Json* per_shard = latency->find("per_shard");
+        per_shard != nullptr && per_shard->is_array()) {
+      for (const Json& shard : per_shard->items()) {
+        const std::string label =
+            "latency_shard" + std::to_string(shard.int_or("shard", 0));
+        rows.push_back({label + "_events", count(shard, "count")});
+        rows.push_back({label + "_p95_ms",
+                        fixed(shard.number_or("p95", 0.0) * 1e3, 3)});
+      }
+    }
   }
   if (const Json* decisions = replay->find("decisions")) {
     rows.push_back({"exposed_users", count(*decisions, "exposed_users")});

@@ -61,6 +61,7 @@
 #include "report/json.h"
 #include "stream/engine.h"
 #include "stream/replay.h"
+#include "telemetry/metrics.h"
 
 namespace mood::report {
 
@@ -117,6 +118,23 @@ inline constexpr const char* kBenchSchema = "mood-bench/1";
 ///     "wall_seconds": 1.84, "events_per_second": 13356.5,
 ///     "latency_seconds": {"p50": ..., "p95": ..., "p99": ...,
 ///                          "max": ..., "mean": ...},
+///     "latency": {         // full distribution behind latency_seconds:
+///                          // the per-shard log-bucketed histogram
+///                          // (telemetry/metrics.h). Percentiles are
+///                          // bucket midpoints (<= ~3.2% relative
+///                          // error); count/sum/mean are exact. Like
+///                          // "checkpoint", this block is per-process
+///                          // timing and lives outside "cost".
+///       "unit": "seconds", "count": 24576, "sum": 18.4,
+///       "p50": ..., "p95": ..., "p99": ..., "max": ..., "mean": ...,
+///       "buckets": [[upper_bound, count], ...],   // sparse, ascending;
+///                          // the overflow bucket's bound serializes as
+///                          // the string "+Inf"
+///       "per_shard": [     // lane views, index == shard
+///         {"shard": 0, "count": ..., "p50": ..., "p95": ..., "p99": ...,
+///          "buckets": [[upper_bound, count], ...]}, ...
+///       ]
+///     },
 ///     "decisions": {"exposed_events": ..., "protected_events": ...,
 ///                    "exposed_users": ..., "protected_users": ...},
 ///     "cost": {"searches": ..., "rechecks": ...,
@@ -222,6 +240,12 @@ std::vector<std::vector<std::string>> bench_summary_rows(
 
 /// Final gateway state of one user (see kStreamSchema's "per_user").
 Json to_json(const stream::UserDecision& decision);
+
+/// One latency histogram as a JSON object: exact count/sum, sparse
+/// [upper_bound, count] bucket pairs (ascending; "+Inf" for the overflow
+/// bucket's bound), and derived p50/p95/p99/max/mean. The building block
+/// of the mood-stream/1 "latency" block.
+Json to_json(const telemetry::HistogramSnapshot& histogram);
 
 /// Assembles the versioned "mood-stream/1" document from its parts.
 /// `batch_match` is the batch-equivalence verification verdict: true /

@@ -1,6 +1,7 @@
 #include "stream/engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <utility>
@@ -10,11 +11,20 @@
 #include "support/failpoint.h"
 #include "support/logging.h"
 #include "support/thread_pool.h"
+#include "telemetry/exposition.h"
+#include "telemetry/trace.h"
 
 namespace mood::stream {
 
 namespace {
-constexpr auto kRelaxed = std::memory_order_relaxed;
+
+using Clock = std::chrono::steady_clock;
+
+/// Elapsed seconds for the stage histograms; only evaluated when the
+/// stage timers are on.
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
 
 /// The counters that continue across a restore as baseline + (raw -
 /// floor). The checkpoint counters are deliberately absent: they describe
@@ -41,6 +51,36 @@ bool valid_coordinate(const geo::GeoPoint& p) {
   return std::isfinite(p.lat) && std::isfinite(p.lon) && p.lat > -89.0 &&
          p.lat < 89.0 && p.lon >= -180.0 && p.lon <= 180.0;
 }
+
+/// Mirror gauges published at exposition time: the continued (restore-
+/// aware) StreamStats, one gauge per field, named for the stream report
+/// vocabulary. Gauges, not counters, because stats() already applies the
+/// continuation math — re-counting would double-apply it.
+struct StatGauge {
+  const char* name;
+  std::uint64_t StreamStats::* field;
+};
+constexpr StatGauge kStatGauges[] = {
+    {"mood_gateway_events", &StreamStats::events},
+    {"mood_gateway_batches", &StreamStats::batches},
+    {"mood_gateway_decisions", &StreamStats::decisions},
+    {"mood_gateway_exposed_events", &StreamStats::exposed_events},
+    {"mood_gateway_protected_events", &StreamStats::protected_events},
+    {"mood_gateway_searches", &StreamStats::searches},
+    {"mood_gateway_rechecks", &StreamStats::rechecks},
+    {"mood_gateway_profile_refreshes", &StreamStats::profile_refreshes},
+    {"mood_gateway_stay_updates", &StreamStats::stay_updates},
+    {"mood_gateway_stay_rebuilds", &StreamStats::stay_rebuilds},
+    {"mood_gateway_heatmap_updates", &StreamStats::heatmap_updates},
+    {"mood_gateway_evicted_points", &StreamStats::evicted_points},
+    {"mood_gateway_evicted_users", &StreamStats::evicted_users},
+    {"mood_gateway_lppm_applications", &StreamStats::lppm_applications},
+    {"mood_gateway_attack_invocations", &StreamStats::attack_invocations},
+    {"mood_gateway_index_prunes", &StreamStats::index_prunes},
+    {"mood_gateway_exact_evals", &StreamStats::exact_evals},
+    {"mood_gateway_index_rebuilds", &StreamStats::index_rebuilds},
+    {"mood_gateway_shed_decisions", &StreamStats::shed_decisions},
+};
 }  // namespace
 
 StreamEngine::StreamEngine(decision::MoodEngine engine, StreamConfig config)
@@ -48,7 +88,9 @@ StreamEngine::StreamEngine(decision::MoodEngine engine, StreamConfig config)
               decision::KernelConfig{config.window_seconds, config.max_points,
                                      config.staleness_points}),
       config_(config),
-      store_(StoreConfig{config.shards, config.max_users_per_shard}),
+      registry_(config.shards),
+      store_(StoreConfig{config.shards, config.max_users_per_shard,
+                         &registry_}),
       shedding_(config.shards, 0) {
   support::expects(config_.shards > 0, "StreamEngine: shards must be > 0");
   support::expects(
@@ -56,6 +98,30 @@ StreamEngine::StreamEngine(decision::MoodEngine engine, StreamConfig config)
               config_.resilience.shed_high_watermark ||
           config_.resilience.shed_high_watermark == 0,
       "StreamEngine: shed_low_watermark must not exceed shed_high_watermark");
+  // Wire every counter site once; the hot paths below only ever touch
+  // these cached instruments (lock-free lanes), never the registry map.
+  events_ = &registry_.counter("mood_stream_events_total");
+  batches_ = &registry_.counter("mood_stream_batches_total");
+  checkpoints_ = &registry_.counter("mood_stream_checkpoints_total");
+  checkpoint_bytes_ = &registry_.counter("mood_stream_checkpoint_bytes_total");
+  checkpoint_failures_ =
+      &registry_.counter("mood_stream_checkpoint_failures_total");
+  bad_records_ = &registry_.counter("mood_stream_bad_records_total");
+  dead_letters_ = &registry_.counter("mood_stream_dead_letters_total");
+  quarantined_users_ =
+      &registry_.counter("mood_stream_quarantined_users_total");
+  degraded_batches_ = &registry_.counter("mood_stream_degraded_batches_total");
+  backpressure_events_ =
+      &registry_.counter("mood_stream_backpressure_events_total");
+  quarantined_snapshots_ =
+      &registry_.counter("mood_stream_quarantined_snapshots_total");
+  metrics_export_failures_ =
+      &registry_.counter("mood_stream_metrics_export_failures_total");
+  stage_ingest_ = &registry_.histogram("mood_stage_ingest_seconds");
+  stage_decide_ = &registry_.histogram("mood_stage_decide_seconds");
+  stage_drain_ = &registry_.histogram("mood_stage_drain_seconds");
+  stage_checkpoint_ = &registry_.histogram("mood_stage_checkpoint_seconds");
+  replay_latency_ = &registry_.histogram("mood_replay_latency_seconds");
 }
 
 IngestStatus StreamEngine::ingest(const StreamEvent& event) {
@@ -63,14 +129,16 @@ IngestStatus StreamEngine::ingest(const StreamEvent& event) {
   // checkpoint/resume indexes into the replay stream, and a resumed run
   // must skip exactly the events this run consumed — including the ones
   // it dropped.
-  events_.fetch_add(1, kRelaxed);
+  events_->add(1);
+  const bool timed = config_.telemetry.stage_timers;
+  const Clock::time_point t0 = timed ? Clock::now() : Clock::time_point{};
   const ResilienceConfig& res = config_.resilience;
 
   // Stateless classification first. An unattributable event (empty or
   // oversized id) cannot be quarantined — there is no user to trust the
   // id of — so skip/quarantine both dead-letter it without state.
   if (event.user.empty() || event.user.size() > kMaxUserIdBytes) {
-    bad_records_.fetch_add(1, kRelaxed);
+    bad_records_->add(1);
     if (res.on_bad_record == BadRecordPolicy::kFail) {
       throw BadRecordError(
           std::string("gateway admission: ") +
@@ -78,7 +146,7 @@ IngestStatus StreamEngine::ingest(const StreamEvent& event) {
           std::to_string(event.user.size()) + " bytes) at position " +
           std::to_string(stream_position() - 1));
     }
-    dead_letters_.fetch_add(1, kRelaxed);
+    dead_letters_->add(1);
     return IngestStatus::kDeadLettered;
   }
   const char* fault = valid_coordinate(event.record.position)
@@ -89,7 +157,7 @@ IngestStatus StreamEngine::ingest(const StreamEvent& event) {
       store_.enqueue(event, res.on_bad_record, fault != nullptr, fault);
   switch (admitted.status) {
     case AdmitResult::Status::kRejected:
-      bad_records_.fetch_add(1, kRelaxed);
+      bad_records_->add(1, admitted.shard);
       if (res.on_bad_record == BadRecordPolicy::kFail) {
         throw BadRecordError(std::string("gateway admission: ") +
                              admitted.reason + " from user '" + event.user +
@@ -98,24 +166,27 @@ IngestStatus StreamEngine::ingest(const StreamEvent& event) {
       }
       return IngestStatus::kRejected;
     case AdmitResult::Status::kQuarantined:
-      bad_records_.fetch_add(1, kRelaxed);
-      dead_letters_.fetch_add(admitted.dead_letters, kRelaxed);
-      quarantined_users_.fetch_add(1, kRelaxed);
+      bad_records_->add(1, admitted.shard);
+      dead_letters_->add(admitted.dead_letters, admitted.shard);
+      quarantined_users_->add(1, admitted.shard);
       support::log_warn("quarantined user '", event.user, "' at position ",
                         stream_position() - 1, ": ", admitted.reason);
       return IngestStatus::kQuarantined;
     case AdmitResult::Status::kDeadLettered:
-      dead_letters_.fetch_add(admitted.dead_letters, kRelaxed);
+      dead_letters_->add(admitted.dead_letters, admitted.shard);
       return IngestStatus::kDeadLettered;
     case AdmitResult::Status::kAdmitted:
       break;
   }
+  // Admission latency of accepted events (classification + enqueue under
+  // the shard lock), on the owning shard's lane.
+  if (timed) stage_ingest_->record(seconds_since(t0), admitted.shard);
   if (res.max_pending_per_shard > 0 &&
       admitted.shard_backlog > res.max_pending_per_shard) {
     // Explicit backpressure: the signal is counted and surfaced, never
     // acted on internally — an early drain here would make batch
     // boundaries depend on shard hashing and break determinism.
-    backpressure_events_.fetch_add(1, kRelaxed);
+    backpressure_events_->add(1, admitted.shard);
     return IngestStatus::kAdmittedSlow;
   }
   return IngestStatus::kAdmitted;
@@ -147,7 +218,7 @@ StreamEngine::DecideOutcome StreamEngine::decide_user(UserState& state,
     // Frozen. Anything still queued (quarantine tripped mid-drain) is
     // dead-lettered, never folded.
     if (!state.pending.empty()) {
-      dead_letters_.fetch_add(state.pending.size(), kRelaxed);
+      dead_letters_->add(state.pending.size());
       state.dead_letters += state.pending.size();
       state.pending.clear();
     }
@@ -187,8 +258,8 @@ StreamEngine::DecideOutcome StreamEngine::decide_user(UserState& state,
     state.quarantine_reason = e.what();
     state.pending.clear();
     state.dead_letters += queued;
-    dead_letters_.fetch_add(queued, kRelaxed);
-    quarantined_users_.fetch_add(1, kRelaxed);
+    dead_letters_->add(queued);
+    quarantined_users_->add(1);
     support::log_warn("quarantined user '", state.user,
                       "' on decision fault: ", e.what());
     return DecideOutcome::kQuarantined;
@@ -198,7 +269,13 @@ StreamEngine::DecideOutcome StreamEngine::decide_user(UserState& state,
 std::size_t StreamEngine::drain() {
   std::atomic<std::size_t> decided{0};
   const ResilienceConfig& res = config_.resilience;
+  const bool timed = config_.telemetry.stage_timers;
+  // The batch tag spans carry: this drain's ordinal (0-based).
+  const std::uint64_t batch = batches_->value();
   const auto drain_one = [&](std::size_t shard) {
+    MOOD_TRACE("stream.drain",
+               {.shard = static_cast<std::uint32_t>(shard), .batch = batch});
+    const Clock::time_point t0 = timed ? Clock::now() : Clock::time_point{};
     // Shed hysteresis, evaluated once per shard per drain on the pending
     // backlog: engage at the high watermark, release at the low one. The
     // latch is only touched by this shard's own drain task.
@@ -207,9 +284,17 @@ std::size_t StreamEngine::drain() {
       const std::size_t backlog = store_.pending_events(shard);
       std::uint8_t& latch = shedding_[shard];
       if (latch != 0) {
-        if (backlog <= res.shed_low_watermark) latch = 0;
+        if (backlog <= res.shed_low_watermark) {
+          latch = 0;
+          support::log_info("shed released on shard ", shard, " at batch ",
+                            batch, " (backlog ", backlog, " <= low ",
+                            res.shed_low_watermark, ")");
+        }
       } else if (backlog >= res.shed_high_watermark) {
         latch = 1;
+        support::log_info("shed engaged on shard ", shard, " at batch ",
+                          batch, " (backlog ", backlog, " >= high ",
+                          res.shed_high_watermark, ")");
       }
       shed = latch != 0;
     }
@@ -225,6 +310,12 @@ std::size_t StreamEngine::drain() {
               const bool degrade =
                   shed || (res.drain_budget > 0 &&
                            full_decides >= res.drain_budget);
+              MOOD_TRACE("stream.decide",
+                         {.shard = static_cast<std::uint32_t>(shard),
+                          .user = state.user,
+                          .batch = batch});
+              const Clock::time_point u0 =
+                  timed ? Clock::now() : Clock::time_point{};
               switch (decide_user(state, /*canonical=*/false, degrade)) {
                 case DecideOutcome::kFull:
                   ++full_decides;
@@ -235,24 +326,28 @@ std::size_t StreamEngine::drain() {
                 default:
                   break;
               }
+              if (timed) stage_decide_->record(seconds_since(u0), shard);
             }),
-        kRelaxed);
-    if (degraded_decides > 0) degraded_batches_.fetch_add(1, kRelaxed);
+        std::memory_order_relaxed);
+    if (degraded_decides > 0) degraded_batches_->add(1, shard);
+    if (timed) stage_drain_->record(seconds_since(t0), shard);
   };
   if (config_.parallel_drain && store_.shard_count() > 1) {
     support::parallel_for(store_.shard_count(), drain_one);
   } else {
     for (std::size_t s = 0; s < store_.shard_count(); ++s) drain_one(s);
   }
-  batches_.fetch_add(1, kRelaxed);
+  batches_->add(1);
   // Checkpoint boundary: every pending queue and dirty list is empty here
   // (the drain above folded or dead-lettered them all), so the captured
   // state is exactly "the stream up to this position, fully decided".
   maybe_checkpoint();
+  maybe_export_metrics();
   return decided.load();
 }
 
 void StreamEngine::finish() {
+  MOOD_TRACE("stream.finish");
   store_.for_each([&](UserState& state) {
     // Fold any points that arrived after the last drain (the replay
     // driver always drains, so this is a safety net for direct engine
@@ -293,8 +388,8 @@ std::vector<UserDecision> StreamEngine::decisions() const {
 StreamStats StreamEngine::raw_stats() const {
   const decision::KernelStats kernel = kernel_.stats();
   StreamStats s;
-  s.events = events_.load();
-  s.batches = batches_.load();
+  s.events = events_->value();
+  s.batches = batches_->value();
   s.decisions = kernel.decisions;
   s.exposed_events = kernel.exposed_events;
   s.protected_events = kernel.protected_events;
@@ -311,21 +406,21 @@ StreamStats StreamEngine::raw_stats() const {
   s.index_prunes = kernel.index_prunes;
   s.exact_evals = kernel.exact_evals;
   s.index_rebuilds = kernel.index_rebuilds;
-  s.checkpoints = checkpoints_.load(kRelaxed);
-  s.checkpoint_bytes = checkpoint_bytes_.load(kRelaxed);
-  s.checkpoint_failures = checkpoint_failures_.load(kRelaxed);
-  s.bad_records = bad_records_.load(kRelaxed);
-  s.dead_letters = dead_letters_.load(kRelaxed);
-  s.quarantined_users = quarantined_users_.load(kRelaxed);
+  s.checkpoints = checkpoints_->value();
+  s.checkpoint_bytes = checkpoint_bytes_->value();
+  s.checkpoint_failures = checkpoint_failures_->value();
+  s.bad_records = bad_records_->value();
+  s.dead_letters = dead_letters_->value();
+  s.quarantined_users = quarantined_users_->value();
   s.shed_decisions = kernel.shed_decisions;
-  s.degraded_batches = degraded_batches_.load(kRelaxed);
-  s.backpressure_events = backpressure_events_.load(kRelaxed);
-  s.quarantined_snapshots = quarantined_snapshots_.load(kRelaxed);
+  s.degraded_batches = degraded_batches_->value();
+  s.backpressure_events = backpressure_events_->value();
+  s.quarantined_snapshots = quarantined_snapshots_->value();
   return s;
 }
 
 void StreamEngine::note_quarantined_snapshots(std::uint64_t n) {
-  quarantined_snapshots_.fetch_add(n, kRelaxed);
+  quarantined_snapshots_->add(n);
 }
 
 StreamStats StreamEngine::stats() const {
@@ -342,7 +437,7 @@ StreamStats StreamEngine::stats() const {
 }
 
 std::uint64_t StreamEngine::stream_position() const {
-  return position_offset_ + events_.load(kRelaxed);
+  return position_offset_ + events_->value();
 }
 
 void StreamEngine::configure_checkpoints(CheckpointPolicy policy,
@@ -406,7 +501,7 @@ SnapshotData StreamEngine::capture_snapshot() const {
 }
 
 void StreamEngine::restore_snapshot(const SnapshotData& data) {
-  support::expects(events_.load() == 0 && batches_.load() == 0 &&
+  support::expects(events_->value() == 0 && batches_->value() == 0 &&
                        position_offset_ == 0 && store_.user_count() == 0,
                    "StreamEngine::restore_snapshot: must run on a freshly "
                    "constructed engine");
@@ -487,20 +582,33 @@ void StreamEngine::restore_snapshot(const SnapshotData& data) {
   shedding_.assign(data.shard_shedding.begin(), data.shard_shedding.end());
   position_offset_ = data.stream_position;
   last_checkpoint_position_ = data.stream_position;
+  last_metrics_position_ = data.stream_position;
   stats_baseline_ = data.stats;
   stats_floor_ = raw_stats();
+  support::log_info("restored gateway state at position ",
+                    data.stream_position, " (", data.users.size(),
+                    " users, ", data.stats.batches, " batches)");
 }
 
 std::uint64_t StreamEngine::checkpoint_now() {
   support::expects(!checkpoint_policy_.dir.empty(),
                    "StreamEngine::checkpoint_now: no checkpoint directory "
                    "configured");
+  MOOD_TRACE("stream.checkpoint");
+  const Clock::time_point t0 = config_.telemetry.stage_timers
+                                   ? Clock::now()
+                                   : Clock::time_point{};
   const SnapshotData data = capture_snapshot();
   const std::string bytes = encode_snapshot(data);
   write_snapshot_file(checkpoint_policy_.dir, bytes);
   last_checkpoint_position_ = data.stream_position;
-  checkpoints_.fetch_add(1, kRelaxed);
-  checkpoint_bytes_.fetch_add(bytes.size(), kRelaxed);
+  checkpoints_->add(1);
+  checkpoint_bytes_->add(bytes.size());
+  if (config_.telemetry.stage_timers) {
+    stage_checkpoint_->record(seconds_since(t0));
+  }
+  support::log_info("checkpoint committed at position ",
+                    data.stream_position, " (", bytes.size(), " bytes)");
   return bytes.size();
 }
 
@@ -517,10 +625,76 @@ void StreamEngine::maybe_checkpoint() {
   } catch (const support::Error& e) {
     // A gateway outlives a full disk: count it, keep deciding, retry at
     // the next cadence. The fault-injection tests assert both halves.
-    checkpoint_failures_.fetch_add(1, kRelaxed);
+    checkpoint_failures_->add(1);
     support::log_warn("checkpoint failed at position ", stream_position(),
                       ": ", e.what());
   }
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry surface
+
+void StreamEngine::refresh_gauges() const {
+  const StreamStats s = stats();
+  for (const StatGauge& g : kStatGauges) {
+    registry_.gauge(g.name).set(static_cast<double>(s.*g.field));
+  }
+  registry_.gauge("mood_gateway_resident_users")
+      .set(static_cast<double>(store_.user_count()));
+  std::size_t backlog = 0;
+  for (std::size_t shard = 0; shard < store_.shard_count(); ++shard) {
+    backlog += store_.pending_events(shard);
+  }
+  registry_.gauge("mood_gateway_pending_events")
+      .set(static_cast<double>(backlog));
+}
+
+telemetry::MetricsSnapshot StreamEngine::metrics_snapshot() const {
+  refresh_gauges();
+  return registry_.snapshot();
+}
+
+void StreamEngine::configure_metrics_export(std::string path,
+                                            std::uint64_t every_events) {
+  metrics_path_ = std::move(path);
+  metrics_every_events_ = every_events;
+  last_metrics_position_ = stream_position();
+}
+
+std::uint64_t StreamEngine::export_metrics_now() const {
+  support::expects(!metrics_path_.empty(),
+                   "StreamEngine::export_metrics_now: no metrics path "
+                   "configured");
+  const std::string text = telemetry::render_exposition(metrics_snapshot());
+  telemetry::write_exposition_file(metrics_path_, text);
+  return text.size();
+}
+
+void StreamEngine::maybe_export_metrics() {
+  if (metrics_path_.empty() || metrics_every_events_ == 0) return;
+  if (stream_position() - last_metrics_position_ < metrics_every_events_) {
+    return;
+  }
+  last_metrics_position_ = stream_position();
+  try {
+    export_metrics_now();
+  } catch (const support::Error& e) {
+    // Same stance as checkpoints: observability must never take the
+    // gateway down. Count, log, retry at the next cadence.
+    metrics_export_failures_->add(1);
+    support::log_warn("metrics export failed at position ",
+                      stream_position(), ": ", e.what());
+  }
+}
+
+std::vector<telemetry::HistogramSnapshot> StreamEngine::replay_latency_shards()
+    const {
+  std::vector<telemetry::HistogramSnapshot> lanes;
+  lanes.reserve(replay_latency_->lane_count());
+  for (std::size_t lane = 0; lane < replay_latency_->lane_count(); ++lane) {
+    lanes.push_back(replay_latency_->lane_snapshot(lane));
+  }
+  return lanes;
 }
 
 }  // namespace mood::stream

@@ -49,8 +49,21 @@
 #include "stream/event.h"
 #include "stream/resilience.h"
 #include "stream/user_state.h"
+#include "telemetry/metrics.h"
 
 namespace mood::stream {
+
+/// Observability knobs (see src/telemetry). Telemetry is timing-only: no
+/// knob here may influence a decision, so none of them participate in the
+/// snapshot config fingerprint.
+struct TelemetryConfig {
+  /// Per-stage latency histograms (ingest admission, per-user decide,
+  /// shard drain, checkpoint write). Costs two steady_clock reads per
+  /// instrumented section; off leaves the stage histograms empty. The
+  /// replay-latency histogram is independent of this knob — it replaces
+  /// the old sort-all-samples percentile pass outright.
+  bool stage_timers = true;
+};
 
 /// Gateway tuning knobs. The window/staleness subset configures the
 /// embedded DecisionKernel; the rest is scheduling.
@@ -64,6 +77,8 @@ struct StreamConfig {
   /// Fault-tolerance knobs (see resilience.h); the defaults are strict —
   /// everything off — so the batch-equivalence gates are untouched.
   ResilienceConfig resilience;
+  /// Observability knobs; never serialized, never decision-relevant.
+  TelemetryConfig telemetry;
 };
 
 /// Aggregate gateway counters (monotonic; snapshot via stats()). Mostly a
@@ -237,6 +252,53 @@ class StreamEngine {
   /// were renamed aside (.quarantined) while locating the restore source.
   void note_quarantined_snapshots(std::uint64_t n);
 
+  // ---- Telemetry (see src/telemetry and ARCHITECTURE.md) -------------
+  /// The engine's metrics registry: every gateway counter site records
+  /// here (one lane per shard), and external wiring may add instruments
+  /// of its own. Per-process and timing-adjacent — registry contents are
+  /// never serialized into snapshots and never feed back into decisions.
+  [[nodiscard]] telemetry::MetricsRegistry& metrics() { return registry_; }
+
+  /// Name-sorted snapshot of every instrument, with the gateway's
+  /// instantaneous gauges (resident users, pending backlog, continued
+  /// stats mirror) refreshed first. The input to the exposition writer
+  /// and the mood-stream/1 latency block.
+  [[nodiscard]] telemetry::MetricsSnapshot metrics_snapshot() const;
+
+  /// Enables periodic Prometheus-style exposition rewrites to `path`
+  /// (atomic tmp->fsync->rename, see telemetry/exposition.h) at the end
+  /// of any drain() whose stream position advanced `every_events` or
+  /// more past the last export — the same event-count cadence contract
+  /// as checkpoints. 0 disables the periodic path; export_metrics_now()
+  /// still works.
+  void configure_metrics_export(std::string path, std::uint64_t every_events);
+
+  /// Writes one exposition now; returns bytes written. Throws IoError on
+  /// failure (the periodic path catches, counts and retries instead).
+  std::uint64_t export_metrics_now() const;
+
+  /// Owning shard of a user id (stable within a run) — the histogram
+  /// lane replay latency recording keys on.
+  [[nodiscard]] std::size_t shard_of(const mobility::UserId& user) const {
+    return store_.shard_of(user);
+  }
+
+  /// Records one end-to-end decision latency (seconds) into the
+  /// mood_replay_latency_seconds histogram on the user's shard lane.
+  /// Called by run_replay once per event, after the deciding drain.
+  void record_decision_latency(const mobility::UserId& user, double seconds) {
+    replay_latency_->record(seconds, store_.shard_of(user));
+  }
+
+  /// Merged / per-shard views of the replay-latency histogram. Session-
+  /// scoped like wall-clock throughput: a restored gateway cannot
+  /// retroactively measure the crashed process's timings.
+  [[nodiscard]] telemetry::HistogramSnapshot replay_latency() const {
+    return replay_latency_->snapshot();
+  }
+  [[nodiscard]] std::vector<telemetry::HistogramSnapshot>
+  replay_latency_shards() const;
+
  private:
   /// Folds state.pending through the kernel; returns points folded.
   /// Under the quarantine policy it first scans the batch for non-finite
@@ -260,15 +322,48 @@ class StreamEngine {
   /// drain()-tail hook: checkpoint when the cadence has elapsed.
   void maybe_checkpoint();
 
+  /// drain()-tail hook: rewrite the metrics exposition when the export
+  /// cadence has elapsed. Failures are counted, never fatal.
+  void maybe_export_metrics();
+
+  /// Refreshes the mirror gauges (resident users, backlog, continued
+  /// stats) ahead of a snapshot/exposition.
+  void refresh_gauges() const;
+
   /// This process's own counters, before restore continuation is applied.
   [[nodiscard]] StreamStats raw_stats() const;
 
   decision::DecisionKernel kernel_;
   StreamConfig config_;
+  /// Declared before store_ (the store registers its eviction counter
+  /// here) and mutable so const observers (stats(), metrics_snapshot())
+  /// can refresh gauges and take instrument references.
+  mutable telemetry::MetricsRegistry registry_;
   UserStateStore store_;
 
-  std::atomic<std::uint64_t> events_{0};
-  std::atomic<std::uint64_t> batches_{0};
+  // ---- Registry-backed counter sites (one instrument per former
+  // atomic member; cached references so the hot path never touches the
+  // registry map). All raw per-process values; stats() applies the
+  // restore continuation on top.
+  telemetry::Counter* events_ = nullptr;
+  telemetry::Counter* batches_ = nullptr;
+  telemetry::Counter* checkpoints_ = nullptr;
+  telemetry::Counter* checkpoint_bytes_ = nullptr;
+  telemetry::Counter* checkpoint_failures_ = nullptr;
+  telemetry::Counter* bad_records_ = nullptr;
+  telemetry::Counter* dead_letters_ = nullptr;
+  telemetry::Counter* quarantined_users_ = nullptr;
+  telemetry::Counter* degraded_batches_ = nullptr;
+  telemetry::Counter* backpressure_events_ = nullptr;
+  telemetry::Counter* quarantined_snapshots_ = nullptr;
+  telemetry::Counter* metrics_export_failures_ = nullptr;
+  // Stage histograms (lane = shard; empty when telemetry.stage_timers is
+  // off) and the always-on replay-latency histogram.
+  telemetry::Histogram* stage_ingest_ = nullptr;
+  telemetry::Histogram* stage_decide_ = nullptr;
+  telemetry::Histogram* stage_drain_ = nullptr;
+  telemetry::Histogram* stage_checkpoint_ = nullptr;
+  telemetry::Histogram* replay_latency_ = nullptr;
 
   CheckpointPolicy checkpoint_policy_;
   SnapshotContext snapshot_context_;
@@ -286,17 +381,11 @@ class StreamEngine {
   StreamStats stats_baseline_;
   StreamStats stats_floor_;
 
-  std::atomic<std::uint64_t> checkpoints_{0};
-  std::atomic<std::uint64_t> checkpoint_bytes_{0};
-  std::atomic<std::uint64_t> checkpoint_failures_{0};
+  // ---- Metrics export (see telemetry/exposition.h) --------------------
+  std::string metrics_path_;
+  std::uint64_t metrics_every_events_ = 0;
+  std::uint64_t last_metrics_position_ = 0;
 
-  // ---- Resilience (see resilience.h) ---------------------------------
-  std::atomic<std::uint64_t> bad_records_{0};
-  std::atomic<std::uint64_t> dead_letters_{0};
-  std::atomic<std::uint64_t> quarantined_users_{0};
-  std::atomic<std::uint64_t> degraded_batches_{0};
-  std::atomic<std::uint64_t> backpressure_events_{0};
-  std::atomic<std::uint64_t> quarantined_snapshots_{0};
   /// Per-shard shed latch (the hysteresis state). Only the shard's own
   /// drain task reads/writes its slot, so no atomics are needed; the
   /// latches round-trip through snapshots so a restored gateway sheds

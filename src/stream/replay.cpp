@@ -19,23 +19,16 @@ double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-LatencySummary summarize_latencies(std::vector<double> latencies) {
+/// LatencySummary from the merged histogram: nearest-rank percentiles at
+/// bucket midpoints (<= ~3.2% relative error, see replay.h), exact mean.
+LatencySummary summarize(const telemetry::HistogramSnapshot& histogram) {
   LatencySummary summary;
-  if (latencies.empty()) return summary;
-  std::sort(latencies.begin(), latencies.end());
-  const auto rank = [&](double q) {
-    const auto n = static_cast<double>(latencies.size());
-    const auto index =
-        static_cast<std::size_t>(std::ceil(q * n)) - std::size_t{1};
-    return latencies[std::min(index, latencies.size() - 1)];
-  };
-  summary.p50 = rank(0.50);
-  summary.p95 = rank(0.95);
-  summary.p99 = rank(0.99);
-  summary.max = latencies.back();
-  double total = 0.0;
-  for (const double l : latencies) total += l;
-  summary.mean = total / static_cast<double>(latencies.size());
+  if (histogram.empty()) return summary;
+  summary.p50 = histogram.percentile(0.50);
+  summary.p95 = histogram.percentile(0.95);
+  summary.p99 = histogram.percentile(0.99);
+  summary.max = histogram.max();
+  summary.mean = histogram.mean();
   return summary;
 }
 
@@ -131,6 +124,9 @@ ReplayResult run_replay(StreamEngine& engine,
     result.stats = engine.stats();
     result.events = static_cast<std::size_t>(result.stats.events);
     result.batches = static_cast<std::size_t>(result.stats.batches);
+    result.latency_histogram = engine.replay_latency();
+    result.latency_per_shard = engine.replay_latency_shards();
+    result.latency = summarize(result.latency_histogram);
     return result;
   }
 
@@ -146,8 +142,10 @@ ReplayResult run_replay(StreamEngine& engine,
            options.time_compression;
   };
 
-  std::vector<double> arrivals(events.size() - resume, 0.0);
-  std::vector<double> latencies(events.size() - resume, 0.0);
+  // Per-batch arrival stamps only — O(batch_events) memory however long
+  // the stream is. Latencies go straight into the engine's per-shard
+  // log-bucketed histogram once the deciding drain completes.
+  std::vector<double> arrivals(options.batch_events, 0.0);
   const Clock::time_point start = Clock::now();
 
   std::size_t next = resume;
@@ -164,12 +162,13 @@ ReplayResult run_replay(StreamEngine& engine,
         }
       }
       engine.ingest(events[i]);
-      arrivals[i - resume] = seconds_since(start);
+      arrivals[i - next] = seconds_since(start);
     }
     engine.drain();
     const double done = seconds_since(start);
     for (std::size_t i = next; i < batch_end; ++i) {
-      latencies[i - resume] = std::max(0.0, done - arrivals[i - resume]);
+      engine.record_decision_latency(events[i].user,
+                                     std::max(0.0, done - arrivals[i - next]));
     }
     next = batch_end;
   }
@@ -183,7 +182,9 @@ ReplayResult run_replay(StreamEngine& engine,
       result.wall_seconds > 0.0
           ? static_cast<double>(result.session_events) / result.wall_seconds
           : 0.0;
-  result.latency = summarize_latencies(std::move(latencies));
+  result.latency_histogram = engine.replay_latency();
+  result.latency_per_shard = engine.replay_latency_shards();
+  result.latency = summarize(result.latency_histogram);
   result.decisions = engine.decisions();
   result.stats = engine.stats();
   // Cumulative across a restore (continued engine counters); equal to the

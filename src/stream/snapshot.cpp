@@ -15,6 +15,7 @@
 
 #include "support/failpoint.h"
 #include "support/logging.h"
+#include "telemetry/trace.h"
 
 namespace mood::stream {
 
@@ -763,6 +764,7 @@ SnapshotData decode_snapshot(std::string_view bytes) {
 
 std::string write_snapshot_file(const std::string& dir,
                                 const std::string& bytes) {
+  MOOD_TRACE("snapshot.write");
   std::error_code ec;
   fs::create_directories(dir, ec);  // open() below reports real failures
 
@@ -856,6 +858,7 @@ std::vector<std::string> list_snapshot_files(const std::string& dir) {
 
 SnapshotData read_latest_snapshot(const std::string& dir,
                                   std::size_t* quarantined_files) {
+  MOOD_TRACE("snapshot.read");
   const auto files = list_snapshot_files(dir);
   for (const auto& path : files) {
     try {

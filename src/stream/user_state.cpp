@@ -10,6 +10,13 @@ namespace mood::stream {
 UserStateStore::UserStateStore(StoreConfig config) : config_(config) {
   support::expects(config_.shards > 0,
                    "UserStateStore: shard count must be > 0");
+  telemetry::MetricsRegistry* registry = config_.registry;
+  if (registry == nullptr) {
+    own_registry_ =
+        std::make_unique<telemetry::MetricsRegistry>(config_.shards);
+    registry = own_registry_.get();
+  }
+  evictions_ = &registry->counter("mood_store_evicted_users_total");
   shards_ = std::vector<Shard>(config_.shards);
 }
 
@@ -17,7 +24,7 @@ std::size_t UserStateStore::shard_of(const mobility::UserId& user) const {
   return std::hash<mobility::UserId>{}(user) % shards_.size();
 }
 
-void UserStateStore::evict_one(Shard& shard) {
+void UserStateStore::evict_one(Shard& shard, std::size_t shard_index) {
   auto victim = shard.states.end();
   bool victim_clean = false;
   for (auto it = shard.states.begin(); it != shard.states.end(); ++it) {
@@ -39,15 +46,17 @@ void UserStateStore::evict_one(Shard& shard) {
         shard.dirty.end());
   }
   shard.states.erase(victim);
-  ++shard.evictions;
+  evictions_->add(1, shard_index);
 }
 
 AdmitResult UserStateStore::enqueue(const StreamEvent& event,
                                     BadRecordPolicy policy, bool poisoned,
                                     const char* poison_reason) {
-  Shard& shard = shards_[shard_of(event.user)];
+  const std::size_t shard_index = shard_of(event.user);
+  Shard& shard = shards_[shard_index];
   const std::lock_guard lock(shard.mutex);
   AdmitResult result;
+  result.shard = shard_index;
   auto it = shard.states.find(event.user);
 
   if (it != shard.states.end() && it->second.quarantined) {
@@ -81,7 +90,7 @@ AdmitResult UserStateStore::enqueue(const StreamEvent& event,
   if (it == shard.states.end()) {
     if (config_.max_users_per_shard > 0 &&
         shard.states.size() >= config_.max_users_per_shard) {
-      evict_one(shard);
+      evict_one(shard, shard_index);
     }
     it = shard.states.emplace(event.user, UserState{}).first;
     it->second.user = event.user;
@@ -217,12 +226,7 @@ void UserStateStore::restore_shard_clocks(
 }
 
 std::uint64_t UserStateStore::eviction_count() const {
-  std::uint64_t n = 0;
-  for (const Shard& shard : shards_) {
-    const std::lock_guard lock(shard.mutex);
-    n += shard.evictions;
-  }
-  return n;
+  return evictions_->value();
 }
 
 }  // namespace mood::stream

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -30,6 +31,7 @@
 #include "mobility/trace.h"
 #include "stream/event.h"
 #include "stream/resilience.h"
+#include "telemetry/metrics.h"
 
 namespace mood::stream {
 
@@ -86,12 +88,19 @@ struct AdmitResult {
   /// Pending events resident in the owning shard after this call — the
   /// engine's backpressure input, read under the same lock acquisition.
   std::size_t shard_backlog = 0;
+  /// Owning shard of the event's user — the telemetry lane the engine
+  /// records admission latency and resilience counters on.
+  std::size_t shard = 0;
 };
 
 /// Store tuning knobs (a subset of StreamConfig, see engine.h).
 struct StoreConfig {
   std::size_t shards = 8;              ///< > 0
   std::size_t max_users_per_shard = 0; ///< 0 = unbounded
+  /// Metrics registry the store's counters (LRU evictions) register in;
+  /// must outlive the store. nullptr = the store keeps a private
+  /// registry (standalone/test use), so counter sites are unconditional.
+  telemetry::MetricsRegistry* registry = nullptr;
 };
 
 /// Sharded user-state map. enqueue() is thread-safe; drain_shard() hands
@@ -159,17 +168,21 @@ class UserStateStore {
     /// Users with pending points, in the order they first became dirty.
     std::vector<mobility::UserId> dirty;
     std::uint64_t clock = 0;
-    std::uint64_t evictions = 0;
     /// Sum of resident pending-queue sizes (the backpressure signal).
     std::size_t backlog = 0;
   };
 
   /// Evicts one user to make room; prefers the least-recently-touched
   /// clean (no-pending) state, falling back to the least-recently-touched
-  /// overall. Caller holds the shard lock.
-  void evict_one(Shard& shard);
+  /// overall. Caller holds the shard lock. `shard_index` is the eviction
+  /// counter's telemetry lane.
+  void evict_one(Shard& shard, std::size_t shard_index);
 
   StoreConfig config_;
+  /// Backing registry when the caller did not supply one.
+  std::unique_ptr<telemetry::MetricsRegistry> own_registry_;
+  /// LRU evictions, one lane per shard (mood_store_evicted_users_total).
+  telemetry::Counter* evictions_ = nullptr;
   std::vector<Shard> shards_;
 };
 

@@ -1,8 +1,10 @@
 #include "support/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <mutex>
 
 namespace mood::support {
@@ -44,9 +46,25 @@ void set_log_level(LogLevel level) {
 
 void log_line(LogLevel level, const std::string& message) {
   if (level < log_level()) return;
+  // ISO-8601 UTC with millisecond precision, so gateway transition logs
+  // (quarantine, shed, checkpoint, restore) line up across processes.
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  const auto millis =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          now.time_since_epoch())
+          .count() %
+      1000;
+  std::tm utc{};
+  gmtime_r(&seconds, &utc);
+  char stamp[64];
+  std::snprintf(stamp, sizeof(stamp), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday, utc.tm_hour,
+                utc.tm_min, utc.tm_sec, static_cast<int>(millis));
   static std::mutex mutex;
   std::lock_guard lock(mutex);
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+  std::fprintf(stderr, "%s [%s] %s\n", stamp, level_name(level),
+               message.c_str());
 }
 
 }  // namespace mood::support

@@ -4,6 +4,8 @@
 /// Leveled stderr logger. Thread-safe (one line per call, atomic write).
 /// The level defaults to `info` and can be lowered for tests or raised for
 /// verbose experiment runs via MOOD_LOG=debug|info|warn|error|off.
+/// Lines are timestamped (ISO-8601 UTC, millisecond precision):
+///   2026-08-08T12:34:56.789Z [warn] quarantined user 'u17' ...
 
 #include <sstream>
 #include <string>
@@ -18,7 +20,8 @@ LogLevel log_level();
 /// Overrides the level programmatically (e.g. tests silencing output).
 void set_log_level(LogLevel level);
 
-/// Emits one formatted line ("[level] message") if level >= threshold.
+/// Emits one formatted line ("<stamp> [level] message") if level >=
+/// threshold.
 void log_line(LogLevel level, const std::string& message);
 
 namespace detail {

@@ -1,0 +1,130 @@
+#include "telemetry/exposition.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "support/error.h"
+
+namespace mood::telemetry {
+
+namespace {
+
+/// Shortest round-trip-ish decimal for a bound/value; %.17g would be
+/// exact but unreadable, %.9g keeps bucket bounds (sums of powers of
+/// two) exact for every bound in the fixed layout.
+std::string format_double(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", v);
+  return buffer;
+}
+
+void append_histogram_series(std::string& out, const std::string& name,
+                             const HistogramSnapshot& h,
+                             const std::string& label_prefix) {
+  // Sparse cumulative buckets: one line per bound where the cumulative
+  // count changes, closed by the mandatory +Inf bucket.
+  std::uint64_t cumulative = 0;
+  for (const auto& bucket : h.buckets) {
+    cumulative += bucket.count;
+    const double bound = Histogram::bucket_upper_bound(bucket.index);
+    if (bucket.index >= Histogram::kBucketCount - 1) continue;  // +Inf below
+    out += name + "_bucket{" + label_prefix + "le=\"" + format_double(bound) +
+           "\"} " + std::to_string(cumulative) + "\n";
+  }
+  out += name + "_bucket{" + label_prefix + "le=\"+Inf\"} " +
+         std::to_string(h.count) + "\n";
+  if (label_prefix.empty()) {
+    out += name + "_sum " + format_double(h.sum) + "\n";
+    out += name + "_count " + std::to_string(h.count) + "\n";
+  } else {
+    // label_prefix ends with a comma for the le= label; strip it for
+    // the sum/count series.
+    const std::string labels =
+        "{" + label_prefix.substr(0, label_prefix.size() - 1) + "}";
+    out += name + "_sum" + labels + " " + format_double(h.sum) + "\n";
+    out += name + "_count" + labels + " " + std::to_string(h.count) + "\n";
+  }
+}
+
+[[noreturn]] void throw_errno(const char* op, const std::string& path) {
+  throw support::IoError(std::string(op) + " '" + path +
+                         "': " + std::strerror(errno));
+}
+
+struct Fd {
+  int fd = -1;
+  ~Fd() {
+    if (fd >= 0) ::close(fd);
+  }
+  void close_now() {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+};
+
+}  // namespace
+
+std::string render_exposition(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + format_double(value) + "\n";
+  }
+  for (const auto& entry : snapshot.histograms) {
+    out += "# TYPE " + entry.name + " histogram\n";
+    append_histogram_series(out, entry.name, entry.merged, "");
+    if (entry.lanes.size() > 1) {
+      for (std::size_t lane = 0; lane < entry.lanes.size(); ++lane) {
+        append_histogram_series(out, entry.name, entry.lanes[lane],
+                                "shard=\"" + std::to_string(lane) + "\",");
+      }
+    }
+  }
+  return out;
+}
+
+void write_exposition_file(const std::string& path, const std::string& text) {
+  // Same crash-consistency protocol as mood-snapshot/1 writes: readers
+  // (a scraper, `mood metrics`) either see the previous exposition or
+  // the new one, never a torn file.
+  const std::string tmp_path = path + ".tmp";
+  Fd fd{::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+               0644)};
+  if (fd.fd < 0) throw_errno("open", tmp_path);
+  const char* data = text.data();
+  std::size_t remaining = text.size();
+  while (remaining > 0) {
+    const ::ssize_t wrote = ::write(fd.fd, data, remaining);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("write", tmp_path);
+    }
+    data += wrote;
+    remaining -= static_cast<std::size_t>(wrote);
+  }
+  if (::fsync(fd.fd) != 0) throw_errno("fsync", tmp_path);
+  fd.close_now();
+  if (::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    throw_errno("rename", path);
+  }
+  std::string dir = path;
+  if (const auto slash = dir.find_last_of('/'); slash != std::string::npos) {
+    dir.resize(slash);
+  } else {
+    dir = ".";
+  }
+  Fd dirfd{::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC)};
+  if (dirfd.fd >= 0) ::fsync(dirfd.fd);  // best-effort directory durability
+}
+
+}  // namespace mood::telemetry

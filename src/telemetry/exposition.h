@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file exposition.h
+/// Prometheus-style text exposition of a MetricsSnapshot, plus the
+/// crash-consistent file rewrite used by `mood replay --metrics-out`.
+///
+/// Format (text exposition format 0.0.4 subset):
+///   # TYPE <name> counter|gauge|histogram
+///   <name> <value>
+///   <name>_bucket{le="<bound>"} <cumulative>        (merged histogram)
+///   <name>_bucket{shard="i",le="<bound>"} <cum>     (per-shard lanes)
+///   <name>_sum / <name>_count                        (+ shard variants)
+/// Bucket lines are sparse — emitted only where the cumulative count
+/// changes — and always close with le="+Inf", so any Prometheus
+/// scraper reconstructs the full cumulative distribution.
+
+#include <string>
+
+#include "telemetry/metrics.h"
+
+namespace mood::telemetry {
+
+/// Render the snapshot as Prometheus text exposition. Deterministic:
+/// instruments sort by name, buckets ascend by bound.
+std::string render_exposition(const MetricsSnapshot& snapshot);
+
+/// Atomically replace `path` with `text` using the snapshot idiom:
+/// write to `<path>.tmp`, fsync, rename over `path`, fsync the
+/// directory. Readers always observe a complete exposition. Throws
+/// IoError on failure (the caller decides whether that is fatal).
+void write_exposition_file(const std::string& path, const std::string& text);
+
+}  // namespace mood::telemetry

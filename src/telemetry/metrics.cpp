@@ -1,0 +1,207 @@
+#include "telemetry/metrics.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "support/error.h"
+
+namespace mood::telemetry {
+
+namespace {
+
+bool valid_metric_name(std::string_view name) {
+  if (name.empty()) return false;
+  const auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(name[0])) return false;
+  for (const char c : name.substr(1)) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Counter
+
+Counter::Counter(std::size_t lanes) : lanes_(lanes > 0 ? lanes : 1) {}
+
+std::uint64_t Counter::value() const noexcept {
+  std::uint64_t total = 0;
+  for (const CounterLane& lane : lanes_) {
+    total += lane.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Histogram layout
+
+std::size_t Histogram::bucket_index(double seconds) noexcept {
+  // Zero, negatives and NaN all land in the underflow bucket: latency
+  // sites never produce them on purpose, and the underflow bucket keeps
+  // them visible without poisoning the distribution.
+  if (!(seconds > 0.0)) return 0;
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(seconds));
+  std::memcpy(&bits, &seconds, sizeof(bits));
+  const int exponent = int((bits >> 52) & 0x7ff) - 1023;
+  if (exponent < kMinExp) return 0;  // subnormals included (exponent -1023)
+  if (exponent >= kMaxExp) return kBucketCount - 1;  // +inf included
+  const auto sub = std::size_t((bits >> 48) & 0xf);  // top 4 mantissa bits
+  return 1 + std::size_t(exponent - kMinExp) * kSubdivisions + sub;
+}
+
+double Histogram::bucket_upper_bound(std::size_t index) noexcept {
+  if (index == 0) return std::ldexp(1.0, kMinExp);
+  if (index >= kBucketCount - 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const std::size_t slot = index - 1;
+  const int exponent = kMinExp + int(slot / kSubdivisions);
+  const auto sub = double(slot % kSubdivisions);
+  return std::ldexp(1.0 + (sub + 1.0) / kSubdivisions, exponent);
+}
+
+double Histogram::bucket_lower_bound(std::size_t index) noexcept {
+  if (index == 0) return 0.0;
+  if (index >= kBucketCount - 1) return std::ldexp(1.0, kMaxExp);
+  const std::size_t slot = index - 1;
+  const int exponent = kMinExp + int(slot / kSubdivisions);
+  const auto sub = double(slot % kSubdivisions);
+  return std::ldexp(1.0 + sub / kSubdivisions, exponent);
+}
+
+double Histogram::bucket_midpoint(std::size_t index) noexcept {
+  if (index >= kBucketCount - 1) return bucket_lower_bound(index);
+  return 0.5 * (bucket_lower_bound(index) + bucket_upper_bound(index));
+}
+
+// ---------------------------------------------------------------------------
+// Histogram recording
+
+Histogram::Histogram(std::size_t lanes) : lanes_(lanes > 0 ? lanes : 1) {}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot merged;
+  std::array<std::uint64_t, kBucketCount> totals{};
+  for (const Lane& lane : lanes_) {
+    for (std::size_t b = 0; b < kBucketCount; ++b) {
+      totals[b] += lane.counts[b].load(std::memory_order_relaxed);
+    }
+    merged.count += lane.count.load(std::memory_order_relaxed);
+    merged.sum += lane.sum.load(std::memory_order_relaxed);
+  }
+  for (std::size_t b = 0; b < kBucketCount; ++b) {
+    if (totals[b] > 0) {
+      merged.buckets.push_back({std::uint32_t(b), totals[b]});
+    }
+  }
+  return merged;
+}
+
+HistogramSnapshot Histogram::lane_snapshot(std::size_t lane) const {
+  support::expects(lane < lanes_.size(), "histogram lane out of range");
+  const Lane& l = lanes_[lane];
+  HistogramSnapshot view;
+  view.count = l.count.load(std::memory_order_relaxed);
+  view.sum = l.sum.load(std::memory_order_relaxed);
+  for (std::size_t b = 0; b < kBucketCount; ++b) {
+    const std::uint64_t n = l.counts[b].load(std::memory_order_relaxed);
+    if (n > 0) view.buckets.push_back({std::uint32_t(b), n});
+  }
+  return view;
+}
+
+double HistogramSnapshot::percentile(double q) const noexcept {
+  if (count == 0 || buckets.empty()) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Nearest-rank: the smallest bucket whose cumulative count reaches
+  // ceil(q * count), reported at the bucket midpoint.
+  const auto rank =
+      std::max<std::uint64_t>(1, std::uint64_t(std::ceil(q * double(count))));
+  std::uint64_t cumulative = 0;
+  for (const Bucket& bucket : buckets) {
+    cumulative += bucket.count;
+    if (cumulative >= rank) return Histogram::bucket_midpoint(bucket.index);
+  }
+  return Histogram::bucket_midpoint(buckets.back().index);
+}
+
+double HistogramSnapshot::max() const noexcept {
+  if (buckets.empty()) return 0.0;
+  const std::uint32_t top = buckets.back().index;
+  if (top >= Histogram::kBucketCount - 1) {
+    return Histogram::bucket_lower_bound(top);  // overflow: lower bound
+  }
+  return Histogram::bucket_upper_bound(top);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+MetricsRegistry::MetricsRegistry(std::size_t lanes)
+    : lanes_(lanes > 0 ? lanes : 1) {}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  support::expects(valid_metric_name(name),
+                   "metric names must match [a-zA-Z_:][a-zA-Z0-9_:]*");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = entries_[std::string(name)];
+  support::expects(!entry.gauge && !entry.histogram,
+                   "metric already registered with a different kind");
+  if (!entry.counter) entry.counter = std::make_unique<Counter>(lanes_);
+  return *entry.counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  support::expects(valid_metric_name(name),
+                   "metric names must match [a-zA-Z_:][a-zA-Z0-9_:]*");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = entries_[std::string(name)];
+  support::expects(!entry.counter && !entry.histogram,
+                   "metric already registered with a different kind");
+  if (!entry.gauge) entry.gauge = std::make_unique<Gauge>();
+  return *entry.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  support::expects(valid_metric_name(name),
+                   "metric names must match [a-zA-Z_:][a-zA-Z0-9_:]*");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = entries_[std::string(name)];
+  support::expects(!entry.counter && !entry.gauge,
+                   "metric already registered with a different kind");
+  if (!entry.histogram) entry.histogram = std::make_unique<Histogram>(lanes_);
+  return *entry.histogram;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot out;
+  for (const auto& [name, entry] : entries_) {
+    if (entry.counter) {
+      out.counters.emplace_back(name, entry.counter->value());
+    } else if (entry.gauge) {
+      out.gauges.emplace_back(name, entry.gauge->value());
+    } else if (entry.histogram) {
+      MetricsSnapshot::HistogramEntry h;
+      h.name = name;
+      h.merged = entry.histogram->snapshot();
+      h.lanes.reserve(entry.histogram->lane_count());
+      for (std::size_t lane = 0; lane < entry.histogram->lane_count();
+           ++lane) {
+        h.lanes.push_back(entry.histogram->lane_snapshot(lane));
+      }
+      out.histograms.push_back(std::move(h));
+    }
+  }
+  return out;
+}
+
+}  // namespace mood::telemetry

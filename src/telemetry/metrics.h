@@ -1,0 +1,220 @@
+#pragma once
+
+/// \file metrics.h
+/// The gateway's metrics registry: named counters, gauges and fixed
+/// log-bucketed latency histograms with per-shard lock-free recording.
+///
+/// Design contract (see ARCHITECTURE.md "Telemetry"):
+///  - The hot path (Counter::add, Histogram::record) is a handful of
+///    relaxed atomic operations on a pre-allocated, cache-line padded
+///    lane — a couple of nanoseconds, zero allocation, no locks.
+///  - Each instrument owns one lane per shard; writers pick their lane
+///    (typically the shard index) and never contend, readers merge the
+///    lanes at snapshot time. Lane 0 is the conventional home for
+///    engine-level (non-sharded) sites.
+///  - Histograms share one fixed log-bucketed layout: 16 subdivisions
+///    per power-of-two octave between 2^-24 s (~60 ns) and 2^7 s
+///    (128 s), plus an underflow and an overflow bucket. The bucket
+///    index is derived from the IEEE-754 bit pattern (exponent + top 4
+///    mantissa bits), so recording never searches bound tables.
+///  - Percentiles are derived from bucket midpoints; with 16 buckets
+///    per octave the relative error is at most (1/16)/2 ~= 3.2%, well
+///    inside the <=5% bound the stream report documents.
+///
+/// Registration (MetricsRegistry::counter/gauge/histogram) takes a
+/// mutex and may allocate; it happens once at wiring time, never on the
+/// hot path. Returned references stay valid for the registry lifetime.
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace mood::telemetry {
+
+/// One cache line of counter state so per-shard lanes never false-share.
+struct alignas(64) CounterLane {
+  std::atomic<std::uint64_t> value{0};
+};
+
+/// Monotonic counter with one lock-free lane per shard.
+class Counter {
+ public:
+  explicit Counter(std::size_t lanes);
+
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  /// Hot path: one relaxed fetch_add on the caller's lane.
+  void add(std::uint64_t n = 1, std::size_t lane = 0) noexcept {
+    lanes_[lane < lanes_.size() ? lane : 0].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  /// Merged value across all lanes (relaxed reads; exact once writers
+  /// are quiescent, monotonically fresh while they are not).
+  std::uint64_t value() const noexcept;
+
+  std::size_t lane_count() const noexcept { return lanes_.size(); }
+
+ private:
+  std::vector<CounterLane> lanes_;
+};
+
+/// Last-write-wins instantaneous value (resident users, backlog, ...).
+/// Gauges are set from bookkeeping code, not the per-event hot path, so
+/// a single atomic slot suffices.
+class Gauge {
+ public:
+  Gauge() = default;
+
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void set(double value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Read-side view of one histogram (one lane or the lane merge).
+/// Buckets are sparse: only non-empty buckets appear, ascending by
+/// index. `index` addresses the fixed global layout (see Histogram).
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  /// Exact sum of recorded values (so mean() has no bucket error).
+  double sum = 0.0;
+  struct Bucket {
+    std::uint32_t index = 0;
+    std::uint64_t count = 0;
+  };
+  std::vector<Bucket> buckets;
+
+  /// Nearest-rank percentile reported at the bucket's arithmetic
+  /// midpoint; q in [0,1]. Returns 0 when empty. Relative error is
+  /// bounded by the bucket resolution (<= ~3.2%).
+  double percentile(double q) const noexcept;
+  /// Upper bound of the highest non-empty bucket (a conservative max);
+  /// for the overflow bucket this degrades to its lower bound, 2^7 s.
+  double max() const noexcept;
+  double mean() const noexcept { return count > 0 ? sum / double(count) : 0.0; }
+  bool empty() const noexcept { return count == 0; }
+};
+
+/// Fixed log-bucketed latency histogram (seconds) with per-shard lanes.
+class Histogram {
+ public:
+  /// Bucket layout constants: kSubdivisions buckets per power-of-two
+  /// octave, octaves [kMinExp, kMaxExp). Bucket 0 is underflow
+  /// (value < 2^kMinExp, including zero and negatives), the last
+  /// bucket is overflow (value >= 2^kMaxExp).
+  static constexpr int kSubdivisions = 16;
+  static constexpr int kMinExp = -24;  // 2^-24 s ~= 59.6 ns
+  static constexpr int kMaxExp = 7;    // 2^7 s = 128 s
+  static constexpr std::size_t kBucketCount =
+      std::size_t(kMaxExp - kMinExp) * kSubdivisions + 2;
+
+  /// Bucket for a value: bit-extracted from the IEEE-754 double
+  /// (biased exponent + top 4 mantissa bits), no table search. Regular
+  /// bucket b covers [lower, upper) with bounds (1 + j/16) * 2^e.
+  static std::size_t bucket_index(double seconds) noexcept;
+  /// Exclusive upper bound of a bucket; +infinity for the overflow
+  /// bucket, 2^kMinExp for the underflow bucket.
+  static double bucket_upper_bound(std::size_t index) noexcept;
+  /// Inclusive lower bound (0 for the underflow bucket).
+  static double bucket_lower_bound(std::size_t index) noexcept;
+  /// The value percentiles report for a bucket: the arithmetic
+  /// midpoint of its bounds (lower bound for the overflow bucket).
+  static double bucket_midpoint(std::size_t index) noexcept;
+
+  explicit Histogram(std::size_t lanes);
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Hot path: two relaxed fetch_adds (bucket + count) and one atomic
+  /// double accumulate on the caller's lane.
+  void record(double seconds, std::size_t lane = 0) noexcept {
+    Lane& l = lanes_[lane < lanes_.size() ? lane : 0];
+    l.counts[bucket_index(seconds)].fetch_add(1, std::memory_order_relaxed);
+    l.count.fetch_add(1, std::memory_order_relaxed);
+    l.sum.fetch_add(seconds, std::memory_order_relaxed);
+  }
+
+  std::size_t lane_count() const noexcept { return lanes_.size(); }
+
+  /// Merge of all lanes.
+  HistogramSnapshot snapshot() const;
+  /// One lane only (per-shard view).
+  HistogramSnapshot lane_snapshot(std::size_t lane) const;
+
+ private:
+  struct alignas(64) Lane {
+    std::array<std::atomic<std::uint64_t>, kBucketCount> counts{};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+  };
+  std::vector<Lane> lanes_;
+};
+
+/// Everything a registry knows at one instant, for exposition and
+/// report serialization. Entries are sorted by name.
+struct MetricsSnapshot {
+  struct HistogramEntry {
+    std::string name;
+    HistogramSnapshot merged;
+    /// Per-lane views, lane order (empty lanes included so lane index
+    /// == shard index survives into the exposition).
+    std::vector<HistogramSnapshot> lanes;
+  };
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramEntry> histograms;
+};
+
+/// Named instrument registry. One per StreamEngine; `lanes` is the
+/// shard count every instrument is created with.
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(std::size_t lanes = 1);
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Create-or-get by name. Names must match the Prometheus grammar
+  /// [a-zA-Z_:][a-zA-Z0-9_:]* ; re-registering a name as a different
+  /// kind throws PreconditionError.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  std::size_t lane_count() const noexcept { return lanes_; }
+
+  /// Stable, name-sorted view of every instrument.
+  MetricsSnapshot snapshot() const;
+
+ private:
+  struct Entry {
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  std::size_t lanes_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+}  // namespace mood::telemetry

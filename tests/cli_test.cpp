@@ -234,6 +234,92 @@ TEST(CliReplay, CheckpointThenRestoreReproducesTheRunExactly) {
   EXPECT_NE(mismatched.err.find("different replay"), std::string::npos);
 }
 
+TEST(CliReplay, RejectsBadTelemetryFlags) {
+  const auto bad_level = run_cli({"replay", "--log-level=loud"});
+  EXPECT_EQ(bad_level.code, kExitUsage);
+  EXPECT_NE(bad_level.err.find("--log-level"), std::string::npos);
+  EXPECT_EQ(run_cli({"replay", "--metrics-every=-1"}).code, kExitUsage);
+  // A periodic cadence without a destination is a misconfiguration.
+  const auto no_sink = run_cli({"replay", "--metrics-every=100"});
+  EXPECT_EQ(no_sink.code, kExitUsage);
+  EXPECT_NE(no_sink.err.find("--metrics-out"), std::string::npos);
+}
+
+TEST(CliReplay, TelemetrySinksWriteMetricsAndTraceArtifacts) {
+  // End-to-end telemetry drill: one replay writing the stream document,
+  // the exposition and the Chrome trace; then `mood metrics` renders
+  // both machine formats as tables.
+  const std::string dir =
+      std::string(::testing::TempDir()) + "mood_cli_telemetry";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string metrics_path = dir + "/metrics.prom";
+  const std::string trace_path = dir + "/trace.json";
+  const std::string stream_path = dir + "/stream.json";
+
+  const auto replayed = run_cli(
+      {"replay", "--preset=small", "--scale=0.05", "--users=8", "--days=6",
+       "--seed=3", "--shards=3", "--batch=128", "--out=" + stream_path,
+       "--metrics-out=" + metrics_path, "--trace-out=" + trace_path,
+       "--log-level=warn"});
+  ASSERT_EQ(replayed.code, kExitOk) << replayed.err;
+  EXPECT_NE(replayed.err.find("trace spans"), std::string::npos);
+  EXPECT_FALSE(std::filesystem::exists(metrics_path + ".tmp"));
+
+  // The stream document carries the latency histogram block, consistent
+  // with itself and with the exposition.
+  std::ifstream stream_file(stream_path);
+  std::stringstream stream_text;
+  stream_text << stream_file.rdbuf();
+  const report::Json document = report::Json::parse(stream_text.str());
+  const report::Json* latency = document.find("replay")->find("latency");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->int_or("count", -1),
+            document.find("replay")->int_or("events", -2));
+  EXPECT_EQ(latency->string_or("unit", ""), "seconds");
+  const report::Json* per_shard = latency->find("per_shard");
+  ASSERT_NE(per_shard, nullptr);
+  ASSERT_EQ(per_shard->items().size(), 3u);
+  std::int64_t shard_total = 0;
+  for (const auto& shard : per_shard->items()) {
+    shard_total += shard.int_or("count", 0);
+  }
+  EXPECT_EQ(shard_total, latency->int_or("count", -1));
+
+  // The trace is valid JSON with trace_event rows.
+  std::ifstream trace_file(trace_path);
+  std::stringstream trace_text;
+  trace_text << trace_file.rdbuf();
+  const report::Json trace = report::Json::parse(trace_text.str());
+  ASSERT_NE(trace.find("traceEvents"), nullptr);
+  EXPECT_FALSE(trace.find("traceEvents")->items().empty());
+
+  // `mood metrics` renders both the exposition and the stream document.
+  const auto exposition = run_cli({"metrics", metrics_path});
+  ASSERT_EQ(exposition.code, kExitOk) << exposition.err;
+  EXPECT_NE(exposition.out.find("mood_stream_events_total"),
+            std::string::npos);
+  EXPECT_NE(exposition.out.find("mood_replay_latency_seconds_p95"),
+            std::string::npos);
+  const auto summary = run_cli({"metrics", stream_path});
+  ASSERT_EQ(summary.code, kExitOk) << summary.err;
+  EXPECT_NE(summary.out.find("latency_p50_ms"), std::string::npos);
+  EXPECT_NE(summary.out.find("latency_shard0_events"), std::string::npos);
+}
+
+TEST(CliMetrics, RejectsMissingAndUnsupportedInputs) {
+  EXPECT_EQ(run_cli({"metrics"}).code, kExitUsage);
+  EXPECT_EQ(run_cli({"metrics", "/no/such/metrics.prom"}).code,
+            kExitFailure);
+  // A JSON document of the wrong schema is a typed usage error.
+  const std::string path =
+      std::string(::testing::TempDir()) + "mood_cli_wrong_schema.json";
+  std::ofstream(path) << "{\"schema\": \"mood-result/1\"}";
+  const auto wrong = run_cli({"metrics", path});
+  EXPECT_EQ(wrong.code, kExitUsage);
+  EXPECT_NE(wrong.err.find("mood-stream/1"), std::string::npos);
+}
+
 TEST(CliReport, NoInputsIsUsageError) {
   EXPECT_EQ(run_cli({"report"}).code, kExitUsage);
 }

@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <limits>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -33,6 +34,9 @@
 #include "support/error.h"
 #include "support/failpoint.h"
 #include "support/logging.h"
+#include "telemetry/exposition.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace mood::stream {
 namespace {
@@ -570,6 +574,135 @@ TEST_F(StreamTest, ReplayMeasuresThroughputAndOrderedLatencies) {
   EXPECT_LE(result.latency.p95, result.latency.p99);
   EXPECT_LE(result.latency.p99, result.latency.max);
   EXPECT_GT(result.stats.batches, 0u);
+}
+
+TEST_F(StreamTest, ReplayLatencyHistogramCoversEveryEvent) {
+  StreamConfig config;
+  config.shards = 4;
+  ReplayOptions options;
+  options.batch_events = 128;
+  const auto result = replay_with(config, options);
+
+  // Every ingested event records exactly one latency sample on its
+  // owning shard's lane; the merged histogram is the lane sum.
+  EXPECT_EQ(result.latency_histogram.count, result.events);
+  ASSERT_EQ(result.latency_per_shard.size(), config.shards);
+  std::uint64_t lane_total = 0;
+  for (const auto& lane : result.latency_per_shard) lane_total += lane.count;
+  EXPECT_EQ(lane_total, result.latency_histogram.count);
+
+  // The summary is derived from the histogram, not a sample vector.
+  EXPECT_DOUBLE_EQ(result.latency.p50,
+                   result.latency_histogram.percentile(0.50));
+  EXPECT_DOUBLE_EQ(result.latency.p95,
+                   result.latency_histogram.percentile(0.95));
+  EXPECT_DOUBLE_EQ(result.latency.p99,
+                   result.latency_histogram.percentile(0.99));
+  EXPECT_DOUBLE_EQ(result.latency.mean, result.latency_histogram.mean());
+}
+
+TEST_F(StreamTest, StageTimersOffChangesNoDecision) {
+  StreamConfig timed;
+  timed.shards = 4;
+  const auto reference = replay_with(timed);
+
+  StreamConfig untimed = timed;
+  untimed.telemetry.stage_timers = false;
+  const auto result = replay_with(untimed);
+
+  ASSERT_EQ(result.decisions.size(), reference.decisions.size());
+  for (std::size_t i = 0; i < result.decisions.size(); ++i) {
+    EXPECT_EQ(result.decisions[i].user, reference.decisions[i].user);
+    EXPECT_EQ(result.decisions[i].decision, reference.decisions[i].decision);
+    EXPECT_EQ(result.decisions[i].winner, reference.decisions[i].winner);
+  }
+  // Replay latency is always on (it is the report's headline metric);
+  // only the per-stage histograms go quiet.
+  EXPECT_EQ(result.latency_histogram.count, result.events);
+  StreamEngine probe(harness_->make_engine(), untimed);
+  probe.ingest((*events_)[0]);
+  probe.drain();
+  for (const auto& entry : probe.metrics_snapshot().histograms) {
+    if (entry.name.rfind("mood_stage_", 0) == 0) {
+      EXPECT_TRUE(entry.merged.empty()) << entry.name;
+    }
+  }
+}
+
+TEST_F(StreamTest, MetricsSnapshotMirrorsGatewayCounters) {
+  StreamConfig config;
+  config.shards = 2;
+  StreamEngine engine(harness_->make_engine(), config);
+  const auto result = run_replay(engine, *events_, {});
+
+  const telemetry::MetricsSnapshot snapshot = engine.metrics_snapshot();
+  const auto counter = [&](std::string_view name) -> std::uint64_t {
+    for (const auto& [n, v] : snapshot.counters) {
+      if (n == name) return v;
+    }
+    ADD_FAILURE() << "missing counter " << name;
+    return 0;
+  };
+  const auto gauge = [&](std::string_view name) -> double {
+    for (const auto& [n, v] : snapshot.gauges) {
+      if (n == name) return v;
+    }
+    ADD_FAILURE() << "missing gauge " << name;
+    return -1.0;
+  };
+  EXPECT_EQ(counter("mood_stream_events_total"), result.events);
+  EXPECT_EQ(counter("mood_stream_batches_total"), result.batches);
+  EXPECT_DOUBLE_EQ(gauge("mood_gateway_events"), double(result.stats.events));
+  EXPECT_DOUBLE_EQ(gauge("mood_gateway_searches"),
+                   double(result.stats.searches));
+  // Names are sorted, and the exposition of a live engine renders.
+  EXPECT_TRUE(std::is_sorted(
+      snapshot.counters.begin(), snapshot.counters.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; }));
+  const std::string text = telemetry::render_exposition(snapshot);
+  EXPECT_NE(text.find("# TYPE mood_replay_latency_seconds histogram"),
+            std::string::npos);
+}
+
+TEST_F(StreamTest, TelemetryOnRestoredReplayDiffsCleanAgainstStraight) {
+  // Stage timers + an active trace session must not perturb the
+  // restart drill: a restored gateway's decisions and continued stats
+  // stay byte-identical to an uninterrupted run's.
+  telemetry::TraceSession::instance().start(1 << 12);
+  StreamConfig config;
+  config.shards = 2;
+  ReplayOptions options;
+  options.batch_events = 256;
+
+  StreamEngine straight(harness_->make_engine(), config);
+  const auto reference = run_replay(straight, *events_, options);
+
+  const std::size_t boundary = 2 * options.batch_events;
+  StreamEngine first(harness_->make_engine(), config);
+  for (std::size_t i = 0; i < boundary; ++i) {
+    first.ingest((*events_)[i]);
+    if ((i + 1) % options.batch_events == 0) first.drain();
+  }
+  const SnapshotData snap =
+      decode_snapshot(encode_snapshot(first.capture_snapshot()));
+  StreamEngine second(harness_->make_engine(), config);
+  second.restore_snapshot(snap);
+  options.resume_events = boundary;
+  const auto resumed = run_replay(second, *events_, options);
+  telemetry::TraceSession::instance().stop();
+
+  ASSERT_EQ(resumed.decisions.size(), reference.decisions.size());
+  for (std::size_t i = 0; i < reference.decisions.size(); ++i) {
+    EXPECT_EQ(resumed.decisions[i].user, reference.decisions[i].user);
+    EXPECT_EQ(resumed.decisions[i].decision,
+              reference.decisions[i].decision);
+    EXPECT_EQ(resumed.decisions[i].winner, reference.decisions[i].winner);
+  }
+  EXPECT_EQ(resumed.stats.events, reference.stats.events);
+  EXPECT_EQ(resumed.stats.decisions, reference.stats.decisions);
+  // The latency histogram is session-scoped: the resumed process only
+  // measured the events it replayed itself.
+  EXPECT_EQ(resumed.latency_histogram.count, events_->size() - boundary);
 }
 
 TEST_F(StreamTest, ReplayOfEmptyStreamIsWellFormed) {

@@ -1,0 +1,27 @@
+// Compiled with -DMOOD_DISABLE_TRACING (set per-source in
+// tests/CMakeLists.txt) to pin the zero-overhead contract: MOOD_TRACE
+// must expand to nothing and must not evaluate its tag expressions.
+// telemetry_test.cpp calls disabled_tracing_evaluations() and asserts 0.
+
+#include "telemetry/trace.h"
+
+#ifndef MOOD_DISABLE_TRACING
+#error "this translation unit must be compiled with MOOD_DISABLE_TRACING"
+#endif
+
+namespace mood::telemetry::testing {
+
+int disabled_tracing_evaluations() {
+  int evaluations = 0;
+  const auto tag = [&evaluations]() {
+    ++evaluations;
+    return std::uint32_t{1};
+  };
+  {
+    MOOD_TRACE("disabled.span", {.shard = tag()});
+  }
+  (void)tag;
+  return evaluations;
+}
+
+}  // namespace mood::telemetry::testing

@@ -20,6 +20,7 @@ Commands:
   report     aggregate and compare result JSON files across runs
   bench      benchmark attack inference (reference vs optimized) to JSON
   replay     replay a dataset through the online gateway, measure it
+  metrics    render a metrics exposition or stream JSON as a table
 
 Run `mood <command> --help` for the command's flags. Every flag can also be
 set through the MOOD_<FLAG> environment (e.g. MOOD_SCALE=0.5).
@@ -48,6 +49,7 @@ int run(int argc, const char* const* argv, std::ostream& out,
     if (command == "report") return cmd_report(sub_argc, sub_argv, out, err);
     if (command == "bench") return cmd_bench(sub_argc, sub_argv, out, err);
     if (command == "replay") return cmd_replay(sub_argc, sub_argv, out, err);
+    if (command == "metrics") return cmd_metrics(sub_argc, sub_argv, out, err);
     err << "mood: unknown command '" << command << "'\n\n" << kTopLevelHelp;
     return kExitUsage;
   } catch (const support::UsageError& error) {

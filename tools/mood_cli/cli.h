@@ -46,5 +46,7 @@ int cmd_bench(int argc, const char* const* argv, std::ostream& out,
               std::ostream& err);
 int cmd_replay(int argc, const char* const* argv, std::ostream& out,
                std::ostream& err);
+int cmd_metrics(int argc, const char* const* argv, std::ostream& out,
+                std::ostream& err);
 
 }  // namespace mood::cli

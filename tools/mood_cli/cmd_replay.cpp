@@ -18,6 +18,7 @@
 
 #include <chrono>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -39,6 +40,7 @@
 #include "support/logging.h"
 #include "support/options.h"
 #include "support/thread_pool.h"
+#include "telemetry/trace.h"
 
 namespace mood::cli {
 
@@ -195,16 +197,44 @@ int cmd_replay(int argc, const char* const* argv, std::ostream& out,
                 "user");
   flags.add_bool("per-user", true, "include the per_user array in the JSON");
   flags.add_string("out", "-", "stream JSON path ('-' = stdout)");
-  flags.add_bool("verbose", false, "log at info level instead of warn");
+  flags.add_string("metrics-out", "",
+                   "rewrite a Prometheus-style metrics exposition here "
+                   "(atomic tmp+fsync+rename) on the export cadence and "
+                   "once after the replay (empty = off)");
+  flags.add_int("metrics-every", 0,
+                "rewrite --metrics-out every N ingested events, at the "
+                "next micro-batch boundary (0 = follow "
+                "--checkpoint-every; final rewrite always happens)");
+  flags.add_string("trace-out", "",
+                   "dump a Chrome trace_event JSON of the replay's spans "
+                   "here — load in chrome://tracing or Perfetto (empty = "
+                   "tracing off)");
+  flags.add_bool("stage-timers", true,
+                 "record per-stage latency histograms (ingest admission, "
+                 "per-user decide, drain, checkpoint)");
+  flags.add_string("log-level", "off",
+                   "gateway transition logging to stderr: off | warn | "
+                   "info | debug (off keeps stderr to progress lines "
+                   "only; stdout JSON is never touched)");
   flags.parse(argc, argv);
   if (flags.get_bool("help")) {
     out << flags.help();
     return kExitOk;
   }
   flags.reject_positionals();
-  support::set_log_level(flags.get_bool("verbose")
-                             ? support::LogLevel::kInfo
-                             : support::LogLevel::kWarn);
+  const std::string log_level = flags.get_string("log-level");
+  if (log_level == "off") {
+    support::set_log_level(support::LogLevel::kOff);
+  } else if (log_level == "warn") {
+    support::set_log_level(support::LogLevel::kWarn);
+  } else if (log_level == "info") {
+    support::set_log_level(support::LogLevel::kInfo);
+  } else if (log_level == "debug") {
+    support::set_log_level(support::LogLevel::kDebug);
+  } else {
+    throw support::UsageError(
+        "mood replay: --log-level must be off, warn, info or debug");
+  }
 
   // Vet cheap flag constraints before dataset generation and training.
   if (flags.get_int("shards") <= 0) {
@@ -222,6 +252,15 @@ int cmd_replay(int argc, const char* const* argv, std::ostream& out,
   if (flags.get_int("checkpoint-every") < 0) {
     throw support::UsageError(
         "mood replay: --checkpoint-every must be non-negative");
+  }
+  if (flags.get_int("metrics-every") < 0) {
+    throw support::UsageError(
+        "mood replay: --metrics-every must be non-negative");
+  }
+  if (flags.get_int("metrics-every") > 0 &&
+      flags.get_string("metrics-out").empty()) {
+    throw support::UsageError(
+        "mood replay: --metrics-every requires --metrics-out");
   }
   if (flags.get_int("max-pending") < 0 || flags.get_int("shed-high") < 0 ||
       flags.get_int("shed-low") < 0 || flags.get_int("drain-budget") < 0 ||
@@ -330,6 +369,7 @@ int cmd_replay(int argc, const char* const* argv, std::ostream& out,
   stream_config.resilience.shed_low_watermark = shed_low;
   stream_config.resilience.drain_budget =
       static_cast<std::size_t>(flags.get_int("drain-budget"));
+  stream_config.telemetry.stage_timers = flags.get_bool("stage-timers");
 
   stream::ReplayOptions replay_options;
   replay_options.batch_events =
@@ -348,6 +388,23 @@ int cmd_replay(int argc, const char* const* argv, std::ostream& out,
   }
   harness.set_attack_query_mode(stream_mode);
   stream::StreamEngine engine(harness.make_engine(), stream_config);
+
+  // ---- Telemetry sinks -------------------------------------------------
+  const std::string metrics_out = flags.get_string("metrics-out");
+  if (!metrics_out.empty()) {
+    // Default the periodic rewrite to the checkpoint cadence; 0 of both
+    // means the only exposition is the final one after finish().
+    std::uint64_t every =
+        static_cast<std::uint64_t>(flags.get_int("metrics-every"));
+    if (every == 0) {
+      every = static_cast<std::uint64_t>(flags.get_int("checkpoint-every"));
+    }
+    engine.configure_metrics_export(metrics_out, every);
+  }
+  const std::string trace_out = flags.get_string("trace-out");
+  if (!trace_out.empty()) {
+    telemetry::TraceSession::instance().start();
+  }
 
   // ---- Checkpoint / restore -------------------------------------------
   stream::SnapshotContext snapshot_context;
@@ -409,6 +466,36 @@ int cmd_replay(int argc, const char* const* argv, std::ostream& out,
   const stream::ReplayResult result =
       stream::run_replay(engine, events, replay_options);
   meta.timings.emplace_back("replay", elapsed() - replay_started);
+
+  // Trace covers exactly the replay (ingest through finish); the batch
+  // verification pass below is offline kernel work, not gateway spans.
+  if (!trace_out.empty()) {
+    telemetry::TraceSession& session = telemetry::TraceSession::instance();
+    session.stop();
+    std::ofstream trace_file(trace_out, std::ios::binary | std::ios::trunc);
+    if (!trace_file) {
+      throw support::IoError("mood replay: cannot open trace output '" +
+                             trace_out + "'");
+    }
+    session.dump_chrome_json(trace_file);
+    trace_file.flush();
+    if (!trace_file) {
+      throw support::IoError("mood replay: failed writing trace output '" +
+                             trace_out + "'");
+    }
+    err << "wrote " << session.span_count() << " trace spans to " << trace_out;
+    if (session.dropped() > 0) {
+      err << " (" << session.dropped() << " dropped: ring full)";
+    }
+    err << '\n';
+  }
+  // One final exposition so the file reflects the finished replay even
+  // when the event-count cadence never fired (or --metrics-every=0).
+  if (!metrics_out.empty()) {
+    const std::uint64_t bytes = engine.export_metrics_now();
+    err << "wrote " << bytes << " bytes of metrics to " << metrics_out
+        << '\n';
+  }
 
   // ---- Batch-equivalence verification ---------------------------------
   // A bounded window / point cap / LRU cap deliberately forgets data, so
