@@ -252,6 +252,50 @@ void DecisionKernel::decide_degraded(UserKernelState& state,
   decisions_.fetch_add(1, kRelaxed);
 }
 
+void DecisionKernel::decide_held(UserKernelState& state,
+                                 std::size_t folded) const {
+  if (folded == 0) return;
+  if (!state.has_decision) {
+    decide(state, folded);
+    return;
+  }
+  // Pure hold: no profile refresh, no risk queries, no selection. The
+  // verdict's event accounting still happens so stats() stays an exact
+  // partition of folded events; finalize() repairs the verdict itself.
+  if (state.decision == Decision::kProtect) {
+    protected_events_.fetch_add(folded, kRelaxed);
+  } else {
+    exposed_events_.fetch_add(folded, kRelaxed);
+  }
+  decisions_.fetch_add(1, kRelaxed);
+}
+
+void DecisionKernel::decide_recheck(UserKernelState& state,
+                                    std::size_t folded) const {
+  if (folded == 0) return;
+  if (!state.has_decision) {
+    decide(state, folded);
+    return;
+  }
+  if (state.decision == Decision::kProtect) {
+    if (!state.winner.empty()) {
+      // Same cheap check decide_degraded keeps: a failing recheck defers
+      // the full search to the next slack cadence rather than stalling
+      // the worker inline.
+      ++state.rechecks;
+      rechecks_.fetch_add(1, kRelaxed);
+      ProtectionResult cost;
+      (void)engine_.recheck(state.winner, state.window, &cost);
+      lppm_applications_.fetch_add(cost.lppm_applications, kRelaxed);
+      attack_invocations_.fetch_add(cost.attack_invocations, kRelaxed);
+    }
+    protected_events_.fetch_add(folded, kRelaxed);
+  } else {
+    exposed_events_.fetch_add(folded, kRelaxed);
+  }
+  decisions_.fetch_add(1, kRelaxed);
+}
+
 void DecisionKernel::finalize(UserKernelState& state,
                               std::size_t folded) const {
   if (state.window.empty()) return;

@@ -203,6 +203,23 @@ class DecisionKernel {
   /// canonical pass re-searches exactly as if the shed never happened.
   void decide_degraded(UserKernelState& state, std::size_t folded) const;
 
+  /// Loop-engine steady-state verdict — the admission-time cheap path.
+  /// Holds the user's last verdict with zero risk queries: event
+  /// accounting only (protected/exposed counters plus one decision).
+  /// Unlike decide_degraded it is NOT an overload artefact — it never
+  /// touches state.degraded or KernelStats::shed_decisions, so a clean
+  /// loop-mode run keeps the resilience counters all-zero. A user with no
+  /// verdict yet falls through to the full decide() (fail-closed), and
+  /// finalize() repairs the held verdict canonically just as for
+  /// shedding: the fold advanced state.events past searched_events.
+  void decide_held(UserKernelState& state, std::size_t folded) const;
+
+  /// Loop-engine cadence verdict: decide_held plus the one cheap check —
+  /// does the held mechanism still defeat every attack on the grown
+  /// window? A failing recheck defers the full search to the next slack
+  /// cadence (or finalize()) instead of running it inline.
+  void decide_recheck(UserKernelState& state, std::size_t folded) const;
+
   /// Canonical final decision: force-refresh stale profiles, re-run risk,
   /// and re-search at-risk users whose last full search did not see
   /// exactly this window — so the final verdict is what decide_trace()

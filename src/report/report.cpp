@@ -323,6 +323,9 @@ Json make_stream_report(const RunMetadata& meta, Json dataset,
   document["dataset"] = std::move(dataset);
 
   Json stream_doc = Json::object();
+  stream_doc["engine"] = stream::to_string(config.engine);
+  stream_doc["loop_slack"] = config.loop_slack;
+  stream_doc["loop_recheck"] = config.loop_recheck;
   stream_doc["shards"] = config.shards;
   stream_doc["window_seconds"] =
       static_cast<std::int64_t>(config.window_seconds);

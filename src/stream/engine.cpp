@@ -3,10 +3,14 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <deque>
 #include <limits>
+#include <mutex>
+#include <thread>
 #include <utility>
 
 #include "stream/snapshot.h"
+#include "stream/spsc_queue.h"
 #include "support/error.h"
 #include "support/failpoint.h"
 #include "support/logging.h"
@@ -81,7 +85,73 @@ constexpr StatGauge kStatGauges[] = {
     {"mood_gateway_index_rebuilds", &StreamStats::index_rebuilds},
     {"mood_gateway_shed_decisions", &StreamStats::shed_decisions},
 };
+
+/// Loop-mode ring capacity. With a backpressure bound, the ring is the
+/// bounded buffer --max-pending promises: the kAdmittedSlow signal fires
+/// at the bound, and the producer only blocks (never drops) at 2x it.
+/// Unbounded configs get a deep default so the producer rarely stalls.
+std::size_t ring_capacity(const ResilienceConfig& res) {
+  if (res.max_pending_per_shard > 0) {
+    return std::max<std::size_t>(2 * res.max_pending_per_shard, 2);
+  }
+  return 8192;
+}
+
+/// Worker/producer wait loop backoff: spin briefly (the common
+/// sub-microsecond case), then sleep — bounded idle CPU at a latency cost
+/// far below the p99 target.
+void backoff(std::size_t& spins) {
+  if (++spins < 64) {
+    std::this_thread::yield();
+  } else {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+}
 }  // namespace
+
+const char* to_string(EngineMode mode) {
+  return mode == EngineMode::kLoop ? "loop" : "batch";
+}
+
+EngineMode parse_engine_mode(const std::string& name) {
+  if (name == "batch") return EngineMode::kBatch;
+  if (name == "loop") return EngineMode::kLoop;
+  throw support::UsageError("unknown engine mode '" + name +
+                            "' (expected batch|loop)");
+}
+
+/// One queued ingest: the event, its arrival stamp (latency accounting
+/// starts at admission, like the batch replay driver's), and the
+/// producer's stateless poison classification.
+struct StreamEngine::LoopItem {
+  StreamEvent event;
+  Clock::time_point arrival;
+  const char* fault = nullptr;
+};
+
+/// Loop-mode machinery: one SPSC ring + worker thread per shard, plus the
+/// producer-visible fault slot. Owned by the engine, torn down (joined)
+/// in stop_loop().
+struct StreamEngine::LoopState {
+  struct Lane {
+    explicit Lane(std::size_t capacity) : ring(capacity) {}
+    SpscQueue<LoopItem> ring;
+    /// Producer / worker progress counters; quiesce() waits for
+    /// processed == pushed (acquire on processed pairs with the worker's
+    /// release, making all worker-side state visible at the cut).
+    alignas(64) std::atomic<std::uint64_t> pushed{0};
+    alignas(64) std::atomic<std::uint64_t> processed{0};
+    std::thread worker;
+  };
+
+  /// deque: Lane is neither movable nor copyable (atomics, thread).
+  std::deque<Lane> lanes;
+  bool started = false;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> failed{false};
+  std::mutex failure_mutex;
+  std::exception_ptr failure;  ///< first captured worker fault
+};
 
 StreamEngine::StreamEngine(decision::MoodEngine engine, StreamConfig config)
     : kernel_(std::move(engine),
@@ -121,10 +191,106 @@ StreamEngine::StreamEngine(decision::MoodEngine engine, StreamConfig config)
   stage_decide_ = &registry_.histogram("mood_stage_decide_seconds");
   stage_drain_ = &registry_.histogram("mood_stage_drain_seconds");
   stage_checkpoint_ = &registry_.histogram("mood_stage_checkpoint_seconds");
+  stage_dequeue_ = &registry_.histogram("mood_stage_dequeue_seconds");
   replay_latency_ = &registry_.histogram("mood_replay_latency_seconds");
 }
 
+StreamEngine::~StreamEngine() {
+  try {
+    stop_loop(/*swallow=*/true);
+  } catch (...) {
+    // Joining only; nothing here may throw past a destructor.
+  }
+}
+
+void StreamEngine::ensure_loop_lanes() {
+  if (loop_ != nullptr) return;
+  loop_ = std::make_unique<LoopState>();
+  const std::size_t capacity = ring_capacity(config_.resilience);
+  for (std::size_t shard = 0; shard < config_.shards; ++shard) {
+    loop_->lanes.emplace_back(capacity);
+  }
+}
+
+void StreamEngine::start_loop() {
+  if (config_.engine != EngineMode::kLoop) return;
+  ensure_loop_lanes();
+  if (loop_->started) return;
+  loop_->started = true;
+  for (std::size_t shard = 0; shard < loop_->lanes.size(); ++shard) {
+    loop_->lanes[shard].worker =
+        std::thread([this, shard] { loop_worker(shard); });
+  }
+  support::log_info("loop engine started ", loop_->lanes.size(),
+                    " shard workers (ring capacity ",
+                    loop_->lanes.front().ring.capacity(), ")");
+}
+
+void StreamEngine::check_loop_failure() {
+  if (loop_ == nullptr || !loop_->failed.load(std::memory_order_acquire)) {
+    return;
+  }
+  stop_loop(/*swallow=*/false);
+}
+
+void StreamEngine::stop_loop(bool swallow) {
+  if (loop_ == nullptr) return;
+  loop_->stop.store(true, std::memory_order_release);
+  for (auto& lane : loop_->lanes) {
+    if (lane.worker.joinable()) lane.worker.join();
+  }
+  std::exception_ptr failure;
+  {
+    const std::lock_guard lock(loop_->failure_mutex);
+    failure = loop_->failure;
+  }
+  loop_.reset();
+  if (failure != nullptr && !swallow) std::rethrow_exception(failure);
+}
+
+void StreamEngine::quiesce() {
+  if (config_.engine != EngineMode::kLoop || loop_ == nullptr ||
+      !loop_->started) {
+    return;
+  }
+  for (auto& lane : loop_->lanes) {
+    // The producer is the only pusher, so `pushed` is stable here; wait
+    // for this lane's worker to catch up. A worker fault can stall
+    // `processed` forever (the worker exits), so re-check it each spin.
+    const std::uint64_t target = lane.pushed.load(std::memory_order_relaxed);
+    std::size_t spins = 0;
+    while (lane.processed.load(std::memory_order_acquire) < target) {
+      if (loop_->failed.load(std::memory_order_acquire)) {
+        stop_loop(/*swallow=*/false);
+        return;
+      }
+      backoff(spins);
+    }
+  }
+  // A fault on the very last item: its processed increment landed after
+  // the failed flag (both released, acquired above), so check once more.
+  check_loop_failure();
+}
+
+void StreamEngine::pump_cadences() {
+  if (config_.engine != EngineMode::kLoop) return;
+  const std::uint64_t position = stream_position();
+  const bool checkpoint_due =
+      !checkpoint_policy_.dir.empty() && checkpoint_policy_.every_events > 0 &&
+      position - last_checkpoint_position_ >= checkpoint_policy_.every_events;
+  const bool export_due =
+      !metrics_path_.empty() && metrics_every_events_ > 0 &&
+      position - last_metrics_position_ >= metrics_every_events_;
+  if (!checkpoint_due && !export_due) return;
+  // Checkpoint cut: quiesce first, so the rings are empty (the snapshot's
+  // position covers every pushed event) and worker-side state is visible.
+  quiesce();
+  maybe_checkpoint();
+  maybe_export_metrics();
+}
+
 IngestStatus StreamEngine::ingest(const StreamEvent& event) {
+  if (config_.engine == EngineMode::kLoop) return loop_ingest(event);
   // Every presented event advances the stream position, admitted or not:
   // checkpoint/resume indexes into the replay stream, and a resumed run
   // must skip exactly the events this run consumed — including the ones
@@ -192,6 +358,206 @@ IngestStatus StreamEngine::ingest(const StreamEvent& event) {
   return IngestStatus::kAdmitted;
 }
 
+IngestStatus StreamEngine::loop_ingest(const StreamEvent& event) {
+  ensure_loop_lanes();
+  if (config_.loop_autostart && !loop_->started) start_loop();
+  check_loop_failure();
+
+  events_->add(1);
+  const bool timed = config_.telemetry.stage_timers;
+  const Clock::time_point arrival = Clock::now();
+  const ResilienceConfig& res = config_.resilience;
+
+  // Stateless classification stays on the producer: an unattributable
+  // event (empty or oversized id) never reaches a worker, exactly like
+  // the batch path; bad coordinates are flagged here (cheap, and keeps
+  // the classification vocabulary identical) but dispositioned by the
+  // worker, which owns the stateful half.
+  if (event.user.empty() || event.user.size() > kMaxUserIdBytes) {
+    bad_records_->add(1);
+    if (res.on_bad_record == BadRecordPolicy::kFail) {
+      throw BadRecordError(
+          std::string("gateway admission: ") +
+          to_string(AdmissionFault::kOversizedId) + " (" +
+          std::to_string(event.user.size()) + " bytes) at position " +
+          std::to_string(stream_position() - 1));
+    }
+    dead_letters_->add(1);
+    // Latency parity: every presented event leaves one sample, whichever
+    // side of the ring dispositions it.
+    replay_latency_->record(seconds_since(arrival), store_.shard_of(event.user));
+    return IngestStatus::kDeadLettered;
+  }
+  const char* fault = valid_coordinate(event.record.position)
+                          ? nullptr
+                          : to_string(AdmissionFault::kBadCoordinate);
+
+  const std::size_t shard = store_.shard_of(event.user);
+  LoopState::Lane& lane = loop_->lanes[shard];
+  // Count before pushing so a worker-side depth read never underflows
+  // (processed <= pushed always holds).
+  const std::uint64_t pushed =
+      lane.pushed.load(std::memory_order_relaxed) + 1;
+  lane.pushed.store(pushed, std::memory_order_relaxed);
+
+  LoopItem item{event, arrival, fault};
+  std::size_t spins = 0;
+  while (!lane.ring.try_push(std::move(item))) {
+    // Ring full: block, never drop — backpressure is a signal, not a
+    // loss. A worker fault would stall this forever, so re-check it.
+    check_loop_failure();
+    backoff(spins);
+  }
+  if (timed) stage_ingest_->record(seconds_since(arrival), shard);
+
+  if (res.max_pending_per_shard > 0) {
+    const std::uint64_t depth =
+        pushed - lane.processed.load(std::memory_order_relaxed);
+    if (depth > res.max_pending_per_shard) {
+      backpressure_events_->add(1, shard);
+      return IngestStatus::kAdmittedSlow;
+    }
+  }
+  return IngestStatus::kAdmitted;
+}
+
+void StreamEngine::loop_worker(std::size_t shard) {
+  LoopState& loop = *loop_;
+  LoopState::Lane& lane = loop.lanes[shard];
+  LoopItem item;
+  std::size_t spins = 0;
+  while (true) {
+    if (!lane.ring.try_pop(item)) {
+      // Stop (or a sibling's fault) only takes effect once this ring is
+      // empty, so stop_loop() after quiesce() never strands items.
+      if (loop.stop.load(std::memory_order_acquire)) break;
+      if (loop.failed.load(std::memory_order_acquire)) break;
+      backoff(spins);
+      continue;
+    }
+    spins = 0;
+    try {
+      loop_process(shard, item);
+    } catch (...) {
+      {
+        const std::lock_guard lock(loop.failure_mutex);
+        if (loop.failure == nullptr) loop.failure = std::current_exception();
+      }
+      loop.failed.store(true, std::memory_order_release);
+      lane.processed.fetch_add(1, std::memory_order_release);
+      break;  // the producer joins us and rethrows
+    }
+    lane.processed.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void StreamEngine::loop_process(std::size_t shard, LoopItem& item) {
+  LoopState::Lane& lane = loop_->lanes[shard];
+  const ResilienceConfig& res = config_.resilience;
+  const bool timed = config_.telemetry.stage_timers;
+  if (timed) stage_dequeue_->record(seconds_since(item.arrival), shard);
+
+  // Shed hysteresis on the instantaneous ring depth (the loop-mode
+  // backlog), evaluated per dequeue by the only thread touching the
+  // latch. Unlike the event-count-deterministic batch latch, ring depth
+  // is timing-dependent — degraded verdicts are repaired by the
+  // canonical finish(), so decisions stay deterministic regardless.
+  bool shed = false;
+  if (res.shed_high_watermark > 0) {
+    const std::uint64_t depth =
+        lane.pushed.load(std::memory_order_relaxed) -
+        lane.processed.load(std::memory_order_relaxed);
+    std::uint8_t& latch = shedding_[shard];
+    if (latch != 0) {
+      if (depth <= res.shed_low_watermark) {
+        latch = 0;
+        support::log_info("shed released on shard ", shard, " (ring depth ",
+                          depth, " <= low ", res.shed_low_watermark, ")");
+      }
+    } else if (depth >= res.shed_high_watermark) {
+      latch = 1;
+      // One degraded episode per engagement (the batch analogue counts
+      // one per shard drain that shed).
+      degraded_batches_->add(1, shard);
+      support::log_info("shed engaged on shard ", shard, " (ring depth ",
+                        depth, " >= high ", res.shed_high_watermark, ")");
+    }
+    shed = latch != 0;
+  }
+
+  const Clock::time_point d0 = timed ? Clock::now() : Clock::time_point{};
+  const AdmitResult admitted = store_.admit_and_process(
+      item.event, res.on_bad_record, item.fault != nullptr, item.fault,
+      [&](UserState& state) { loop_decide_user(state, shard, shed); });
+  switch (admitted.status) {
+    case AdmitResult::Status::kRejected:
+      bad_records_->add(1, shard);
+      if (res.on_bad_record == BadRecordPolicy::kFail) {
+        // event.seq is the stream position run_replay stamps; the
+        // producer-side counter would race here.
+        throw BadRecordError(std::string("gateway admission: ") +
+                             admitted.reason + " from user '" +
+                             item.event.user + "' at position " +
+                             std::to_string(item.event.seq));
+      }
+      break;
+    case AdmitResult::Status::kQuarantined:
+      bad_records_->add(1, shard);
+      dead_letters_->add(admitted.dead_letters, shard);
+      quarantined_users_->add(1, shard);
+      support::log_warn("quarantined user '", item.event.user,
+                        "' at position ", item.event.seq, ": ",
+                        admitted.reason);
+      break;
+    case AdmitResult::Status::kDeadLettered:
+      dead_letters_->add(admitted.dead_letters, shard);
+      break;
+    case AdmitResult::Status::kAdmitted:
+      if (timed) stage_decide_->record(seconds_since(d0), shard);
+      break;
+  }
+  // Every presented event leaves one end-to-end sample: arrival at
+  // ingest() to decision (or disposition) complete.
+  replay_latency_->record(seconds_since(item.arrival), shard);
+}
+
+void StreamEngine::loop_decide_user(UserState& state, std::size_t shard,
+                                    bool shed) {
+  MOOD_TRACE("stream.decide", {.shard = static_cast<std::uint32_t>(shard),
+                               .user = state.user});
+  const std::size_t queued = state.pending.size();
+  if (MOOD_FAIL_POINT("stream.drain.corrupt") ==
+          testing::FailAction::kCorrupt &&
+      !state.pending.empty()) {
+    state.pending.front().position.lat =
+        std::numeric_limits<double>::quiet_NaN();
+  }
+  (void)run_isolated(state, queued, [&]() -> DecideOutcome {
+    MOOD_FAIL_POINT("stream.decide.user");  // kThrow fires inside hit()
+    const std::size_t folded = fold_pending(state);
+    if (folded == 0) return DecideOutcome::kFull;
+    decision::UserKernelState& k = state.kernel;
+    if (shed) {
+      kernel_.decide_degraded(k, folded);
+      return DecideOutcome::kDegraded;
+    }
+    // The decision tier is a pure function of this user's folded-event
+    // ordinal (k.events counts exactly the admitted, folded events), so
+    // mid-stream counters are deterministic — independent of timing,
+    // shard count, and checkpoint cut position.
+    if (!k.has_decision || config_.loop_slack == 0 ||
+        k.events % config_.loop_slack == 0) {
+      kernel_.decide(k, folded);
+    } else if (config_.loop_recheck > 0 &&
+               k.events % config_.loop_recheck == 0) {
+      kernel_.decide_recheck(k, folded);
+    } else {
+      kernel_.decide_held(k, folded);
+    }
+    return DecideOutcome::kFull;
+  });
+}
+
 std::size_t StreamEngine::fold_pending(UserState& state) {
   const std::vector<mobility::Record> pending = std::move(state.pending);
   state.pending.clear();
@@ -245,6 +611,13 @@ StreamEngine::DecideOutcome StreamEngine::decide_user(UserState& state,
     kernel_.decide(state.kernel, folded);
     return DecideOutcome::kFull;
   };
+  return run_isolated(state, queued, run);
+}
+
+template <typename Run>
+StreamEngine::DecideOutcome StreamEngine::run_isolated(UserState& state,
+                                                       std::size_t queued,
+                                                       Run&& run) {
   if (config_.resilience.on_bad_record != BadRecordPolicy::kQuarantine) {
     return run();  // strict: a decision-path fault aborts, as before PR 8
   }
@@ -267,6 +640,9 @@ StreamEngine::DecideOutcome StreamEngine::decide_user(UserState& state,
 }
 
 std::size_t StreamEngine::drain() {
+  support::expects(config_.engine == EngineMode::kBatch,
+                   "StreamEngine::drain: batch mode only (loop workers "
+                   "decide at admission time)");
   std::atomic<std::size_t> decided{0};
   const ResilienceConfig& res = config_.resilience;
   const bool timed = config_.telemetry.stage_timers;
@@ -347,6 +723,13 @@ std::size_t StreamEngine::drain() {
 }
 
 void StreamEngine::finish() {
+  if (config_.engine == EngineMode::kLoop && loop_ != nullptr) {
+    // Drain the rings and retire the workers; a captured worker fault
+    // surfaces here (both calls rethrow). After this the engine is
+    // single-threaded again and the canonical pass below owns all state.
+    quiesce();
+    stop_loop(/*swallow=*/false);
+  }
   MOOD_TRACE("stream.finish");
   store_.for_each([&](UserState& state) {
     // Fold any points that arrived after the last drain (the replay
@@ -529,6 +912,16 @@ void StreamEngine::restore_snapshot(const SnapshotData& data) {
         "(on-bad-record/max-pending/shed watermarks/drain-budget must all "
         "agree)");
   }
+  // The execution mode and loop cadences shape the mid-stream decision
+  // sequence (and therefore the continued counters), so a resumed run
+  // must keep them. loop_autostart is timing-only and excluded.
+  if (data.config.engine != config_.engine ||
+      data.config.loop_slack != config_.loop_slack ||
+      data.config.loop_recheck != config_.loop_recheck) {
+    throw SnapshotError(
+        "snapshot engine mode does not match this gateway "
+        "(engine/loop-slack/loop-recheck must all agree)");
+  }
 
   for (const UserSnapshot& u : data.users) {
     UserState state;
@@ -647,6 +1040,24 @@ void StreamEngine::refresh_gauges() const {
   }
   registry_.gauge("mood_gateway_pending_events")
       .set(static_cast<double>(backlog));
+  if (config_.engine == EngineMode::kLoop) {
+    // Instantaneous ingest-ring depths. The registry's gauges are
+    // single-series (no label support), so the per-shard views get
+    // suffixed names alongside the total.
+    std::uint64_t total = 0;
+    for (std::size_t shard = 0; shard < store_.shard_count(); ++shard) {
+      std::uint64_t depth = 0;
+      if (loop_ != nullptr) {
+        const LoopState::Lane& lane = loop_->lanes[shard];
+        depth = lane.pushed.load(std::memory_order_relaxed) -
+                lane.processed.load(std::memory_order_relaxed);
+      }
+      total += depth;
+      registry_.gauge("mood_queue_depth_shard" + std::to_string(shard))
+          .set(static_cast<double>(depth));
+    }
+    registry_.gauge("mood_queue_depth").set(static_cast<double>(total));
+  }
 }
 
 telemetry::MetricsSnapshot StreamEngine::metrics_snapshot() const {

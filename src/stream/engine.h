@@ -39,9 +39,24 @@
 /// (backpressure signal, shed hysteresis, drain budget). All off by
 /// default; every trigger is event-count based, so the invariants above
 /// extend to chaos runs — a poisoned user never perturbs a healthy one.
+///
+/// PR 10 adds the continuous execution mode (EngineMode::kLoop): one
+/// long-lived worker thread per shard, fed by a lock-free SPSC ring
+/// (spsc_queue.h) the producer pushes into from ingest(). Each worker
+/// runs dequeue → fold → admission-time cheap path: a full risk+search
+/// decision only on the per-user slack cadence (loop_slack), an inline
+/// held-mechanism recheck on the recheck cadence (loop_recheck), and a
+/// pure held verdict otherwise — the shed/degrade idiom, but as the
+/// steady state, with the canonical finish() unchanged. The decision
+/// tier is a pure function of the user's own folded-event ordinal, so
+/// counters and decisions stay deterministic (independent of timing,
+/// shard count, and checkpoint cut position), and finish() makes the
+/// final decisions bit-identical to batch mode — batch is retained as
+/// the determinism oracle (`--engine=loop|batch`).
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -65,6 +80,20 @@ struct TelemetryConfig {
   bool stage_timers = true;
 };
 
+/// Execution mode of the decision pipeline.
+enum class EngineMode : std::uint8_t {
+  /// ingest()/drain() micro-batches — the determinism oracle, and the
+  /// code-level default so direct engine users keep the PR ≤ 9 contract.
+  kBatch = 0,
+  /// Long-lived per-shard workers fed by SPSC ingest rings; decisions
+  /// happen at admission time, drain() is unused. The CLI default.
+  kLoop = 1,
+};
+
+[[nodiscard]] const char* to_string(EngineMode mode);
+/// Parses "batch"/"loop"; throws support::Error on anything else.
+[[nodiscard]] EngineMode parse_engine_mode(const std::string& name);
+
 /// Gateway tuning knobs. The window/staleness subset configures the
 /// embedded DecisionKernel; the rest is scheduling.
 struct StreamConfig {
@@ -74,6 +103,22 @@ struct StreamConfig {
   std::size_t max_users_per_shard = 0;  ///< LRU capacity; 0 = unbounded
   std::size_t staleness_points = 0;     ///< PIT/POI refresh bound; 0 = every fold
   bool parallel_drain = true;           ///< shard tasks on the shared pool
+  /// Execution mode (see EngineMode). Decision-relevant mid-stream (the
+  /// loop cadences below shape the decision sequence), so it participates
+  /// in the snapshot config fingerprint.
+  EngineMode engine = EngineMode::kBatch;
+  /// Loop mode: full risk+search decision every `loop_slack`-th folded
+  /// event of a user (plus always on their first). 0 = full decision
+  /// every event (the batch-per-event oracle, slow).
+  std::size_t loop_slack = 64;
+  /// Loop mode: inline held-mechanism recheck every `loop_recheck`-th
+  /// folded event of a user (between slack cadences). 0 = never.
+  std::size_t loop_recheck = 16;
+  /// Loop mode: start the shard workers lazily on the first ingest
+  /// (default). Tests set false and call start_loop() explicitly to
+  /// pre-fill the rings — e.g. to drive the shed latch deterministically.
+  /// Timing-only, never serialized.
+  bool loop_autostart = true;
   /// Fault-tolerance knobs (see resilience.h); the defaults are strict —
   /// everything off — so the batch-equivalence gates are untouched.
   ResilienceConfig resilience;
@@ -184,6 +229,12 @@ class StreamEngine {
   /// the engine's attacks must outlive this object.
   StreamEngine(decision::MoodEngine engine, StreamConfig config);
 
+  /// Joins the loop workers (loop mode); worker faults pending at
+  /// destruction are swallowed — call finish()/quiesce() to observe them.
+  ~StreamEngine();
+  StreamEngine(const StreamEngine&) = delete;
+  StreamEngine& operator=(const StreamEngine&) = delete;
+
   /// Admits one event (thread-safe, O(1)). The admission path classifies
   /// malformed events — non-finite or out-of-range coordinates, per-user
   /// timestamp regressions, oversized/empty ids — and handles them per
@@ -192,10 +243,41 @@ class StreamEngine {
   /// carrying user. Every presented event advances stream_position(),
   /// admitted or not, so checkpoint/resume indices stay aligned with the
   /// replay stream.
+  ///
+  /// Loop mode: the stateless checks (id shape, coordinate range) still
+  /// classify here on the producer, but the stateful half of admission —
+  /// monotonicity, quarantine — happens asynchronously on the shard
+  /// worker, so ingest() returns kAdmitted (or kAdmittedSlow once the
+  /// ring depth crosses max_pending_per_shard) for events a worker later
+  /// rejects; their outcomes surface in stats() and decisions(). A worker
+  /// fault (e.g. BadRecordError under the strict policy) is rethrown here
+  /// on a subsequent ingest, or at quiesce()/finish().
   IngestStatus ingest(const StreamEvent& event);
 
   /// Decides every user with pending points; returns users decided.
+  /// Batch mode only (loop workers decide at admission time).
   std::size_t drain();
+
+  // ---- Loop mode (EngineMode::kLoop) ---------------------------------
+  /// Starts the per-shard workers. Implicit on the first ingest when
+  /// config().loop_autostart; explicit start lets tests pre-fill rings.
+  /// No-op when already started or in batch mode.
+  void start_loop();
+
+  /// Blocks until every event pushed so far has been fully processed by
+  /// its shard worker (the rings are empty and the last decision done),
+  /// then returns with all worker-side state visible to the caller.
+  /// Rethrows a captured worker fault. This is the checkpoint-cut
+  /// protocol: capture_snapshot() in loop mode is only meaningful after a
+  /// quiesce. No-op in batch mode or before the workers started.
+  void quiesce();
+
+  /// Producer-side cadence pump: when the checkpoint or metrics-export
+  /// cadence has elapsed, quiesces the workers and runs it. Call once per
+  /// ingested event (run_replay does); two integer compares when nothing
+  /// is due, so checkpoint cuts stay an event-count-deterministic
+  /// function of the stream. No-op in batch mode (drain() pumps there).
+  void pump_cadences();
 
   /// Final flush: folds leftovers and runs the kernel's canonical
   /// finalize on every resident user (full search on the final window for
@@ -315,9 +397,51 @@ class StreamEngine {
     kQuarantined,  ///< a fault escaped; the user was quarantined here
   };
 
+  /// Fault-isolation wrapper shared by the batch and loop decide paths:
+  /// runs `run` directly under strict policies, or quarantines the user
+  /// (freeze + dead-letter `queued` points) when a fault escapes under
+  /// kQuarantine. Defined in engine.cpp (instantiated there only).
+  template <typename Run>
+  DecideOutcome run_isolated(UserState& state, std::size_t queued, Run&& run);
+
   /// One user's fold+decide under the fault-isolation policy; shared by
   /// drain() and finish() (`canonical` selects finalize over decide).
   DecideOutcome decide_user(UserState& state, bool canonical, bool degrade);
+
+  // ---- Loop-mode internals (engine == kLoop; see LoopState) ----------
+  struct LoopItem;   // one queued ingest (engine.cpp)
+  struct LoopState;  // per-shard rings, workers, counters (engine.cpp)
+
+  /// ingest()'s loop branch: stateless classification on the producer,
+  /// then push into the owning shard's ring (blocking, never dropping,
+  /// when full). Returns kAdmittedSlow past the max_pending bound.
+  IngestStatus loop_ingest(const StreamEvent& event);
+
+  /// Allocates the per-shard rings without spawning workers (the
+  /// autostart-off pre-fill path); start_loop() spawns on top.
+  void ensure_loop_lanes();
+
+  /// One worker's run loop: pop → loop_process → progress counter.
+  /// Faults are captured into LoopState and rethrown on the producer.
+  void loop_worker(std::size_t shard);
+
+  /// Processes one dequeued item: shed-latch check on the ring depth,
+  /// stateful admission + fold + tier decide under the shard lock,
+  /// latency accounting. Throws on strict-policy faults.
+  void loop_process(std::size_t shard, LoopItem& item);
+
+  /// The admitted-event decision: fold, then pick the tier — full decide
+  /// on the slack cadence (or first verdict), inline recheck on the
+  /// recheck cadence, held verdict otherwise; decide_degraded while the
+  /// shed latch is engaged. Runs under the shard lock on the worker.
+  void loop_decide_user(UserState& state, std::size_t shard, bool shed);
+
+  /// Joins the workers; rethrows the first captured fault unless
+  /// `swallow` (destructor path).
+  void stop_loop(bool swallow);
+
+  /// Rethrows the first captured worker fault, if any (producer side).
+  void check_loop_failure();
 
   /// drain()-tail hook: checkpoint when the cadence has elapsed.
   void maybe_checkpoint();
@@ -363,7 +487,14 @@ class StreamEngine {
   telemetry::Histogram* stage_decide_ = nullptr;
   telemetry::Histogram* stage_drain_ = nullptr;
   telemetry::Histogram* stage_checkpoint_ = nullptr;
+  /// Loop mode: ring residence time (arrival → worker dequeue), lane =
+  /// shard. Empty in batch mode or with the stage timers off.
+  telemetry::Histogram* stage_dequeue_ = nullptr;
   telemetry::Histogram* replay_latency_ = nullptr;
+
+  /// Loop-mode machinery (rings, worker threads, fault slot); null in
+  /// batch mode. The pointee is owned here and joined in stop_loop().
+  std::unique_ptr<LoopState> loop_;
 
   CheckpointPolicy checkpoint_policy_;
   SnapshotContext snapshot_context_;

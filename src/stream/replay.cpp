@@ -104,6 +104,7 @@ std::size_t inject_poison(std::vector<StreamEvent>& events,
 ReplayResult run_replay(StreamEngine& engine,
                         const std::vector<StreamEvent>& events,
                         const ReplayOptions& options) {
+  const bool loop = engine.config().engine == EngineMode::kLoop;
   support::expects(options.batch_events > 0,
                    "run_replay: batch_events must be > 0");
   support::expects(options.target_rate >= 0.0 &&
@@ -112,7 +113,9 @@ ReplayResult run_replay(StreamEngine& engine,
   const std::size_t resume = options.resume_events;
   support::expects(resume <= events.size(),
                    "run_replay: resume_events is past the stream end");
-  support::expects(resume % options.batch_events == 0 ||
+  // Loop mode has no micro-batch boundaries; any quiesced checkpoint
+  // position is a valid resume point.
+  support::expects(loop || resume % options.batch_events == 0 ||
                        resume == events.size(),
                    "run_replay: resume_events must fall on a micro-batch "
                    "boundary");
@@ -145,32 +148,48 @@ ReplayResult run_replay(StreamEngine& engine,
   // Per-batch arrival stamps only — O(batch_events) memory however long
   // the stream is. Latencies go straight into the engine's per-shard
   // log-bucketed histogram once the deciding drain completes.
-  std::vector<double> arrivals(options.batch_events, 0.0);
+  std::vector<double> arrivals(loop ? 0 : options.batch_events, 0.0);
   const Clock::time_point start = Clock::now();
+  const auto pace = [&](std::size_t i) {
+    const double due = scheduled(i);
+    if (seconds_since(start) < due) {
+      std::this_thread::sleep_until(
+          start + std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(due)));
+    }
+  };
 
-  std::size_t next = resume;
-  while (next < events.size()) {
-    const std::size_t batch_end =
-        std::min(next + options.batch_events, events.size());
-    for (std::size_t i = next; i < batch_end; ++i) {
-      if (paced) {
-        const double due = scheduled(i);
-        if (seconds_since(start) < due) {
-          std::this_thread::sleep_until(
-              start + std::chrono::duration_cast<Clock::duration>(
-                          std::chrono::duration<double>(due)));
-        }
-      }
+  if (loop) {
+    // Open-loop arrival process: pace each event individually, hand it
+    // straight to the shard workers, and pump the checkpoint/export
+    // cadences (two integer compares when nothing is due). The workers
+    // record each event's arrival→decision latency themselves.
+    for (std::size_t i = resume; i < events.size(); ++i) {
+      if (paced) pace(i);
       engine.ingest(events[i]);
-      arrivals[i - next] = seconds_since(start);
+      engine.pump_cadences();
     }
-    engine.drain();
-    const double done = seconds_since(start);
-    for (std::size_t i = next; i < batch_end; ++i) {
-      engine.record_decision_latency(events[i].user,
-                                     std::max(0.0, done - arrivals[i - next]));
+    // The throughput clock covers the full decision work: stop it only
+    // once every queued event is decided.
+    engine.quiesce();
+  } else {
+    std::size_t next = resume;
+    while (next < events.size()) {
+      const std::size_t batch_end =
+          std::min(next + options.batch_events, events.size());
+      for (std::size_t i = next; i < batch_end; ++i) {
+        if (paced) pace(i);
+        engine.ingest(events[i]);
+        arrivals[i - next] = seconds_since(start);
+      }
+      engine.drain();
+      const double done = seconds_since(start);
+      for (std::size_t i = next; i < batch_end; ++i) {
+        engine.record_decision_latency(
+            events[i].user, std::max(0.0, done - arrivals[i - next]));
+      }
+      next = batch_end;
     }
-    next = batch_end;
   }
   result.wall_seconds = seconds_since(start);
 

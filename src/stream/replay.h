@@ -50,10 +50,13 @@ struct ReplayOptions {
   std::size_t batch_events = 256;
   /// Resume position: skip the first `resume_events` events (already
   /// folded into the engine by restore_snapshot) and continue from there.
-  /// Must be a multiple of batch_events (or == events.size()), so the
-  /// resumed run's micro-batch boundaries — which decisions may depend on
-  /// — line up with the uninterrupted run's. Checkpoints fire at drain()
-  /// boundaries, so any restored position satisfies this.
+  /// Batch engines: must be a multiple of batch_events (or ==
+  /// events.size()), so the resumed run's micro-batch boundaries — which
+  /// decisions may depend on — line up with the uninterrupted run's.
+  /// Checkpoints fire at drain() boundaries, so any restored position
+  /// satisfies this. Loop engines have no batch boundaries: any position
+  /// a loop checkpoint produced (the engine quiesces first, so the
+  /// position covers every processed event) is valid.
   std::size_t resume_events = 0;
 };
 
@@ -116,10 +119,16 @@ struct PoisonSpec {
 std::size_t inject_poison(std::vector<StreamEvent>& events,
                           const PoisonSpec& spec);
 
-/// Ingests `events` in order through `engine`, draining every
-/// options.batch_events, then finish()es and snapshots decisions. The
-/// engine should be freshly constructed (its counters and state are not
-/// reset).
+/// Ingests `events` in order through `engine`, then finish()es and
+/// snapshots decisions. The execution mode follows the engine's config:
+/// batch engines drain every options.batch_events; loop engines stream
+/// every event straight to the shard workers (pumping the checkpoint/
+/// export cadences per event) and quiesce before the clock stops, so
+/// events_per_second covers the full decision work. Pacing
+/// (target_rate/time_compression) is per-event in both modes — but only
+/// loop mode turns it into per-event decision latency; batch latency is
+/// floored by batch accumulation. The engine should be freshly
+/// constructed (its counters and state are not reset).
 ReplayResult run_replay(StreamEngine& engine,
                         const std::vector<StreamEvent>& events,
                         const ReplayOptions& options = {});

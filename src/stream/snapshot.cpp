@@ -442,6 +442,12 @@ std::string encode_config_section(const SnapshotData& data) {
   put_u64(out, res.shed_high_watermark);
   put_u64(out, res.shed_low_watermark);
   put_u64(out, res.drain_budget);
+  // PR 10: execution mode + loop cadences. Decision-relevant mid-stream
+  // (the loop tier policy keys on them), so they live in the fingerprint;
+  // loop_autostart is timing-only and excluded.
+  put_u8(out, static_cast<std::uint8_t>(data.config.engine));
+  put_u64(out, data.config.loop_slack);
+  put_u64(out, data.config.loop_recheck);
   return out;
 }
 
@@ -465,6 +471,13 @@ void decode_config_section(Reader& in, SnapshotData& data) {
   res.shed_high_watermark = static_cast<std::size_t>(in.get_u64());
   res.shed_low_watermark = static_cast<std::size_t>(in.get_u64());
   res.drain_budget = static_cast<std::size_t>(in.get_u64());
+  const std::uint8_t engine = in.get_u8();
+  if (engine > static_cast<std::uint8_t>(EngineMode::kLoop)) {
+    in.fail("engine mode byte out of range");
+  }
+  data.config.engine = static_cast<EngineMode>(engine);
+  data.config.loop_slack = static_cast<std::size_t>(in.get_u64());
+  data.config.loop_recheck = static_cast<std::size_t>(in.get_u64());
   in.expect_done();
 }
 

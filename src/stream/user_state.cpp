@@ -49,13 +49,12 @@ void UserStateStore::evict_one(Shard& shard, std::size_t shard_index) {
   evictions_->add(1, shard_index);
 }
 
-AdmitResult UserStateStore::enqueue(const StreamEvent& event,
-                                    BadRecordPolicy policy, bool poisoned,
-                                    const char* poison_reason) {
-  const std::size_t shard_index = shard_of(event.user);
-  Shard& shard = shards_[shard_index];
-  const std::lock_guard lock(shard.mutex);
-  AdmitResult result;
+UserState* UserStateStore::admit_locked(Shard& shard, std::size_t shard_index,
+                                        const StreamEvent& event,
+                                        BadRecordPolicy policy, bool poisoned,
+                                        const char* poison_reason,
+                                        bool track_dirty,
+                                        AdmitResult& result) {
   result.shard = shard_index;
   auto it = shard.states.find(event.user);
 
@@ -66,7 +65,7 @@ AdmitResult UserStateStore::enqueue(const StreamEvent& event,
     result.reason = to_string(AdmissionFault::kDecideFault);
     result.dead_letters = 1;
     result.shard_backlog = shard.backlog;
-    return result;
+    return nullptr;
   }
 
   // Stateful classification: the engine flags statelessly detectable
@@ -84,7 +83,7 @@ AdmitResult UserStateStore::enqueue(const StreamEvent& event,
     result.status = AdmitResult::Status::kRejected;
     result.reason = fault;
     result.shard_backlog = shard.backlog;
-    return result;
+    return nullptr;
   }
 
   if (it == shard.states.end()) {
@@ -118,16 +117,49 @@ AdmitResult UserStateStore::enqueue(const StreamEvent& event,
     result.reason = fault;
     result.dead_letters = flushed;
     result.shard_backlog = shard.backlog;
-    return result;
+    return nullptr;
   }
 
-  if (state.pending.empty()) shard.dirty.push_back(event.user);
+  if (track_dirty && state.pending.empty()) shard.dirty.push_back(event.user);
   state.pending.push_back(event.record);
   state.has_last_time = true;
   state.last_time = event.record.time;
   shard.backlog += 1;
   result.status = AdmitResult::Status::kAdmitted;
   result.shard_backlog = shard.backlog;
+  return &state;
+}
+
+AdmitResult UserStateStore::enqueue(const StreamEvent& event,
+                                    BadRecordPolicy policy, bool poisoned,
+                                    const char* poison_reason) {
+  const std::size_t shard_index = shard_of(event.user);
+  Shard& shard = shards_[shard_index];
+  const std::lock_guard lock(shard.mutex);
+  AdmitResult result;
+  admit_locked(shard, shard_index, event, policy, poisoned, poison_reason,
+               /*track_dirty=*/true, result);
+  return result;
+}
+
+AdmitResult UserStateStore::admit_and_process(
+    const StreamEvent& event, BadRecordPolicy policy, bool poisoned,
+    const char* poison_reason, const std::function<void(UserState&)>& fn) {
+  const std::size_t shard_index = shard_of(event.user);
+  Shard& shard = shards_[shard_index];
+  const std::lock_guard lock(shard.mutex);
+  AdmitResult result;
+  UserState* state =
+      admit_locked(shard, shard_index, event, policy, poisoned, poison_reason,
+                   /*track_dirty=*/false, result);
+  if (state != nullptr) {
+    // fn folds (or flushes, if it quarantines) the pending queue; account
+    // the backlog by the before/after delta exactly as drain_shard does.
+    const std::size_t before = state->pending.size();
+    fn(*state);
+    shard.backlog = shard.backlog - before + state->pending.size();
+    result.shard_backlog = shard.backlog;
+  }
   return result;
 }
 

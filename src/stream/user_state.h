@@ -127,6 +127,18 @@ class UserStateStore {
                       bool poisoned = false,
                       const char* poison_reason = nullptr);
 
+  /// Loop-engine admission: same classification as enqueue(), but when the
+  /// event is admitted, `fn` runs on the user's state immediately, under
+  /// the same single lock acquisition — dequeue→fold→decide without a
+  /// second lookup. The user is NOT pushed onto the dirty list (fn is
+  /// expected to fold the pending queue; the before/after backlog delta is
+  /// accounted exactly as drain_shard does), so a worker processing every
+  /// event inline never grows the dirty list it would never drain.
+  AdmitResult admit_and_process(const StreamEvent& event,
+                                BadRecordPolicy policy, bool poisoned,
+                                const char* poison_reason,
+                                const std::function<void(UserState&)>& fn);
+
   /// Pending (ingested, not yet folded) events resident in `shard` — the
   /// backlog the overload-control policy reads. Maintained incrementally;
   /// taking the count costs one lock acquisition.
@@ -177,6 +189,17 @@ class UserStateStore {
   /// overall. Caller holds the shard lock. `shard_index` is the eviction
   /// counter's telemetry lane.
   void evict_one(Shard& shard, std::size_t shard_index);
+
+  /// The admission classification shared by enqueue() and
+  /// admit_and_process(). Caller holds the shard lock. When the event is
+  /// admitted and `track_dirty`, the user joins the dirty list (the
+  /// micro-batch drain contract); loop-mode callers pass false and
+  /// process the state inline instead. Returns the state pointer on
+  /// kAdmitted (nullptr otherwise).
+  UserState* admit_locked(Shard& shard, std::size_t shard_index,
+                          const StreamEvent& event, BadRecordPolicy policy,
+                          bool poisoned, const char* poison_reason,
+                          bool track_dirty, AdmitResult& result);
 
   StoreConfig config_;
   /// Backing registry when the caller did not supply one.

@@ -142,6 +142,61 @@ TEST(CliReplay, RejectsBadKnobs) {
   EXPECT_EQ(run_cli({"replay", "--batch=0"}).code, kExitUsage);
   EXPECT_EQ(run_cli({"replay", "--rate=-1"}).code, kExitUsage);
   EXPECT_EQ(run_cli({"replay", "--no-such-flag"}).code, kExitUsage);
+  const auto bad_engine = run_cli({"replay", "--engine=turbo"});
+  EXPECT_EQ(bad_engine.code, kExitUsage);
+  EXPECT_NE(bad_engine.err.find("unknown engine mode"), std::string::npos);
+  EXPECT_EQ(run_cli({"replay", "--loop-slack=-1"}).code, kExitUsage);
+  EXPECT_EQ(run_cli({"replay", "--loop-recheck=-1"}).code, kExitUsage);
+  // The drain budget paces batch drains; the loop engine's analogue is
+  // --loop-slack, so combining them is a misconfiguration.
+  EXPECT_EQ(run_cli({"replay", "--drain-budget=2"}).code, kExitUsage);
+  EXPECT_EQ(
+      run_cli({"replay", "--engine=batch", "--drain-budget=2", "--shards=0"})
+          .code,
+      kExitUsage);
+}
+
+TEST(CliReplay, LoopAndBatchEnginesPublishIdenticalDecisions) {
+  // The loop-vs-batch determinism gate, CLI-shaped: the default loop
+  // engine and the micro-batch oracle must publish the same per-user
+  // decisions (cheap-path counters like searches legitimately differ).
+  const auto loop = run_cli({"replay", "--preset=small", "--scale=0.05",
+                             "--users=8", "--days=6", "--seed=3",
+                             "--shards=3"});
+  ASSERT_EQ(loop.code, kExitOk) << loop.err;
+  const auto batch = run_cli({"replay", "--preset=small", "--scale=0.05",
+                              "--users=8", "--days=6", "--seed=3",
+                              "--shards=3", "--engine=batch", "--batch=128"});
+  ASSERT_EQ(batch.code, kExitOk) << batch.err;
+
+  const report::Json a = report::Json::parse(loop.out);
+  const report::Json b = report::Json::parse(batch.out);
+  EXPECT_EQ(a.find("stream")->string_or("engine", ""), "loop");
+  EXPECT_EQ(b.find("stream")->string_or("engine", ""), "batch");
+  // Both engines verified against the batch evaluators in-process too.
+  ASSERT_NE(a.find("replay")->find("batch_match"), nullptr);
+  // Final per-USER decisions are the determinism contract.  Per-event
+  // exposure tallies count each event against the decision in force when
+  // it arrived, so they drift with the loop's slack/recheck cadence.
+  const auto* loop_decisions = a.find("replay")->find("decisions");
+  const auto* batch_decisions = b.find("replay")->find("decisions");
+  EXPECT_EQ(loop_decisions->int_or("exposed_users", -1),
+            batch_decisions->int_or("exposed_users", -2));
+  EXPECT_EQ(loop_decisions->int_or("protected_users", -1),
+            batch_decisions->int_or("protected_users", -2));
+  const auto& loop_users = a.find("per_user")->items();
+  const auto& batch_users = b.find("per_user")->items();
+  ASSERT_EQ(loop_users.size(), batch_users.size());
+  for (std::size_t i = 0; i < loop_users.size(); ++i) {
+    EXPECT_EQ(loop_users[i].string_or("user", "a"),
+              batch_users[i].string_or("user", "b"));
+    EXPECT_EQ(loop_users[i].string_or("decision", "a"),
+              batch_users[i].string_or("decision", "b"));
+    EXPECT_EQ(loop_users[i].string_or("winner", "a"),
+              batch_users[i].string_or("winner", "b"));
+    EXPECT_EQ(loop_users[i].int_or("events", -1),
+              batch_users[i].int_or("events", -2));
+  }
 }
 
 TEST(CliReplay, RejectsInconsistentCheckpointFlags) {

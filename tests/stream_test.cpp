@@ -1072,5 +1072,315 @@ TEST_F(StreamTest, ReplayResumeAtStreamEndOnlyFinishes) {
   EXPECT_TRUE(result.decisions.empty());  // fresh engine held no users
 }
 
+// ------------------------------------------------------- loop engine --
+
+TEST(EngineModeTest, ParsesSpellingsAndRejectsUnknowns) {
+  EXPECT_EQ(parse_engine_mode("batch"), EngineMode::kBatch);
+  EXPECT_EQ(parse_engine_mode("loop"), EngineMode::kLoop);
+  EXPECT_THROW((void)parse_engine_mode("turbo"), support::UsageError);
+  EXPECT_STREQ(to_string(EngineMode::kLoop), "loop");
+  EXPECT_STREQ(to_string(EngineMode::kBatch), "batch");
+}
+
+/// Continuous-serving config: per-shard worker threads fed by SPSC rings,
+/// deciding at admission time (PR 10).
+StreamConfig loop_config(std::size_t shards = 4) {
+  StreamConfig config;
+  config.engine = EngineMode::kLoop;
+  config.shards = shards;
+  return config;
+}
+
+TEST_F(StreamTest, LoopFinalDecisionsMatchBatchEvaluators) {
+  const BatchOracle oracle = batch_oracle(*harness_);
+  const auto result = replay_with(loop_config());
+  expect_matches_batch(result.decisions, oracle);
+  EXPECT_EQ(result.stats.exposed_events + result.stats.protected_events,
+            result.events);
+  // Latency parity with batch mode: every presented event leaves exactly
+  // one end-to-end sample in the replay histogram.
+  EXPECT_EQ(result.latency_histogram.count, result.events);
+  // A clean strict run must leave the resilience counters untouched —
+  // the held/recheck admission tiers are cheap paths, not degradations.
+  EXPECT_EQ(result.stats.bad_records, 0u);
+  EXPECT_EQ(result.stats.quarantined_users, 0u);
+  EXPECT_EQ(result.stats.degraded_batches, 0u);
+  EXPECT_EQ(result.stats.shed_decisions, 0u);
+}
+
+TEST_F(StreamTest, LoopDecisionsMatchBatchAcrossShardsSlackAndRecheck) {
+  StreamConfig batch;
+  batch.shards = 4;
+  const auto reference = replay_with(batch);
+
+  std::vector<StreamConfig> variants;
+  variants.push_back(loop_config(1));
+  variants.push_back(loop_config(3));
+  variants.push_back(loop_config(8));
+  StreamConfig eager = loop_config();  // full decision on every event
+  eager.loop_slack = 0;
+  variants.push_back(eager);
+  StreamConfig lazy = loop_config();  // mostly held, odd cadences
+  lazy.loop_slack = 7;
+  lazy.loop_recheck = 3;
+  variants.push_back(lazy);
+  StreamConfig no_recheck = loop_config();
+  no_recheck.loop_recheck = 0;
+  variants.push_back(no_recheck);
+
+  for (const StreamConfig& config : variants) {
+    const auto result = replay_with(config);
+    ASSERT_EQ(result.decisions.size(), reference.decisions.size());
+    for (std::size_t i = 0; i < result.decisions.size(); ++i) {
+      EXPECT_EQ(result.decisions[i].user, reference.decisions[i].user);
+      EXPECT_EQ(result.decisions[i].decision,
+                reference.decisions[i].decision);
+      EXPECT_EQ(result.decisions[i].winner, reference.decisions[i].winner);
+      EXPECT_EQ(result.decisions[i].events, reference.decisions[i].events);
+    }
+  }
+}
+
+TEST_F(StreamTest, LoopModeRejectsDrain) {
+  StreamEngine engine(harness_->make_engine(), loop_config(1));
+  EXPECT_THROW(engine.drain(), support::PreconditionError);
+}
+
+TEST_F(StreamTest, LoopCheckpointRestoreRoundTripsMidStream) {
+  StreamConfig config = loop_config(2);
+  StreamEngine straight(harness_->make_engine(), config);
+  const auto reference = run_replay(straight, *events_, {});
+
+  // Loop cuts have no micro-batch alignment requirement: any quiesced
+  // position is valid, so pick one off every batch multiple on purpose.
+  const std::size_t cut = 333;
+  StreamEngine first(harness_->make_engine(), config);
+  for (std::size_t i = 0; i < cut; ++i) first.ingest((*events_)[i]);
+  first.quiesce();
+  const SnapshotData snap =
+      decode_snapshot(encode_snapshot(first.capture_snapshot()));
+  EXPECT_EQ(snap.stream_position, cut);
+  EXPECT_EQ(snap.config.engine, EngineMode::kLoop);
+
+  StreamEngine second(harness_->make_engine(), config);
+  second.restore_snapshot(snap);
+  ReplayOptions options;
+  options.resume_events = cut;
+  const auto resumed = run_replay(second, *events_, options);
+
+  ASSERT_EQ(resumed.decisions.size(), reference.decisions.size());
+  for (std::size_t i = 0; i < reference.decisions.size(); ++i) {
+    const UserDecision& a = resumed.decisions[i];
+    const UserDecision& e = reference.decisions[i];
+    EXPECT_EQ(a.user, e.user);
+    EXPECT_EQ(a.decision, e.decision) << a.user;
+    EXPECT_EQ(a.winner, e.winner) << a.user;
+    EXPECT_EQ(a.events, e.events) << a.user;
+  }
+  // The decision tier is a pure function of per-user event ordinals, so
+  // the continued counters line up exactly with the straight run's.
+  EXPECT_EQ(resumed.stats.events, reference.stats.events);
+  EXPECT_EQ(resumed.stats.decisions, reference.stats.decisions);
+  EXPECT_EQ(resumed.latency_histogram.count, events_->size() - cut);
+}
+
+TEST_F(StreamTest, LoopRestoreRefusesEngineModeMismatch) {
+  StreamConfig config = loop_config(2);
+  StreamEngine first(harness_->make_engine(), config);
+  for (std::size_t i = 0; i < 100; ++i) first.ingest((*events_)[i]);
+  first.quiesce();
+  const SnapshotData snap = first.capture_snapshot();
+
+  // A loop checkpoint must not restore into a batch gateway (the cut may
+  // not fall on a drain boundary) — nor under different loop cadences.
+  StreamConfig batch = config;
+  batch.engine = EngineMode::kBatch;
+  StreamEngine batch_engine(harness_->make_engine(), batch);
+  EXPECT_THROW(batch_engine.restore_snapshot(snap), SnapshotError);
+
+  StreamConfig other_slack = config;
+  other_slack.loop_slack = 5;
+  StreamEngine slack_engine(harness_->make_engine(), other_slack);
+  EXPECT_THROW(slack_engine.restore_snapshot(snap), SnapshotError);
+
+  StreamConfig other_recheck = config;
+  other_recheck.loop_recheck = 2;
+  StreamEngine recheck_engine(harness_->make_engine(), other_recheck);
+  EXPECT_THROW(recheck_engine.restore_snapshot(snap), SnapshotError);
+}
+
+TEST_F(StreamTest, LoopStrictFaultSurfacesOnTheProducer) {
+  // Unattributable events never reach a worker: the producer classifies
+  // and throws synchronously, exactly like the batch path.
+  StreamEngine id_engine(harness_->make_engine(), loop_config(1));
+  StreamEvent huge = (*events_)[0];
+  huge.user = std::string(kMaxUserIdBytes + 1, 'x');
+  EXPECT_THROW(id_engine.ingest(huge), BadRecordError);
+
+  // A bad coordinate is flagged at ingest but dispositioned by the shard
+  // worker; under the strict default its BadRecordError is rethrown on
+  // the producer no later than the quiesce barrier.
+  StreamEngine nan_engine(harness_->make_engine(), loop_config(1));
+  StreamEvent bad = (*events_)[0];
+  bad.record.position.lat = std::numeric_limits<double>::quiet_NaN();
+  nan_engine.ingest(bad);
+  EXPECT_THROW(nan_engine.quiesce(), BadRecordError);
+
+  // Same for the stateful per-user monotonicity check, which only the
+  // worker (owner of the user state) can evaluate.
+  StreamEngine time_engine(harness_->make_engine(), loop_config(1));
+  const StreamEvent first = (*events_)[0];
+  time_engine.ingest(first);
+  StreamEvent regressed = first;
+  regressed.record.time -= 100;
+  time_engine.ingest(regressed);
+  EXPECT_THROW(time_engine.quiesce(), BadRecordError);
+}
+
+TEST_F(StreamTest, LoopQuarantineIsolatesPoisonedUserFromHealthyDecisions) {
+  StreamConfig batch;
+  batch.shards = 4;
+  const auto clean = replay_with(batch);
+
+  std::vector<StreamEvent> poisoned_events = *events_;
+  PoisonSpec spec;
+  spec.users = 1;
+  spec.stride = 3;
+  ASSERT_GT(inject_poison(poisoned_events, spec), 0u);
+  mobility::UserId victim = poisoned_events.front().user;
+  for (const StreamEvent& event : *events_) {
+    victim = std::min(victim, event.user);
+  }
+
+  StreamConfig quarantine = loop_config();
+  quarantine.resilience.on_bad_record = BadRecordPolicy::kQuarantine;
+  StreamEngine engine(harness_->make_engine(), quarantine);
+  const auto result = run_replay(engine, poisoned_events, {});
+
+  EXPECT_EQ(result.stats.quarantined_users, 1u);
+  EXPECT_GT(result.stats.bad_records, 0u);
+  EXPECT_GT(result.stats.dead_letters, 0u);
+  ASSERT_EQ(result.decisions.size(), clean.decisions.size());
+  for (std::size_t i = 0; i < clean.decisions.size(); ++i) {
+    const UserDecision& a = result.decisions[i];
+    const UserDecision& e = clean.decisions[i];
+    ASSERT_EQ(a.user, e.user);
+    if (a.user == victim) {
+      EXPECT_TRUE(a.quarantined);
+      EXPECT_FALSE(a.quarantine_reason.empty());
+      EXPECT_GT(a.dead_letters, 0u);
+      continue;
+    }
+    // Isolation holds across execution modes: a poisoned neighbour never
+    // perturbs a healthy user's published outcome.
+    EXPECT_FALSE(a.quarantined) << a.user;
+    EXPECT_EQ(a.decision, e.decision) << a.user;
+    EXPECT_EQ(a.winner, e.winner) << a.user;
+    EXPECT_EQ(a.events, e.events) << a.user;
+    EXPECT_EQ(a.window_points, e.window_points) << a.user;
+  }
+}
+
+TEST_F(StreamTest, LoopInjectedDecideFaultQuarantinesExactlyOneUser) {
+  StreamConfig config = loop_config(1);
+  const auto clean = replay_with(config);
+
+  // Under the strict default the worker's injected fault is rethrown on
+  // the producer and propagates out of the replay.
+  testing::FailPoint::arm("stream.decide.user", testing::FailAction::kThrow);
+  StreamEngine strict(harness_->make_engine(), config);
+  EXPECT_THROW(run_replay(strict, *events_, {}), testing::InjectedFault);
+
+  // Under quarantine the faulting user is isolated, the worker survives,
+  // and every healthy user matches the clean loop run.
+  StreamConfig quarantine = config;
+  quarantine.resilience.on_bad_record = BadRecordPolicy::kQuarantine;
+  testing::FailPoint::arm("stream.decide.user", testing::FailAction::kThrow);
+  StreamEngine engine(harness_->make_engine(), quarantine);
+  const auto result = run_replay(engine, *events_, {});
+
+  EXPECT_EQ(result.stats.quarantined_users, 1u);
+  std::size_t quarantined = 0;
+  ASSERT_EQ(result.decisions.size(), clean.decisions.size());
+  for (std::size_t i = 0; i < clean.decisions.size(); ++i) {
+    const UserDecision& a = result.decisions[i];
+    if (a.quarantined) {
+      ++quarantined;
+      EXPECT_NE(a.quarantine_reason.find("injected a fault"),
+                std::string::npos);
+      EXPECT_GT(a.dead_letters, 0u);
+      continue;
+    }
+    EXPECT_EQ(a.decision, clean.decisions[i].decision) << a.user;
+    EXPECT_EQ(a.winner, clean.decisions[i].winner) << a.user;
+    EXPECT_EQ(a.events, clean.decisions[i].events) << a.user;
+  }
+  EXPECT_EQ(quarantined, 1u);
+}
+
+TEST_F(StreamTest, LoopShedEngagesOnRingDepthAndFinishRepairs) {
+  const BatchOracle oracle = batch_oracle(*harness_);
+  StreamConfig config = loop_config(1);
+  config.loop_autostart = false;
+  config.resilience.shed_high_watermark = 64;
+  config.resilience.shed_low_watermark = 16;
+  StreamEngine engine(harness_->make_engine(), config);
+  // Pre-fill the ring beyond the high watermark before any worker runs:
+  // the first dequeue sees the full backlog, so the latch engages
+  // deterministically even though ring depth is otherwise timing-shaped.
+  for (const StreamEvent& event : *events_) engine.ingest(event);
+  engine.start_loop();
+  engine.quiesce();
+
+  const StreamStats mid = engine.stats();
+  EXPECT_GE(mid.degraded_batches, 1u);
+  EXPECT_GT(mid.shed_decisions, 0u);
+  // Draining to empty crossed the low watermark: the latch released.
+  EXPECT_EQ(engine.capture_snapshot().shard_shedding,
+            (std::vector<std::uint8_t>{0}));
+
+  // finish() re-searches every held/degraded verdict, so the published
+  // decisions still match the batch evaluators exactly.
+  engine.finish();
+  expect_matches_batch(engine.decisions(), oracle);
+}
+
+TEST_F(StreamTest, LoopBackpressureSignalsWithoutChangingDecisions) {
+  StreamConfig batch;
+  batch.shards = 2;
+  const auto reference = replay_with(batch);
+
+  // Bounded rings (capacity 2*max_pending): the producer outruns the
+  // deciding workers, so the slow signal must fire; it stays a signal —
+  // nothing is dropped and decisions are untouched.
+  StreamConfig bounded = loop_config(2);
+  bounded.resilience.max_pending_per_shard = 8;
+  StreamEngine engine(harness_->make_engine(), bounded);
+  const auto result = run_replay(engine, *events_, {});
+
+  EXPECT_GT(result.stats.backpressure_events, 0u);
+  EXPECT_EQ(result.latency_histogram.count, result.events);
+  ASSERT_EQ(result.decisions.size(), reference.decisions.size());
+  for (std::size_t i = 0; i < reference.decisions.size(); ++i) {
+    EXPECT_EQ(result.decisions[i].decision, reference.decisions[i].decision);
+    EXPECT_EQ(result.decisions[i].winner, reference.decisions[i].winner);
+  }
+}
+
+TEST_F(StreamTest, LoopPacingFloorsWallClockNotDecisionCoverage) {
+  StreamConfig config = loop_config(2);
+  ReplayOptions paced;
+  paced.target_rate = 50000.0;  // fast, but a real open-loop floor
+  StreamEngine engine(harness_->make_engine(), config);
+  const auto result = run_replay(engine, *events_, paced);
+
+  // The last event is scheduled at (n-1)/rate seconds: the wall clock
+  // cannot beat the arrival process.
+  EXPECT_GE(result.wall_seconds,
+            static_cast<double>(result.session_events - 1) / 50000.0);
+  EXPECT_EQ(result.latency_histogram.count, result.events);
+  EXPECT_EQ(result.events, events_->size());
+}
+
 }  // namespace
 }  // namespace mood::stream

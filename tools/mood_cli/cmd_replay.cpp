@@ -2,7 +2,9 @@
 // offline dataset. Builds the usual ExperimentHarness (train attacks on
 // the background halves), converts the test halves into one globally
 // time-ordered event stream, replays it through the sharded StreamEngine
-// in micro-batches — optionally paced by a target event rate or a
+// — by default continuously (--engine=loop: per-shard worker threads
+// deciding at admission time), or in micro-batches (--engine=batch, the
+// determinism oracle) — optionally paced by a target event rate or a
 // dataset-time compression factor — and emits a versioned "mood-stream/1"
 // JSON document (see src/report/report.h) with sustained throughput and
 // p50/p95/p99 decision latency.
@@ -145,7 +147,18 @@ int cmd_replay(int argc, const char* const* argv, std::ostream& out,
   flags.add_int("max-users", 0,
                 "resident users per shard before LRU eviction (0 = "
                 "unbounded)");
-  flags.add_int("batch", 256, "micro-batch size (events per drain)");
+  flags.add_string("engine", "loop",
+                   "execution mode: loop (per-shard worker threads decide "
+                   "each event at admission — per-event latency) | batch "
+                   "(micro-batched drains, the determinism oracle)");
+  flags.add_int("loop-slack", 64,
+                "loop engine: full re-decision every N folded events per "
+                "user; held verdicts between (0 = decide every event)");
+  flags.add_int("loop-recheck", 16,
+                "loop engine: cheap held-mechanism recheck every N folded "
+                "events per user between full decisions (0 = off)");
+  flags.add_int("batch", 256,
+                "micro-batch size (events per drain; batch engine only)");
   flags.add_int("staleness", 0,
                 "points before the PIT/POI window profiles are recompiled "
                 "(0 = every batch; the AP heatmap is always exact)");
@@ -271,6 +284,18 @@ int cmd_replay(int argc, const char* const* argv, std::ostream& out,
   if (flags.get_int("poison-stride") <= 0) {
     throw support::UsageError("mood replay: --poison-stride must be positive");
   }
+  const stream::EngineMode engine_mode =
+      stream::parse_engine_mode(flags.get_string("engine"));
+  if (flags.get_int("loop-slack") < 0 || flags.get_int("loop-recheck") < 0) {
+    throw support::UsageError(
+        "mood replay: loop cadences must be non-negative");
+  }
+  if (flags.get_int("drain-budget") > 0 &&
+      engine_mode == stream::EngineMode::kLoop) {
+    throw support::UsageError(
+        "mood replay: --drain-budget is a batch-engine knob (the loop "
+        "engine paces full decisions with --loop-slack)");
+  }
   const stream::BadRecordPolicy bad_record_policy =
       stream::parse_bad_record_policy(flags.get_string("on-bad-record"));
   std::size_t shed_high = static_cast<std::size_t>(flags.get_int("shed-high"));
@@ -352,6 +377,11 @@ int cmd_replay(int argc, const char* const* argv, std::ostream& out,
 
   // ---- Gateway + replay ----------------------------------------------
   stream::StreamConfig stream_config;
+  stream_config.engine = engine_mode;
+  stream_config.loop_slack =
+      static_cast<std::size_t>(flags.get_int("loop-slack"));
+  stream_config.loop_recheck =
+      static_cast<std::size_t>(flags.get_int("loop-recheck"));
   stream_config.shards = static_cast<std::size_t>(flags.get_int("shards"));
   stream_config.window_seconds = static_cast<mobility::Timestamp>(
       flags.get_double("window-hours") * 3600.0);
@@ -437,8 +467,11 @@ int cmd_replay(int argc, const char* const* argv, std::ostream& out,
           "' fingerprints a different replay (seed/dataset/stream/batch "
           "mismatch) — refusing to resume from it");
     }
+    // Loop checkpoints are quiesced cuts at any position; batch ones must
+    // land on a micro-batch boundary for the resumed drains to line up.
     if (snapshot.stream_position > events.size() ||
-        (snapshot.stream_position % replay_options.batch_events != 0 &&
+        (engine_mode == stream::EngineMode::kBatch &&
+         snapshot.stream_position % replay_options.batch_events != 0 &&
          snapshot.stream_position != events.size())) {
       throw support::UsageError(
           "mood replay: snapshot position " +
@@ -461,7 +494,11 @@ int cmd_replay(int argc, const char* const* argv, std::ostream& out,
 
   err << "replaying " << events.size() << " events from "
       << harness.pairs().size() << " users through " << stream_config.shards
-      << " shards (batch " << replay_options.batch_events << ")...\n";
+      << " shards (" << stream::to_string(engine_mode);
+  if (engine_mode == stream::EngineMode::kBatch) {
+    err << ", batch " << replay_options.batch_events;
+  }
+  err << ")...\n";
   const auto replay_started = elapsed();
   const stream::ReplayResult result =
       stream::run_replay(engine, events, replay_options);
